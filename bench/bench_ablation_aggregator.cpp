@@ -1,0 +1,49 @@
+// Ablation (paper Section VI future work): learned gated aggregation (GA)
+// against the paper's MP / AP / CC local aggregators.
+//
+// GA learns one softmax gate per device and renormalizes over the surviving
+// devices under failures — the trainable middle ground between MP (winner
+// takes all) and AP (uniform dilution). The cloud aggregator is fixed to CC
+// (the paper's best) in all arms; the table also reports accuracy with the
+// single best device failed, where GA's renormalization matters most.
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Ablation — learned gated aggregation (GA extension)",
+               "Teerapittayanon et al., ICDCS'17, Sections III-B and VI");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  Table table({"Local agg", "Local (%)", "Cloud (%)", "Overall (%)",
+               "Overall, best device failed (%)"});
+  for (const auto local : {"MP", "AP", "GA"}) {
+    auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+    cfg.local_agg = core::parse_agg_kind(local);
+    const auto model = trained_ddnn(cfg, devices, dataset, env);
+    const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+    const auto policy = core::apply_policy(eval, {0.8});
+    // Fail the best (last) device.
+    std::vector<bool> active(6, true);
+    active[5] = false;
+    const auto degraded_eval =
+        core::evaluate_exits(*model, dataset.test(), devices, active);
+    const auto degraded = core::apply_policy(degraded_eval, {0.8});
+    table.add_row({std::string(local) + "-CC",
+                   Table::num(100.0 * core::exit_accuracy(eval, 0), 1),
+                   Table::num(100.0 * core::exit_accuracy(eval, 1), 1),
+                   Table::num(100.0 * policy.overall_accuracy, 1),
+                   Table::num(100.0 * degraded.overall_accuracy, 1)});
+  }
+  maybe_write_csv(table, "ablation_aggregator");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: GA lands at or above AP locally (it can down-weight "
+      "blind devices)\nand degrades gracefully under failure thanks to gate "
+      "renormalization; MP remains the\nstrong, parameter-free baseline the "
+      "paper chose.\n");
+  return 0;
+}

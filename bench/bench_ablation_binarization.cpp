@@ -1,0 +1,71 @@
+// Ablation: what does end-to-end binarization cost, and what does it buy?
+//
+// The paper adopts BNN/eBNN blocks because end devices have tiny memory and
+// the binary feature maps make the uplink payload 1 bit per activation.
+// This ablation trains the accuracy upper bound — the same architecture
+// with float32 devices AND cloud — and compares accuracy, device memory and
+// the wire bytes a non-binarized deployment would have to pay (float32
+// features are 32x the payload of the bit-packed ones, Eq. 1's f*o/8 term
+// becoming f*o*4).
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Ablation — end-to-end binarization cost/benefit",
+               "Teerapittayanon et al., ICDCS'17, Sections II-B and IV-A");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  struct Arm {
+    const char* name;
+    bool float_devices;
+    bool float_cloud;
+  };
+  const std::vector<Arm> arms = {
+      {"binary everywhere (paper)", false, false},
+      {"float32 everywhere (upper bound)", true, true},
+  };
+
+  Table table({"Precision", "Local (%)", "Cloud (%)", "Overall (%)",
+               "Device mem (B)", "Offload payload (B)"});
+  for (const auto& arm : arms) {
+    auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+    cfg.float_devices = arm.float_devices;
+    cfg.float_cloud = arm.float_cloud;
+    const auto model = trained_ddnn(cfg, devices, dataset, env);
+    const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+    const auto policy = core::apply_policy(eval, {0.8});
+    // Feature payload per escalated sample: 1 bit/activation when binary,
+    // 4 B/activation when float.
+    const std::int64_t activations =
+        cfg.device_filters * cfg.filter_output_bits();
+    const std::int64_t payload =
+        arm.float_devices ? activations * 4 : activations / 8;
+    // Float weights cost 32x the bits; batch-norm bytes are unchanged.
+    const std::int64_t conv_weights = cfg.device_filters * 3 * 3 * 3;
+    const std::int64_t head_weights =
+        cfg.device_filters * 256 * cfg.num_classes;
+    const std::int64_t mem =
+        arm.float_devices
+            ? 4 * (conv_weights + head_weights) +
+                  16 * (cfg.device_filters + cfg.num_classes)
+            : model->device_memory_bytes();
+    table.add_row({arm.name,
+                   Table::num(100.0 * core::exit_accuracy(eval, 0), 1),
+                   Table::num(100.0 * core::exit_accuracy(eval, 1), 1),
+                   Table::num(100.0 * policy.overall_accuracy, 1),
+                   std::to_string(mem), std::to_string(payload)});
+  }
+  maybe_write_csv(table, "ablation_binarization");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: binarization costs little or no accuracy at this "
+      "scale (matching the\nBNN results the paper cites), while float32 "
+      "would explode device memory (32x weight\nbytes, far over the 2 KB "
+      "budget) and the per-sample offload payload (128 B -> 4096 B,\nworse "
+      "than shipping the raw 3072 B image).\n");
+  return 0;
+}

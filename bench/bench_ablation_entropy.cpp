@@ -1,0 +1,57 @@
+// Ablation (paper Section III-D): normalized entropy vs BranchyNet's
+// unnormalized entropy vs max-probability as the exit confidence criterion.
+//
+// The paper switches from BranchyNet's unnormalized entropy to normalized
+// entropy because its [0, 1] range "allows easier interpretation and
+// searching of its corresponding threshold T". This ablation quantifies
+// that: for each criterion, sweep the threshold over the criterion's range
+// and report the best achievable overall accuracy and the accuracy/exit
+// trade-off — the criteria rank samples almost identically, so the paper's
+// choice is about usability, not accuracy.
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Ablation — exit confidence criteria",
+               "Teerapittayanon et al., ICDCS'17, Section III-D");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  const auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+  const auto model = trained_ddnn(cfg, devices, dataset, env);
+  const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+
+  Table table({"Criterion", "Threshold range", "Best T", "Best overall (%)",
+               "Local exit @ best T (%)"});
+  for (const auto criterion :
+       {core::ConfidenceCriterion::kNormalizedEntropy,
+        core::ConfidenceCriterion::kUnnormalizedEntropy,
+        core::ConfidenceCriterion::kMaxProbability}) {
+    const double hi =
+        core::max_confidence_score(cfg.num_classes, criterion);
+    double best_t = 0.0, best_acc = -1.0, best_local = 0.0;
+    for (int i = 0; i <= 40; ++i) {
+      const double t = hi * static_cast<double>(i) / 40.0;
+      const auto r = core::apply_policy(eval, {t}, criterion);
+      if (r.overall_accuracy >= best_acc) {
+        best_acc = r.overall_accuracy;
+        best_t = t;
+        best_local = r.local_exit_fraction();
+      }
+    }
+    table.add_row({std::string(core::to_string(criterion)),
+                   "[0, " + Table::num(hi, 3) + "]", Table::num(best_t, 3),
+                   Table::num(100.0 * best_acc, 1),
+                   Table::num(100.0 * best_local, 1)});
+  }
+  maybe_write_csv(table, "ablation_entropy");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: all criteria reach essentially the same best overall "
+      "accuracy (they\ninduce nearly the same sample ranking); normalized "
+      "entropy's fixed [0, 1] range is the\nusability win the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (paper Section IV-A): sensitivity to the per-exit loss weights.
+//
+// "We explored heavily weighting both the local exit and the cloud exit,
+// but neither weighting scheme significantly changed the accuracy of the
+// system" (the paper uses equal weights, citing GoogLeNet's <1% weight
+// sensitivity). This bench trains the same architecture under three
+// weightings and reports all accuracy measures.
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Ablation — per-exit loss weights",
+               "Teerapittayanon et al., ICDCS'17, Section IV-A");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+  const auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+
+  struct Arm {
+    const char* name;
+    std::vector<float> weights;
+    const char* suffix;
+  };
+  const std::vector<Arm> arms = {
+      {"equal (1, 1) — paper", {}, ""},
+      {"local-heavy (3, 1)", {3.0f, 1.0f}, "_w3-1"},
+      {"cloud-heavy (1, 3)", {1.0f, 3.0f}, "_w1-3"},
+  };
+
+  Table table({"Exit weights", "Local (%)", "Cloud (%)", "Overall (%)",
+               "Local Exit (%)"});
+  for (const auto& arm : arms) {
+    auto train_cfg = standard_train_config(env);
+    train_cfg.exit_weights = arm.weights;
+    const auto model =
+        trained_ddnn(cfg, devices, dataset, env, train_cfg, arm.suffix);
+    const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+    const auto policy = core::apply_policy(eval, {0.8});
+    table.add_row({arm.name,
+                   Table::num(100.0 * core::exit_accuracy(eval, 0), 1),
+                   Table::num(100.0 * core::exit_accuracy(eval, 1), 1),
+                   Table::num(100.0 * policy.overall_accuracy, 1),
+                   pct(policy.local_exit_fraction(), 1)});
+  }
+  maybe_write_csv(table, "ablation_exit_weights");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: all three weightings land within a few points of each "
+      "other — the\njoint objective is not weight-sensitive on this task, "
+      "matching the paper's finding.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Section IV-H: communication reduction vs the traditional raw-offload
+// baseline.
+//
+// Baseline: every device ships its raw 32x32 RGB frame (3072 B) to a cloud
+// DNN for every sample. DDNN: 12 B of class scores always, plus 128 B of
+// bit-packed binary features only for samples that do not exit locally.
+// Both are *measured* on the simulated hierarchy's links; the paper's
+// headline claim is a >20x reduction even in the worst case (T -> 0).
+#include "dist/runtime.hpp"
+
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Section IV-H — Reducing communication costs",
+               "Teerapittayanon et al., ICDCS'17, Section IV-H");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  const auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+  const auto model = trained_ddnn(cfg, devices, dataset, env);
+  const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+
+  const double raw = static_cast<double>(core::raw_offload_bytes(3, 32, 32));
+  std::printf("raw-offload baseline: %.0f B per sample per device\n\n", raw);
+
+  Table table({"Policy", "Local Exit (%)", "Overall Acc. (%)",
+               "Comm. (B/sample/device)", "Reduction vs raw"});
+  for (const double t : {0.0, 0.8, 1.0}) {
+    const auto policy = core::apply_policy(eval, {t});
+    dist::HierarchyRuntime runtime(*model, {t}, devices);
+    runtime.run(dataset.test());
+    const double measured = runtime.metrics().device_bytes_per_sample(0);
+    table.add_row({"DDNN T=" + Table::num(t, 1),
+                   pct(policy.local_exit_fraction(), 1),
+                   Table::num(100.0 * policy.overall_accuracy, 1),
+                   Table::num(measured, 1),
+                   Table::num(raw / measured, 1) + "x"});
+  }
+  maybe_write_csv(table, "comm_reduction");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: even the worst case (T=0: every sample offloaded as "
+      "binary features)\nbeats raw offloading by >20x; at the operating "
+      "threshold the reduction is far larger.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared setup for the experiment harness (one binary per paper table /
+// figure; see DESIGN.md §3).
+//
+// Environment knobs:
+//   DDNN_EPOCHS     training epochs per configuration (default 40; the paper
+//                   trains 100 — the shapes stabilize well before that)
+//   DDNN_SEED       dataset + training seed (default 42)
+//   DDNN_BATCH      mini-batch size (default 32)
+//   DDNN_CACHE_DIR  trained-model cache ('.ddnn_cache' by default, "off"
+//                   disables). Several benches share the same trained model;
+//                   the first to run trains it, the rest load it.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/inference.hpp"
+#include "core/trainer.hpp"
+#include "data/mvmc.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace ddnn::bench {
+
+struct BenchEnv {
+  int epochs;
+  std::uint64_t seed;
+  std::size_t batch;
+
+  static BenchEnv load() {
+    return {static_cast<int>(env_int("DDNN_EPOCHS", 40)),
+            static_cast<std::uint64_t>(env_int("DDNN_SEED", 42)),
+            static_cast<std::size_t>(env_int("DDNN_BATCH", 32))};
+  }
+};
+
+/// The evaluation dataset (paper Section IV-B sizes).
+inline data::MvmcDataset standard_dataset(const BenchEnv& env) {
+  data::MvmcConfig cfg;
+  cfg.seed = env.seed;
+  return data::MvmcDataset::generate(cfg);
+}
+
+inline core::TrainConfig standard_train_config(const BenchEnv& env) {
+  core::TrainConfig cfg;
+  cfg.epochs = env.epochs;
+  cfg.batch_size = env.batch;
+  cfg.shuffle_seed = env.seed ^ 0x5eedULL;
+  return cfg;
+}
+
+/// Cache key covering everything that influences the trained weights.
+inline std::string train_key(const core::DdnnConfig& cfg,
+                             const std::vector<int>& devices,
+                             const BenchEnv& env) {
+  std::ostringstream os;
+  os << cfg.cache_key() << "_ep" << env.epochs << "_b" << env.batch << "_s"
+     << env.seed << "_dev";
+  for (int d : devices) os << d;
+  return os.str();
+}
+
+/// Train (or load from cache) a DDNN for `cfg` on the given dataset devices.
+/// `train_cfg` overrides the standard training recipe; anything that changes
+/// the weights beyond cfg/env must be reflected in `key_suffix`.
+inline std::unique_ptr<core::DdnnModel> trained_ddnn(
+    const core::DdnnConfig& cfg, const std::vector<int>& devices,
+    const data::MvmcDataset& dataset, const BenchEnv& env,
+    const core::TrainConfig& train_cfg, const std::string& key_suffix) {
+  auto model = std::make_unique<core::DdnnModel>(cfg);
+  Stopwatch sw;
+  const bool cached = core::train_or_load(
+      *model, train_key(cfg, devices, env) + key_suffix, [&] {
+        core::train_ddnn(*model, dataset.train(), devices, train_cfg);
+      });
+  std::fprintf(stderr, "[bench] %s %s%s in %.1f s\n",
+               cached ? "loaded" : "trained", cfg.cache_key().c_str(),
+               key_suffix.c_str(), sw.seconds());
+  model->set_training(false);
+  return model;
+}
+
+inline std::unique_ptr<core::DdnnModel> trained_ddnn(
+    const core::DdnnConfig& cfg, const std::vector<int>& devices,
+    const data::MvmcDataset& dataset, const BenchEnv& env) {
+  return trained_ddnn(cfg, devices, dataset, env, standard_train_config(env),
+                      "");
+}
+
+/// Train (or load) the standalone per-device baseline model.
+inline std::unique_ptr<core::IndividualModel> trained_individual(
+    int device, const data::MvmcDataset& dataset, const BenchEnv& env,
+    int filters = 4) {
+  auto model = std::make_unique<core::IndividualModel>(
+      3, dataset.config().image_size, filters, dataset.num_classes(),
+      env.seed + static_cast<std::uint64_t>(device) + 1);
+  std::ostringstream key;
+  key << "individual_dev" << device << "_f" << filters << "_ep" << env.epochs
+      << "_b" << env.batch << "_s" << env.seed;
+  core::train_or_load(*model, key.str(), [&] {
+    core::train_individual(*model, dataset.train(), device,
+                           standard_train_config(env));
+  });
+  model->set_training(false);
+  return model;
+}
+
+/// With DDNN_RESULTS_DIR set, also persist the table as <dir>/<name>.csv
+/// (for plotting the figures outside the terminal).
+inline void maybe_write_csv(const Table& table, const std::string& name) {
+  const std::string dir = env_string("DDNN_RESULTS_DIR", "");
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  table.write_csv(dir + "/" + name + ".csv");
+  std::fprintf(stderr, "[bench] wrote %s/%s.csv\n", dir.c_str(), name.c_str());
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return Table::num(100.0 * fraction, precision);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("Reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace ddnn::bench

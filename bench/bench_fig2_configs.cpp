@@ -1,0 +1,66 @@
+// Figure 2: the six DDNN hierarchy configurations (a)-(f), executed
+// end-to-end on the simulated distributed runtime.
+//
+// The paper evaluates configuration (c) and presents (a)-(f) as the design
+// space; this bench trains each shape and reports where samples exit, the
+// measured per-device communication, simulated latency and accuracy — the
+// systems-level comparison the architecture section implies.
+#include "dist/runtime.hpp"
+
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+namespace {
+
+/// Reasonable per-config thresholds: non-final exits at T=0.8.
+std::vector<double> thresholds_for(const core::DdnnConfig& cfg) {
+  return std::vector<double>(
+      static_cast<std::size_t>(cfg.num_exits()) - 1, 0.8);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 2 — Hierarchy configurations (a)-(f)",
+               "Teerapittayanon et al., ICDCS'17, Figure 2 (systems view)");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> all_devices{0, 1, 2, 3, 4, 5};
+
+  Table table({"Config", "Exits", "Exit split (%)", "Acc. (%)",
+               "Dev B/sample", "Latency (ms)"});
+  for (const auto preset :
+       {core::HierarchyPreset::kCloudOnly, core::HierarchyPreset::kDeviceCloud,
+        core::HierarchyPreset::kDevicesCloud,
+        core::HierarchyPreset::kDeviceEdgeCloud,
+        core::HierarchyPreset::kDevicesEdgeCloud,
+        core::HierarchyPreset::kDevicesEdgesCloud}) {
+    const auto cfg = core::DdnnConfig::preset(preset);
+    const std::vector<int> devices(all_devices.begin(),
+                                   all_devices.begin() + cfg.num_devices);
+    const auto model = trained_ddnn(cfg, devices, dataset, env);
+
+    dist::HierarchyRuntime runtime(*model, thresholds_for(cfg), devices);
+    const auto metrics = runtime.run(dataset.test());
+
+    std::string split;
+    for (std::size_t e = 0; e < metrics.exit_counts.size(); ++e) {
+      if (e != 0) split += "/";
+      split += Table::num(100.0 * static_cast<double>(metrics.exit_counts[e]) /
+                              static_cast<double>(metrics.samples), 0);
+    }
+    table.add_row({core::to_string(preset), std::to_string(cfg.num_exits()),
+                   split, Table::num(100.0 * metrics.accuracy(), 1),
+                   Table::num(metrics.device_bytes_per_sample(0), 1),
+                   Table::num(1e3 * metrics.mean_latency_s(), 1)});
+  }
+  maybe_write_csv(table, "fig2_configs");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: (a) pays full raw-offload bytes and the highest "
+      "latency; configs with\na local exit cut both dramatically; edge tiers "
+      "trade a little latency for an extra\nexit level.\n");
+  return 0;
+}

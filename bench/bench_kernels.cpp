@@ -1,0 +1,182 @@
+// Microbenchmarks of the substrate kernels (google-benchmark).
+//
+// These time the operations the training loop and the simulated devices are
+// made of: im2col-based convolution, pooling, batch norm, binarization, the
+// bit-packed wire format and the aggregation primitives. Includes the
+// ablation from DESIGN.md §5: bit-packed vs float32 feature transport.
+#include <benchmark/benchmark.h>
+
+#include "autograd/grad_mode.hpp"
+#include "autograd/ops.hpp"
+#include "core/entropy.hpp"
+#include "dist/message.hpp"
+#include "nn/blocks.hpp"
+#include "tensor/bitpack.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace ddnn;
+using autograd::Variable;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn(Shape{32, 3, 32, 32}, rng);
+  const Conv2dGeometry g{.in_channels = 3, .in_h = 32, .in_w = 32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(im2col(x, g));
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto filters = state.range(0);
+  Rng rng(3);
+  autograd::NoGradGuard no_grad;
+  const Variable x(Tensor::randn(Shape{32, 3, 32, 32}, rng));
+  const Variable w(Tensor::randn(Shape{filters, 3, 3, 3}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::conv2d(x, w, Variable(), 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  // Forward + backward through one ConvP-sized convolution.
+  Rng rng(4);
+  Variable x = Variable::parameter(Tensor::randn(Shape{32, 3, 32, 32}, rng));
+  Variable w = Variable::parameter(Tensor::randn(Shape{4, 3, 3, 3}, rng));
+  const Variable ones(Tensor::ones(Shape{32 * 4 * 32 * 32, 1}));
+  for (auto _ : state) {
+    Variable y = autograd::conv2d(x, w, Variable(), 1, 1);
+    Variable loss = autograd::matmul(
+        autograd::reshape(y, Shape{1, y.numel()}), ones);
+    x.zero_grad();
+    w.zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(w.grad());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(5);
+  autograd::NoGradGuard no_grad;
+  const Variable x(Tensor::randn(Shape{32, 4, 32, 32}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::max_pool2d(x, 3, 2, 1));
+  }
+}
+BENCHMARK(BM_MaxPool);
+
+void BM_BatchNorm(benchmark::State& state) {
+  Rng rng(6);
+  autograd::NoGradGuard no_grad;
+  const Variable x(Tensor::randn(Shape{32, 4, 16, 16}, rng));
+  const Variable gamma(Tensor::ones(Shape{4}));
+  const Variable beta(Tensor::zeros(Shape{4}));
+  Tensor rm = Tensor::zeros(Shape{4});
+  Tensor rv = Tensor::ones(Shape{4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        autograd::batch_norm(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f));
+  }
+}
+BENCHMARK(BM_BatchNorm);
+
+void BM_Binarize(benchmark::State& state) {
+  Rng rng(7);
+  autograd::NoGradGuard no_grad;
+  const Variable x(Tensor::randn(Shape{32, 4, 16, 16}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::binarize(x));
+  }
+}
+BENCHMARK(BM_Binarize);
+
+void BM_DeviceConvPBlock(benchmark::State& state) {
+  // A full fused device block at batch 1: the per-sample compute a simulated
+  // end device performs.
+  Rng rng(8);
+  autograd::NoGradGuard no_grad;
+  nn::ConvPBlock block(3, 4, rng);
+  block.set_training(false);
+  const Variable x(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.forward(x));
+  }
+}
+BENCHMARK(BM_DeviceConvPBlock);
+
+void BM_PackSigns(benchmark::State& state) {
+  Rng rng(9);
+  const Tensor feats = ops::sign(Tensor::randn(Shape{4, 16, 16}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_signs(feats));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          packed_size_bytes(feats.numel()));
+}
+BENCHMARK(BM_PackSigns);
+
+void BM_WireBinaryVsFloat(benchmark::State& state) {
+  // Ablation (DESIGN.md §5): bytes-on-wire for binary vs float32 transport
+  // of a device feature map. The timed work is the full encode, and the
+  // byte counters show the 32x payload difference.
+  Rng rng(10);
+  const Tensor feats = ops::sign(Tensor::randn(Shape{1, 4, 16, 16}, rng));
+  const bool binary = state.range(0) == 1;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    if (binary) {
+      const auto msg = dist::encode_binary_feature_map(feats);
+      bytes = msg.payload_bytes();
+      benchmark::DoNotOptimize(msg.payload.data());
+    } else {
+      const auto msg = dist::encode_class_scores(feats);  // float32 payload
+      bytes = msg.payload_bytes();
+      benchmark::DoNotOptimize(msg.payload.data());
+    }
+  }
+  state.counters["payload_B"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_WireBinaryVsFloat)->Arg(1)->Arg(0);
+
+void BM_NormalizedEntropy(benchmark::State& state) {
+  const std::vector<float> probs{0.5f, 0.3f, 0.2f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::normalized_entropy(probs));
+  }
+}
+BENCHMARK(BM_NormalizedEntropy);
+
+void BM_StackAggregation(benchmark::State& state) {
+  // MP aggregation across 6 device branches.
+  Rng rng(11);
+  autograd::NoGradGuard no_grad;
+  std::vector<Variable> branches;
+  for (int i = 0; i < 6; ++i) {
+    branches.emplace_back(Tensor::randn(Shape{32, 3}, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::stack_max(branches));
+  }
+}
+BENCHMARK(BM_StackAggregation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table II: effect of the local exit threshold T.
+//
+// One trained MP-CC model; for each T the staged policy is applied to the
+// cached exit probabilities, and the communication cost is reported twice:
+// analytically via Eq. 1 and measured on the simulated hierarchy's links
+// (they must agree to the byte).
+#include "dist/runtime.hpp"
+
+#include "bench_common.hpp"
+
+using namespace ddnn;
+using namespace ddnn::bench;
+
+int main() {
+  print_header("Table II — Exit threshold settings for the local exit",
+               "Teerapittayanon et al., ICDCS'17, Table II");
+  const BenchEnv env = BenchEnv::load();
+  const auto dataset = standard_dataset(env);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  const auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+  const auto model = trained_ddnn(cfg, devices, dataset, env);
+  const auto eval = core::evaluate_exits(*model, dataset.test(), devices);
+
+  Table table({"T", "Local Exit (%)", "Overall Acc. (%)", "Comm. (B, Eq.1)",
+               "Comm. (B, measured)"});
+  for (const double t : {0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const auto policy = core::apply_policy(eval, {t});
+    const double analytic = core::ddnn_comm_bytes(
+        policy.local_exit_fraction(), cfg.comm_params());
+
+    dist::HierarchyRuntime runtime(*model, {t}, devices);
+    runtime.run(dataset.test());
+    const double measured = runtime.metrics().device_bytes_per_sample(0);
+
+    table.add_row({Table::num(t, 1), pct(policy.local_exit_fraction(), 2),
+                   Table::num(100.0 * policy.overall_accuracy, 1),
+                   Table::num(analytic, 1), Table::num(measured, 1)});
+  }
+  maybe_write_csv(table, "table2_threshold");
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: local-exit %% grows with T; comm. falls monotonically "
+      "to 12 B at T=1\n(only the 4x|C| score vector); a mid/high-T sweet spot "
+      "keeps accuracy at the cloud level\nwhile exiting most samples "
+      "locally (paper: T=0.8, 60.8%% local, 62 B).\n");
+  return 0;
+}

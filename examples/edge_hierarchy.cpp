@@ -1,0 +1,74 @@
+// Three-tier deployment: devices -> edge -> cloud (paper Figure 2(e)).
+//
+// Builds the configuration with an edge server between the six end devices
+// and the cloud, trains all three exits jointly, and shows how samples
+// spread over the exits as the two thresholds vary — the vertical-scaling
+// story of the paper.
+//
+//   $ ./build/examples/edge_hierarchy
+#include <cstdio>
+
+#include "core/cache.hpp"
+#include "core/inference.hpp"
+#include "core/trainer.hpp"
+#include "dist/runtime.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace ddnn;
+
+int main() {
+  const int epochs = static_cast<int>(env_int("DDNN_EPOCHS", 30));
+  const auto seed = static_cast<std::uint64_t>(env_int("DDNN_SEED", 42));
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  data::MvmcConfig data_cfg;
+  data_cfg.seed = seed;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+
+  const auto cfg =
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesEdgeCloud);
+  core::DdnnModel model(cfg);
+  std::printf("exits: local -> edge -> cloud (%d in total)\n",
+              cfg.num_exits());
+
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  core::train_or_load(model,
+                      "example_edge_hierarchy_ep" + std::to_string(epochs),
+                      [&] {
+                        std::printf("training %d epochs...\n", epochs);
+                        core::train_ddnn(model, dataset.train(), devices,
+                                         train_cfg);
+                      });
+  model.set_training(false);
+
+  const auto eval = core::evaluate_exits(model, dataset.test(), devices);
+  std::printf("\nper-exit accuracy when exiting 100%% of samples there:\n");
+  for (std::size_t e = 0; e < eval.num_exits(); ++e) {
+    std::printf("  %-5s %.1f%%\n", eval.exit_names[e].c_str(),
+                100.0 * core::exit_accuracy(eval, e));
+  }
+
+  Table table({"T_local", "T_edge", "local/edge/cloud exit (%)",
+               "Overall (%)", "Mean latency (ms)"});
+  for (const auto& [tl, te] : std::vector<std::pair<double, double>>{
+           {0.0, 0.0}, {0.5, 0.8}, {0.8, 0.8}, {0.8, 1.0}, {1.0, 1.0}}) {
+    const auto policy = core::apply_policy(eval, {tl, te});
+    dist::HierarchyRuntime runtime(model, {tl, te}, devices);
+    runtime.run(dataset.test());
+    table.add_row(
+        {Table::num(tl, 1), Table::num(te, 1),
+         Table::num(100.0 * policy.exit_fraction[0], 0) + "/" +
+             Table::num(100.0 * policy.exit_fraction[1], 0) + "/" +
+             Table::num(100.0 * policy.exit_fraction[2], 0),
+         Table::num(100.0 * policy.overall_accuracy, 1),
+         Table::num(1e3 * runtime.metrics().mean_latency_s(), 1)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\nHigher thresholds keep samples low in the hierarchy (less latency, "
+      "fewer bytes);\nlower thresholds escalate more samples toward the "
+      "cloud.\n");
+  return 0;
+}

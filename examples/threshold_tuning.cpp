@@ -1,0 +1,74 @@
+// Threshold tuning workflow (paper Section III-D: "search over the ranges
+// of T on a validation set and pick the one with the best accuracy").
+//
+// Splits the training set into train/validation, trains the DDNN on the
+// reduced split, searches the local exit threshold on the validation split,
+// and only then reports test metrics at the chosen threshold — the honest
+// protocol a deployment would use.
+//
+//   $ ./build/examples/threshold_tuning
+#include <cstdio>
+
+#include "core/cache.hpp"
+#include "core/inference.hpp"
+#include "core/trainer.hpp"
+#include "util/env.hpp"
+
+using namespace ddnn;
+
+int main() {
+  const int epochs = static_cast<int>(env_int("DDNN_EPOCHS", 30));
+  const auto seed = static_cast<std::uint64_t>(env_int("DDNN_SEED", 42));
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  data::MvmcConfig data_cfg;
+  data_cfg.seed = seed;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+
+  // Hold out the last 20% of the training split for validation.
+  const std::size_t val_size = dataset.train().size() / 5;
+  const std::vector<data::MvmcSample> train_split(
+      dataset.train().begin(), dataset.train().end() - static_cast<long>(val_size));
+  const std::vector<data::MvmcSample> val_split(
+      dataset.train().end() - static_cast<long>(val_size),
+      dataset.train().end());
+  std::printf("train %zu / validation %zu / test %zu samples\n",
+              train_split.size(), val_split.size(), dataset.test().size());
+
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  core::train_or_load(model,
+                      "example_threshold_tuning_ep" + std::to_string(epochs),
+                      [&] {
+                        std::printf("training %d epochs...\n", epochs);
+                        core::train_ddnn(model, train_split, devices,
+                                         train_cfg);
+                      });
+  model.set_training(false);
+
+  // Search T on validation data only.
+  const auto val_eval = core::evaluate_exits(model, val_split, devices);
+  const double best_t = core::search_threshold_best_overall(val_eval, 0.05);
+  const auto val_best = core::apply_policy(val_eval, {best_t});
+  std::printf("\nvalidation sweep:\n");
+  for (double t = 0.0; t <= 1.0001; t += 0.2) {
+    const auto r = core::apply_policy(val_eval, {t});
+    std::printf("  T=%.1f  overall %.1f%%  local exits %.1f%%\n", t,
+                100.0 * r.overall_accuracy, 100.0 * r.local_exit_fraction());
+  }
+  std::printf("chosen T* = %.2f (validation overall %.1f%%)\n\n", best_t,
+              100.0 * val_best.overall_accuracy);
+
+  // Final report on untouched test data.
+  const auto test_eval = core::evaluate_exits(model, dataset.test(), devices);
+  const auto test_result = core::apply_policy(test_eval, {best_t});
+  std::printf("test @ T*: overall %.1f%%, %.1f%% exited locally, "
+              "%.1f B/sample/device (Eq. 1)\n",
+              100.0 * test_result.overall_accuracy,
+              100.0 * test_result.local_exit_fraction(),
+              core::ddnn_comm_bytes(test_result.local_exit_fraction(),
+                                    model.config().comm_params()));
+  return 0;
+}

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Plot DDNN bench CSVs as SVG line charts using only the Python stdlib.
+
+The bench harness writes its tables as CSV when DDNN_RESULTS_DIR is set:
+
+    DDNN_RESULTS_DIR=results ./build/bench/bench_fig7_threshold_sweep
+    scripts/plot_results.py results/fig7_threshold_sweep.csv \
+        --x "T" --y "Overall Acc. (%)" --y "Local Exit (%)" \
+        --out fig7.svg
+
+With no --x/--y, the first numeric column is the x axis and every other
+numeric column becomes a series.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def is_number(text):
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 2:
+        sys.exit(f"{path}: need a header and at least one data row")
+    return rows[0], rows[1:]
+
+
+def numeric_columns(header, rows):
+    """Columns where every cell parses as a number."""
+    out = []
+    for i, name in enumerate(header):
+        if all(i < len(r) and is_number(r[i]) for r in rows):
+            out.append((i, name))
+    return out
+
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+
+def svg_chart(title, x_name, series, width=720, height=440):
+    """series: list of (name, [(x, y), ...])."""
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 40, 48
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs = [p[0] for _, pts in series for p in pts]
+    ys = [p[1] for _, pts in series for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    # A little headroom.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def sx(x):
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y):
+        return margin_t + (1 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="15">{title}</text>',
+    ]
+    # Axes + gridlines with 5 ticks each.
+    for k in range(6):
+        gx = x_lo + k * (x_hi - x_lo) / 5
+        gy = y_lo + k * (y_hi - y_lo) / 5
+        parts.append(
+            f'<line x1="{sx(gx):.1f}" y1="{margin_t}" x2="{sx(gx):.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#ddd"/>')
+        parts.append(
+            f'<line x1="{margin_l}" y1="{sy(gy):.1f}" '
+            f'x2="{margin_l + plot_w}" y2="{sy(gy):.1f}" stroke="#ddd"/>')
+        parts.append(
+            f'<text x="{sx(gx):.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{gx:g}</text>')
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{sy(gy) + 4:.1f}" '
+            f'text-anchor="end">{gy:.3g}</text>')
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>')
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2}" y="{height - 10}" '
+        f'text-anchor="middle">{x_name}</text>')
+
+    for idx, (name, pts) in enumerate(series):
+        color = PALETTE[idx % len(PALETTE)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {sx(x):.1f} {sy(y):.1f}"
+            for i, (x, y) in enumerate(sorted(pts)))
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>')
+        ly = margin_t + 14 + 16 * idx
+        parts.append(
+            f'<line x1="{margin_l + 8}" y1="{ly - 4}" x2="{margin_l + 28}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{margin_l + 34}" y="{ly}">{name}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", help="CSV written by a bench (DDNN_RESULTS_DIR)")
+    ap.add_argument("--x", help="x-axis column (default: first numeric)")
+    ap.add_argument("--y", action="append",
+                    help="series column (repeatable; default: all numeric)")
+    ap.add_argument("--out", help="output SVG (default: <csv>.svg)")
+    ap.add_argument("--title", help="chart title (default: CSV name)")
+    args = ap.parse_args()
+
+    header, rows = read_csv(args.csv)
+    numeric = numeric_columns(header, rows)
+    if not numeric:
+        sys.exit(f"{args.csv}: no fully numeric columns to plot")
+    by_name = {name: i for i, name in numeric}
+
+    if args.x:
+        if args.x not in by_name:
+            sys.exit(f"column '{args.x}' is not numeric; choices: "
+                     f"{sorted(by_name)}")
+        x_idx, x_name = by_name[args.x], args.x
+    else:
+        x_idx, x_name = numeric[0]
+
+    wanted = args.y or [n for i, n in numeric if i != x_idx]
+    series = []
+    for name in wanted:
+        if name not in by_name:
+            sys.exit(f"column '{name}' is not numeric; choices: "
+                     f"{sorted(by_name)}")
+        i = by_name[name]
+        series.append(
+            (name, [(float(r[x_idx]), float(r[i])) for r in rows]))
+    if not series:
+        sys.exit("nothing to plot")
+
+    out = args.out or args.csv.rsplit(".", 1)[0] + ".svg"
+    title = args.title or args.csv.split("/")[-1]
+    with open(out, "w") as f:
+        f.write(svg_chart(title, x_name, series))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

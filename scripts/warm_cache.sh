@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Warm the trained-model cache by running every experiment bench once with
+# the default settings (DDNN_EPOCHS=40, DDNN_SEED=42). Later runs of the
+# bench suite then load models from .ddnn_cache and only re-evaluate.
+set -u
+cd "$(dirname "$0")/.."
+export DDNN_LOG_LEVEL=warn
+for b in bench_table2_threshold bench_table1_aggregation bench_fig8_scaling \
+         bench_fig9_offloading bench_fig2_configs bench_ablation_precision \
+         bench_ablation_exit_weights bench_ablation_aggregator \
+         bench_fig7_threshold_sweep bench_fig10_fault_tolerance \
+         bench_comm_reduction bench_ablation_entropy bench_latency_study \
+         bench_fig6_distribution; do
+  start=$(date +%s)
+  if ./build/bench/"$b" > /tmp/warm_"$b".out 2>/tmp/warm_"$b".err; then
+    echo "OK   $b ($(( $(date +%s) - start ))s)"
+  else
+    echo "FAIL $b ($(( $(date +%s) - start ))s)"
+    tail -3 /tmp/warm_"$b".err
+  fi
+done
+echo "WARM_CACHE_DONE"

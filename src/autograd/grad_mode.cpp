@@ -1,0 +1,17 @@
+#include "autograd/grad_mode.hpp"
+
+namespace ddnn::autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+}  // namespace ddnn::autograd

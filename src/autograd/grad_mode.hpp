@@ -1,0 +1,25 @@
+// Global autograd on/off switch.
+//
+// Inference paths (threshold search, distributed runtime, accuracy
+// measurement) run under NoGradGuard so that no tape is recorded and
+// activation buffers are freed as soon as the forward pass moves on.
+#pragma once
+
+namespace ddnn::autograd {
+
+/// True when operations should record the backward tape.
+bool grad_enabled();
+
+/// RAII guard disabling tape recording within a scope. Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace ddnn::autograd

@@ -1,0 +1,666 @@
+#include "autograd/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "autograd/grad_mode.hpp"
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::autograd {
+
+namespace {
+
+/// Accumulate `g` into parent `i` of node `n` if that parent wants grads.
+void accumulate_to(Node& n, std::size_t i, const Tensor& g) {
+  Variable& p = n.parents[i];
+  if (p.requires_grad()) p.accumulate_grad(g);
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  Tensor out = ops::add(a.value(), b.value());
+  return Variable::op_result(std::move(out), "add", {a, b}, [](Node& n) {
+    accumulate_to(n, 0, n.grad);
+    accumulate_to(n, 1, n.grad);
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  Tensor out = ops::sub(a.value(), b.value());
+  return Variable::op_result(std::move(out), "sub", {a, b}, [](Node& n) {
+    accumulate_to(n, 0, n.grad);
+    if (n.parents[1].requires_grad()) {
+      n.parents[1].accumulate_grad(ops::neg(n.grad));
+    }
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  Tensor out = ops::mul(a.value(), b.value());
+  return Variable::op_result(std::move(out), "mul", {a, b}, [](Node& n) {
+    if (n.parents[0].requires_grad()) {
+      n.parents[0].accumulate_grad(ops::mul(n.grad, n.parents[1].value()));
+    }
+    if (n.parents[1].requires_grad()) {
+      n.parents[1].accumulate_grad(ops::mul(n.grad, n.parents[0].value()));
+    }
+  });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  Tensor out = ops::mul_scalar(a.value(), s);
+  return Variable::op_result(std::move(out), "mul_scalar", {a}, [s](Node& n) {
+    if (n.parents[0].requires_grad()) {
+      n.parents[0].accumulate_grad(ops::mul_scalar(n.grad, s));
+    }
+  });
+}
+
+Variable linear(const Variable& x, const Variable& w, const Variable& b) {
+  DDNN_CHECK(x.value().ndim() == 2 && w.value().ndim() == 2,
+             "linear expects 2-D x and w");
+  DDNN_CHECK(x.dim(1) == w.dim(1), "linear: in features " << x.dim(1)
+                                                          << " vs " << w.dim(1));
+  Tensor out = ops::matmul_nt(x.value(), w.value());
+  std::vector<Variable> parents{x, w};
+  if (b.defined()) {
+    DDNN_CHECK(b.value().ndim() == 1 && b.dim(0) == w.dim(0),
+               "linear: bias shape mismatch");
+    out = ops::add_row_vector(out, b.value());
+    parents.push_back(b);
+  }
+  return Variable::op_result(std::move(out), "linear", std::move(parents),
+                             [](Node& n) {
+    const Tensor& g = n.grad;
+    if (n.parents[0].requires_grad()) {
+      n.parents[0].accumulate_grad(ops::matmul(g, n.parents[1].value()));
+    }
+    if (n.parents[1].requires_grad()) {
+      n.parents[1].accumulate_grad(ops::matmul_tn(g, n.parents[0].value()));
+    }
+    if (n.parents.size() == 3 && n.parents[2].requires_grad()) {
+      n.parents[2].accumulate_grad(ops::sum_rows(g));
+    }
+  });
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor out = ops::matmul(a.value(), b.value());
+  return Variable::op_result(std::move(out), "matmul", {a, b}, [](Node& n) {
+    const Tensor& g = n.grad;
+    if (n.parents[0].requires_grad()) {
+      n.parents[0].accumulate_grad(ops::matmul_nt(g, n.parents[1].value()));
+    }
+    if (n.parents[1].requires_grad()) {
+      n.parents[1].accumulate_grad(ops::matmul_tn(n.parents[0].value(), g));
+    }
+  });
+}
+
+namespace {
+
+/// Reorder [N*OH*OW, F] -> [N, F, OH, OW].
+Tensor rows_to_nchw(const Tensor& mat, std::int64_t n, std::int64_t f,
+                    std::int64_t oh, std::int64_t ow) {
+  Tensor out(Shape{n, f, oh, ow});
+  const float* pm = mat.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float* row = pm + ((b * oh + y) * ow + x) * f;
+        for (std::int64_t c = 0; c < f; ++c) {
+          po[((b * f + c) * oh + y) * ow + x] = row[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Reorder [N, F, OH, OW] -> [N*OH*OW, F].
+Tensor nchw_to_rows(const Tensor& t) {
+  const std::int64_t n = t.dim(0), f = t.dim(1), oh = t.dim(2), ow = t.dim(3);
+  Tensor out(Shape{n * oh * ow, f});
+  const float* pt = t.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < f; ++c) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          po[((b * oh + y) * ow + x) * f + c] =
+              pt[((b * f + c) * oh + y) * ow + x];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                std::int64_t stride, std::int64_t pad) {
+  DDNN_CHECK(x.value().ndim() == 4 && w.value().ndim() == 4,
+             "conv2d expects 4-D x and w");
+  DDNN_CHECK(x.dim(1) == w.dim(1), "conv2d: channels " << x.dim(1) << " vs "
+                                                       << w.dim(1));
+  Conv2dGeometry g{.in_channels = x.dim(1),
+                   .in_h = x.dim(2),
+                   .in_w = x.dim(3),
+                   .kernel_h = w.dim(2),
+                   .kernel_w = w.dim(3),
+                   .stride = stride,
+                   .pad = pad};
+  const std::int64_t n = x.dim(0), f = w.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+
+  auto cols = std::make_shared<Tensor>(im2col(x.value(), g));
+  const Tensor wmat = w.value().reshape(Shape{f, g.patch_size()});
+  Tensor outmat = ops::matmul_nt(*cols, wmat);  // [N*OH*OW, F]
+  if (b.defined()) {
+    DDNN_CHECK(b.value().ndim() == 1 && b.dim(0) == f,
+               "conv2d: bias shape mismatch");
+    outmat = ops::add_row_vector(outmat, b.value());
+  }
+  Tensor out = rows_to_nchw(outmat, n, f, oh, ow);
+
+  std::vector<Variable> parents{x, w};
+  if (b.defined()) parents.push_back(b);
+  return Variable::op_result(
+      std::move(out), "conv2d", std::move(parents),
+      [g, n, f, cols](Node& node) {
+        const Tensor gmat = nchw_to_rows(node.grad);  // [N*OH*OW, F]
+        const Tensor wmat =
+            node.parents[1].value().reshape(Shape{f, g.patch_size()});
+        if (node.parents[0].requires_grad()) {
+          const Tensor gcols = ops::matmul(gmat, wmat);
+          node.parents[0].accumulate_grad(col2im(gcols, g, n));
+        }
+        if (node.parents[1].requires_grad()) {
+          const Tensor gw = ops::matmul_tn(gmat, *cols);  // [F, CK]
+          node.parents[1].accumulate_grad(
+              gw.reshape(node.parents[1].value().shape()));
+        }
+        if (node.parents.size() == 3 && node.parents[2].requires_grad()) {
+          node.parents[2].accumulate_grad(ops::sum_rows(gmat));
+        }
+      });
+}
+
+Variable max_pool2d(const Variable& x, std::int64_t kernel, std::int64_t stride,
+                    std::int64_t pad) {
+  DDNN_CHECK(x.value().ndim() == 4, "max_pool2d expects [N, C, H, W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+  DDNN_CHECK(oh > 0 && ow > 0, "max_pool2d: empty output");
+
+  Tensor out(Shape{n, c, oh, ow});
+  // Flat index (within [N, C, H, W]) of each window's winner, for backward.
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(n * c * oh * ow));
+  const float* px = x.value().data();
+  float* po = out.data();
+  std::int64_t oidx = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * h * w;
+      const std::int64_t plane_off = (b * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          }
+          DDNN_ASSERT(best_idx >= 0);  // window always overlaps the image
+          po[oidx] = best;
+          (*argmax)[static_cast<std::size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return Variable::op_result(std::move(out), "max_pool2d", {x},
+                             [argmax](Node& node) {
+    if (!node.parents[0].requires_grad()) return;
+    Tensor& gx = node.parents[0].grad();
+    const float* g = node.grad.data();
+    for (std::size_t i = 0; i < argmax->size(); ++i) {
+      gx[(*argmax)[i]] += g[static_cast<std::int64_t>(i)];
+    }
+  });
+}
+
+namespace {
+
+/// View [N, F] as N rows of F features with spatial size 1, and
+/// [N, C, H, W] as per-channel statistics over N*H*W.
+struct BnLayout {
+  std::int64_t batch;
+  std::int64_t channels;
+  std::int64_t spatial;
+};
+
+BnLayout bn_layout(const Tensor& x) {
+  if (x.ndim() == 2) return {x.dim(0), x.dim(1), 1};
+  DDNN_CHECK(x.ndim() == 4, "batch_norm expects [N, F] or [N, C, H, W]");
+  return {x.dim(0), x.dim(1), x.dim(2) * x.dim(3)};
+}
+
+inline float& bn_at(Tensor& t, const BnLayout& l, std::int64_t b,
+                    std::int64_t c, std::int64_t s) {
+  return t[(b * l.channels + c) * l.spatial + s];
+}
+
+inline float bn_at(const Tensor& t, const BnLayout& l, std::int64_t b,
+                   std::int64_t c, std::int64_t s) {
+  return t[(b * l.channels + c) * l.spatial + s];
+}
+
+}  // namespace
+
+Variable batch_norm(const Variable& x, const Variable& gamma,
+                    const Variable& beta, Tensor running_mean,
+                    Tensor running_var, bool training, float momentum,
+                    float eps) {
+  const BnLayout l = bn_layout(x.value());
+  DDNN_CHECK(gamma.value().ndim() == 1 && gamma.dim(0) == l.channels,
+             "batch_norm: gamma shape mismatch");
+  DDNN_CHECK(beta.value().ndim() == 1 && beta.dim(0) == l.channels,
+             "batch_norm: beta shape mismatch");
+  DDNN_CHECK(running_mean.numel() == l.channels &&
+                 running_var.numel() == l.channels,
+             "batch_norm: running stats shape mismatch");
+
+  const std::int64_t count = l.batch * l.spatial;
+  DDNN_CHECK(count > 0, "batch_norm on empty batch");
+
+  Tensor mean(Shape{l.channels});
+  Tensor var(Shape{l.channels});
+  if (training) {
+    DDNN_CHECK(count > 1 || !grad_enabled(),
+               "batch_norm training with a single element per channel");
+    for (std::int64_t c = 0; c < l.channels; ++c) {
+      double m = 0.0;
+      for (std::int64_t b = 0; b < l.batch; ++b) {
+        for (std::int64_t s = 0; s < l.spatial; ++s) {
+          m += bn_at(x.value(), l, b, c, s);
+        }
+      }
+      m /= static_cast<double>(count);
+      double v = 0.0;
+      for (std::int64_t b = 0; b < l.batch; ++b) {
+        for (std::int64_t s = 0; s < l.spatial; ++s) {
+          const double d = bn_at(x.value(), l, b, c, s) - m;
+          v += d * d;
+        }
+      }
+      v /= static_cast<double>(count);  // biased variance, like torch BN
+      mean[c] = static_cast<float>(m);
+      var[c] = static_cast<float>(v);
+      running_mean[c] = (1.0f - momentum) * running_mean[c] +
+                        momentum * static_cast<float>(m);
+      running_var[c] =
+          (1.0f - momentum) * running_var[c] + momentum * static_cast<float>(v);
+    }
+  } else {
+    mean = running_mean.clone();
+    var = running_var.clone();
+  }
+
+  // Cache x_hat: it appears in both the output and the backward pass.
+  auto x_hat = std::make_shared<Tensor>(Shape(x.value().shape()));
+  Tensor inv_std(Shape{l.channels});
+  for (std::int64_t c = 0; c < l.channels; ++c) {
+    inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
+  }
+  Tensor out(x.value().shape());
+  for (std::int64_t b = 0; b < l.batch; ++b) {
+    for (std::int64_t c = 0; c < l.channels; ++c) {
+      const float m = mean[c], is = inv_std[c];
+      const float ga = gamma.value()[c], be = beta.value()[c];
+      for (std::int64_t s = 0; s < l.spatial; ++s) {
+        const float xh = (bn_at(x.value(), l, b, c, s) - m) * is;
+        bn_at(*x_hat, l, b, c, s) = xh;
+        bn_at(out, l, b, c, s) = ga * xh + be;
+      }
+    }
+  }
+
+  return Variable::op_result(
+      std::move(out), "batch_norm", {x, gamma, beta},
+      [l, x_hat, inv_std, training, count](Node& node) {
+        const Tensor& g = node.grad;
+        // Per-channel reductions shared by all three gradients.
+        Tensor sum_g(Shape{l.channels});
+        Tensor sum_gx(Shape{l.channels});
+        for (std::int64_t b = 0; b < l.batch; ++b) {
+          for (std::int64_t c = 0; c < l.channels; ++c) {
+            for (std::int64_t s = 0; s < l.spatial; ++s) {
+              const float gv = bn_at(g, l, b, c, s);
+              sum_g[c] += gv;
+              sum_gx[c] += gv * bn_at(*x_hat, l, b, c, s);
+            }
+          }
+        }
+        if (node.parents[1].requires_grad()) {
+          node.parents[1].accumulate_grad(sum_gx);
+        }
+        if (node.parents[2].requires_grad()) {
+          node.parents[2].accumulate_grad(sum_g);
+        }
+        if (node.parents[0].requires_grad()) {
+          Tensor gx(node.parents[0].value().shape());
+          const Tensor& gamma_v = node.parents[1].value();
+          const float inv_count = 1.0f / static_cast<float>(count);
+          for (std::int64_t b = 0; b < l.batch; ++b) {
+            for (std::int64_t c = 0; c < l.channels; ++c) {
+              const float k = gamma_v[c] * inv_std[c];
+              for (std::int64_t s = 0; s < l.spatial; ++s) {
+                const float gv = bn_at(g, l, b, c, s);
+                if (training) {
+                  const float xh = bn_at(*x_hat, l, b, c, s);
+                  bn_at(gx, l, b, c, s) =
+                      k * (gv - inv_count * sum_g[c] -
+                           xh * inv_count * sum_gx[c]);
+                } else {
+                  bn_at(gx, l, b, c, s) = k * gv;
+                }
+              }
+            }
+          }
+          node.parents[0].accumulate_grad(gx);
+        }
+      });
+}
+
+Variable binarize(const Variable& x) {
+  Tensor out = ops::sign(x.value());
+  return Variable::op_result(std::move(out), "binarize", {x}, [](Node& node) {
+    if (!node.parents[0].requires_grad()) return;
+    const Tensor& xv = node.parents[0].value();
+    Tensor gx(xv.shape());
+    for (std::int64_t i = 0; i < xv.numel(); ++i) {
+      gx[i] = std::fabs(xv[i]) <= 1.0f ? node.grad[i] : 0.0f;
+    }
+    node.parents[0].accumulate_grad(gx);
+  });
+}
+
+Variable relu(const Variable& x) {
+  Tensor out = ops::clamp(x.value(), 0.0f,
+                          std::numeric_limits<float>::infinity());
+  return Variable::op_result(std::move(out), "relu", {x}, [](Node& node) {
+    if (!node.parents[0].requires_grad()) return;
+    const Tensor& xv = node.parents[0].value();
+    Tensor gx(xv.shape());
+    for (std::int64_t i = 0; i < xv.numel(); ++i) {
+      gx[i] = xv[i] > 0.0f ? node.grad[i] : 0.0f;
+    }
+    node.parents[0].accumulate_grad(gx);
+  });
+}
+
+Variable reshape(const Variable& x, Shape shape) {
+  Tensor out = x.value().reshape(std::move(shape));
+  return Variable::op_result(std::move(out), "reshape", {x}, [](Node& node) {
+    if (!node.parents[0].requires_grad()) return;
+    node.parents[0].accumulate_grad(
+        node.grad.reshape(node.parents[0].value().shape()));
+  });
+}
+
+Variable flatten2d(const Variable& x) {
+  DDNN_CHECK(x.value().ndim() >= 2, "flatten2d needs at least 2 dims");
+  const std::int64_t n = x.dim(0);
+  return reshape(x, Shape{n, x.numel() / n});
+}
+
+namespace {
+
+struct ConcatLayout {
+  std::int64_t outer;
+  std::int64_t inner;
+  std::vector<std::int64_t> extents;  // per-input extent along the axis
+};
+
+ConcatLayout concat_layout(const std::vector<Variable>& xs, std::int64_t axis) {
+  DDNN_CHECK(!xs.empty(), "concat of zero tensors");
+  const Shape& s0 = xs[0].shape();
+  DDNN_CHECK(axis >= 0 && axis < static_cast<std::int64_t>(s0.ndim()),
+             "concat: bad axis " << axis);
+  ConcatLayout l{1, 1, {}};
+  for (std::int64_t d = 0; d < axis; ++d) l.outer *= s0[static_cast<std::size_t>(d)];
+  for (std::size_t d = static_cast<std::size_t>(axis) + 1; d < s0.ndim(); ++d) {
+    l.inner *= s0[d];
+  }
+  for (const auto& x : xs) {
+    const Shape& s = x.shape();
+    DDNN_CHECK(s.ndim() == s0.ndim(), "concat: rank mismatch");
+    for (std::size_t d = 0; d < s.ndim(); ++d) {
+      if (static_cast<std::int64_t>(d) == axis) continue;
+      DDNN_CHECK(s[d] == s0[d], "concat: dim " << d << " mismatch");
+    }
+    l.extents.push_back(s[static_cast<std::size_t>(axis)]);
+  }
+  return l;
+}
+
+}  // namespace
+
+Variable concat(const std::vector<Variable>& xs, std::int64_t axis) {
+  const ConcatLayout l = concat_layout(xs, axis);
+  std::int64_t total = 0;
+  for (auto e : l.extents) total += e;
+  std::vector<std::int64_t> out_dims = xs[0].shape().dims();
+  out_dims[static_cast<std::size_t>(axis)] = total;
+  Tensor out{Shape(out_dims)};
+
+  float* po = out.data();
+  std::int64_t offset = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const float* px = xs[i].value().data();
+    const std::int64_t ext = l.extents[i];
+    for (std::int64_t o = 0; o < l.outer; ++o) {
+      std::copy_n(px + o * ext * l.inner, ext * l.inner,
+                  po + (o * total + offset) * l.inner);
+    }
+    offset += ext;
+  }
+
+  return Variable::op_result(
+      std::move(out), "concat", xs, [l, total](Node& node) {
+        const float* g = node.grad.data();
+        std::int64_t offset = 0;
+        for (std::size_t i = 0; i < node.parents.size(); ++i) {
+          const std::int64_t ext = l.extents[i];
+          if (node.parents[i].requires_grad()) {
+            Tensor gi(node.parents[i].value().shape());
+            float* pg = gi.data();
+            for (std::int64_t o = 0; o < l.outer; ++o) {
+              std::copy_n(g + (o * total + offset) * l.inner, ext * l.inner,
+                          pg + o * ext * l.inner);
+            }
+            node.parents[i].accumulate_grad(gi);
+          }
+          offset += ext;
+        }
+      });
+}
+
+namespace {
+
+void check_same_shapes(const std::vector<Variable>& xs, const char* op) {
+  DDNN_CHECK(!xs.empty(), op << " of zero tensors");
+  for (const auto& x : xs) {
+    DDNN_CHECK(x.shape() == xs[0].shape(), op << ": shape mismatch");
+  }
+}
+
+}  // namespace
+
+Variable stack_max(const std::vector<Variable>& xs) {
+  check_same_shapes(xs, "stack_max");
+  const std::int64_t n = xs[0].numel();
+  Tensor out = xs[0].value().clone();
+  auto winner = std::make_shared<std::vector<std::uint16_t>>(
+      static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const float* px = xs[i].value().data();
+    float* po = out.data();
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (px[j] > po[j]) {
+        po[j] = px[j];
+        (*winner)[static_cast<std::size_t>(j)] =
+            static_cast<std::uint16_t>(i);
+      }
+    }
+  }
+  return Variable::op_result(std::move(out), "stack_max", xs,
+                             [winner, n](Node& node) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      Variable& p = node.parents[(*winner)[static_cast<std::size_t>(j)]];
+      if (p.requires_grad()) p.grad()[j] += node.grad[j];
+    }
+  });
+}
+
+Variable stack_mean(const std::vector<Variable>& xs) {
+  check_same_shapes(xs, "stack_mean");
+  const float inv = 1.0f / static_cast<float>(xs.size());
+  Tensor out(xs[0].shape());
+  for (const auto& x : xs) ops::axpy_into(out, inv, x.value());
+  return Variable::op_result(std::move(out), "stack_mean", xs,
+                             [inv](Node& node) {
+    for (auto& p : node.parents) {
+      if (p.requires_grad()) ops::axpy_into(p.grad(), inv, node.grad);
+    }
+  });
+}
+
+Variable stack_gated_sum(const std::vector<Variable>& xs,
+                         const Variable& gates,
+                         const std::vector<bool>& active) {
+  check_same_shapes(xs, "stack_gated_sum");
+  DDNN_CHECK(gates.value().ndim() == 1 &&
+                 gates.numel() == static_cast<std::int64_t>(xs.size()),
+             "stack_gated_sum: need one gate per branch");
+  DDNN_CHECK(active.size() == xs.size(), "stack_gated_sum: mask size");
+
+  // Softmax over the ACTIVE gates only (numerically stabilized).
+  const auto n = xs.size();
+  std::vector<float> weights(n, 0.0f);
+  float max_gate = -std::numeric_limits<float>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) {
+      max_gate = std::max(max_gate, gates.value()[static_cast<std::int64_t>(i)]);
+      any = true;
+    }
+  }
+  DDNN_CHECK(any, "stack_gated_sum with every branch inactive");
+  double denom = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    weights[i] = std::exp(gates.value()[static_cast<std::int64_t>(i)] -
+                          max_gate);
+    denom += weights[i];
+  }
+  for (auto& w : weights) w = static_cast<float>(w / denom);
+
+  Tensor out(xs[0].shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) ops::axpy_into(out, weights[i], xs[i].value());
+  }
+
+  std::vector<Variable> parents = xs;
+  parents.push_back(gates);
+  auto active_copy = std::make_shared<std::vector<bool>>(active);
+  auto weights_copy = std::make_shared<std::vector<float>>(weights);
+  return Variable::op_result(
+      std::move(out), "stack_gated_sum", std::move(parents),
+      [active_copy, weights_copy, n](Node& node) {
+        const Tensor& gout = node.grad;
+        const auto& act = *active_copy;
+        const auto& w = *weights_copy;
+        // Branch gradients: dL/dx_i = w_i * gout.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (act[i] && node.parents[i].requires_grad()) {
+            ops::axpy_into(node.parents[i].grad(), w[i], gout);
+          }
+        }
+        // Gate gradients through the masked softmax:
+        //   s_i = <gout, x_i>;  dL/dg_i = w_i * (s_i - sum_j w_j s_j).
+        Variable& gates_var = node.parents[n];
+        if (!gates_var.requires_grad()) return;
+        std::vector<float> s(n, 0.0f);
+        double weighted_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!act[i]) continue;
+          const Tensor& xi = node.parents[i].value();
+          double dot = 0.0;
+          for (std::int64_t j = 0; j < xi.numel(); ++j) {
+            dot += static_cast<double>(gout[j]) * xi[j];
+          }
+          s[i] = static_cast<float>(dot);
+          weighted_sum += w[i] * dot;
+        }
+        Tensor ggate(Shape{static_cast<std::int64_t>(n)});
+        for (std::size_t i = 0; i < n; ++i) {
+          if (act[i]) {
+            ggate[static_cast<std::int64_t>(i)] =
+                w[i] * (s[i] - static_cast<float>(weighted_sum));
+          }
+        }
+        gates_var.accumulate_grad(ggate);
+      });
+}
+
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<std::int64_t>& labels) {
+  DDNN_CHECK(logits.value().ndim() == 2, "softmax_cross_entropy: 2-D logits");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  DDNN_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "softmax_cross_entropy: " << labels.size() << " labels for " << n
+                                       << " rows");
+  auto probs = std::make_shared<Tensor>(ops::softmax_rows(logits.value()));
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    DDNN_CHECK(y >= 0 && y < c, "label " << y << " out of range [0, " << c
+                                         << ")");
+    loss -= std::log(std::max(probs->at(i, y), 1e-12f));
+  }
+  loss /= static_cast<double>(n);
+
+  auto labels_copy = std::make_shared<std::vector<std::int64_t>>(labels);
+  return Variable::op_result(
+      Tensor::scalar(static_cast<float>(loss)), "softmax_cross_entropy",
+      {logits}, [probs, labels_copy, n, c](Node& node) {
+        if (!node.parents[0].requires_grad()) return;
+        const float gscale = node.grad[0] / static_cast<float>(n);
+        Tensor gx = probs->clone();
+        for (std::int64_t i = 0; i < n; ++i) {
+          gx.at(i, (*labels_copy)[static_cast<std::size_t>(i)]) -= 1.0f;
+        }
+        node.parents[0].accumulate_grad(ops::mul_scalar(gx, gscale));
+      });
+}
+
+}  // namespace ddnn::autograd

@@ -1,0 +1,102 @@
+// Differentiable operations on Variables.
+//
+// Every function computes the forward value eagerly and, when grad mode is
+// on and some input requires grad, records a backward closure on the tape.
+// The op set is exactly what the DDNN models need: dense/conv linear algebra,
+// pooling, batch norm, binarization with a straight-through estimator, the
+// aggregation primitives (concat / elementwise max / elementwise mean across
+// device branches) and the softmax cross-entropy loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ddnn::autograd {
+
+// --------------------------------------------------------------- arithmetic
+
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable mul_scalar(const Variable& a, float s);
+
+// ------------------------------------------------------------ linear algebra
+
+/// y = x * w^T + b with x: [N, in], w: [out, in], b: [out] (pass an undefined
+/// Variable to skip the bias).
+Variable linear(const Variable& x, const Variable& w, const Variable& b);
+
+/// Plain matrix product (mostly for tests): [m,k] x [k,n].
+Variable matmul(const Variable& a, const Variable& b);
+
+// -------------------------------------------------------------- convolution
+
+/// 2-D convolution. x: [N, C, H, W], w: [F, C, KH, KW], b: [F] or undefined.
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                std::int64_t stride, std::int64_t pad);
+
+/// Max pooling over spatial windows (per channel). Ties break to the first
+/// (row-major) element, and its gradient routes only to the winner.
+Variable max_pool2d(const Variable& x, std::int64_t kernel, std::int64_t stride,
+                    std::int64_t pad);
+
+// ---------------------------------------------------------------- batch norm
+
+/// Batch normalization for [N, F] (per feature) or [N, C, H, W] (per
+/// channel). `running_mean` / `running_var` share storage with the layer and
+/// are updated in training mode; eval mode normalizes with them instead of
+/// batch statistics.
+Variable batch_norm(const Variable& x, const Variable& gamma,
+                    const Variable& beta, Tensor running_mean,
+                    Tensor running_var, bool training, float momentum,
+                    float eps);
+
+// ------------------------------------------------------------- nonlinearity
+
+/// sign(x) in {-1, +1} with the straight-through estimator: the gradient
+/// passes where |x| <= 1 and is zero elsewhere (hard-tanh gate).
+Variable binarize(const Variable& x);
+
+Variable relu(const Variable& x);
+
+// ------------------------------------------------------------ shape plumbing
+
+Variable reshape(const Variable& x, Shape shape);
+
+/// [N, ...] -> [N, prod(...)]
+Variable flatten2d(const Variable& x);
+
+// ----------------------------------------------------- aggregation primitives
+
+/// Concatenate along `axis` (all other dims must match).
+Variable concat(const std::vector<Variable>& xs, std::int64_t axis);
+
+/// Elementwise maximum across same-shaped inputs (paper's MP aggregation).
+Variable stack_max(const std::vector<Variable>& xs);
+
+/// Elementwise mean across same-shaped inputs (paper's AP aggregation).
+Variable stack_mean(const std::vector<Variable>& xs);
+
+/// Learned soft gating across same-shaped inputs (the "other aggregation
+/// schemes" extension of the paper's future work):
+///
+///   out = sum_i w_i * x_i,   w = softmax(gates restricted to active)
+///
+/// `gates` is a [n] parameter vector (one scalar per branch). Inactive
+/// branches are excluded from the softmax, so the surviving weights always
+/// sum to 1 — the gated counterpart of masked average pooling.
+Variable stack_gated_sum(const std::vector<Variable>& xs,
+                         const Variable& gates,
+                         const std::vector<bool>& active);
+
+// --------------------------------------------------------------------- loss
+
+/// Mean softmax cross-entropy over the batch. logits: [N, C]; labels in
+/// [0, C). Returns a scalar.
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<std::int64_t>& labels);
+
+}  // namespace ddnn::autograd

@@ -1,0 +1,120 @@
+#include "autograd/variable.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "autograd/grad_mode.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::autograd {
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  DDNN_CHECK(value.defined(), "Variable from undefined tensor");
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::parameter(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/true);
+}
+
+Variable Variable::op_result(Tensor value, std::string op,
+                             std::vector<Variable> parents,
+                             std::function<void(Node&)> backward_fn) {
+  Variable v(std::move(value), /*requires_grad=*/false);
+  Node& n = *v.node_;
+  n.op = std::move(op);
+  if (!grad_enabled()) return v;  // inference: no tape
+  bool any = false;
+  for (const auto& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return v;  // constant subgraph: no tape
+  n.requires_grad = true;
+  n.parents = std::move(parents);
+  n.backward_fn = std::move(backward_fn);
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  DDNN_CHECK(defined(), "value() of undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::value() {
+  DDNN_CHECK(defined(), "value() of undefined Variable");
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+Tensor& Variable::grad() {
+  DDNN_CHECK(defined(), "grad() of undefined Variable");
+  if (!node_->grad.defined()) node_->grad = Tensor::zeros(node_->value.shape());
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+void Variable::zero_grad() {
+  if (has_grad()) node_->grad.zero();
+}
+
+void Variable::accumulate_grad(const Tensor& g) {
+  DDNN_CHECK(g.shape() == value().shape(),
+             "gradient shape " << g.shape().to_string()
+                               << " does not match value shape "
+                               << value().shape().to_string());
+  ops::axpy_into(grad(), 1.0f, g);
+}
+
+void Variable::backward() {
+  DDNN_CHECK(defined(), "backward() of undefined Variable");
+  DDNN_CHECK(numel() == 1, "backward() requires a scalar root, got shape "
+                               << shape().to_string());
+  DDNN_CHECK(requires_grad(), "backward() on a node that requires no grad");
+
+  // Topological order by iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].node();
+      if (p != nullptr && p->requires_grad && !visited.contains(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  grad().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.defined()) n->backward_fn(*n);
+  }
+}
+
+Variable Variable::detach() const {
+  DDNN_CHECK(defined(), "detach() of undefined Variable");
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+}  // namespace ddnn::autograd

@@ -1,0 +1,82 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable is a cheap handle to a tape Node holding a value tensor, an
+// optional gradient buffer, the parent Variables it was computed from, and a
+// backward function that distributes the node's gradient to its parents.
+// Variable::backward() performs a topological traversal of the reachable
+// graph. Gradients ACCUMULATE across consumers, which is what makes the
+// multi-exit DDNN losses (device features feeding both the local exit and
+// the cloud branch) "just work".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ddnn::autograd {
+
+class Variable;
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // lazily allocated on first accumulation
+  bool requires_grad = false;
+  std::vector<Variable> parents;
+  /// Reads `grad` of this node and accumulates into the parents' grads.
+  std::function<void(Node&)> backward_fn;
+  std::string op = "leaf";
+};
+
+class Variable {
+ public:
+  /// Undefined handle.
+  Variable() = default;
+
+  /// Leaf variable wrapping `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Trainable leaf (requires_grad = true).
+  static Variable parameter(Tensor value);
+
+  /// Non-leaf node produced by an op (used by ops.cpp).
+  static Variable op_result(Tensor value, std::string op,
+                            std::vector<Variable> parents,
+                            std::function<void(Node&)> backward_fn);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& value();
+  const Shape& shape() const { return value().shape(); }
+  std::int64_t dim(std::int64_t i) const { return value().dim(i); }
+  std::int64_t numel() const { return value().numel(); }
+
+  bool requires_grad() const;
+
+  /// Gradient buffer; allocated zero-filled on first access.
+  Tensor& grad();
+  bool has_grad() const;
+  void zero_grad();
+
+  /// Accumulate `g` into this node's gradient.
+  void accumulate_grad(const Tensor& g);
+
+  /// Run reverse-mode differentiation from this node. The node must be a
+  /// scalar (numel == 1); its gradient is seeded with 1.
+  void backward();
+
+  /// Same value, but detached from the tape (leaf, requires_grad = false).
+  Variable detach() const;
+
+  Node* node() const { return node_.get(); }
+
+  /// Identity of the underlying node (for graph tests).
+  bool same_node(const Variable& other) const { return node_ == other.node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace ddnn::autograd

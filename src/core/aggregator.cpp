@@ -1,0 +1,155 @@
+#include "core/aggregator.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+using nn::Variable;
+
+std::string to_string(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMaxPool: return "MP";
+    case AggKind::kAvgPool: return "AP";
+    case AggKind::kConcat: return "CC";
+    case AggKind::kGatedAvg: return "GA";
+  }
+  return "?";
+}
+
+AggKind parse_agg_kind(const std::string& name) {
+  if (name == "MP") return AggKind::kMaxPool;
+  if (name == "AP") return AggKind::kAvgPool;
+  if (name == "CC") return AggKind::kConcat;
+  if (name == "GA") return AggKind::kGatedAvg;
+  DDNN_CHECK(false, "unknown aggregation scheme '" << name << "'");
+  return AggKind::kMaxPool;  // unreachable
+}
+
+namespace {
+
+/// Branches that survive the activity mask (for MP / AP).
+std::vector<Variable> active_branches(const std::vector<Variable>& branches,
+                                      const std::vector<bool>& active) {
+  DDNN_CHECK(branches.size() == active.size(),
+             "mask size " << active.size() << " vs " << branches.size()
+                          << " branches");
+  std::vector<Variable> out;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (active[i]) out.push_back(branches[i]);
+  }
+  DDNN_CHECK(!out.empty(), "aggregation with every branch inactive");
+  return out;
+}
+
+/// All branches, but inactive slots replaced by zeros (for CC, whose learned
+/// projection has one slot per branch).
+std::vector<Variable> zero_filled_branches(
+    const std::vector<Variable>& branches, const std::vector<bool>& active) {
+  DDNN_CHECK(branches.size() == active.size(),
+             "mask size " << active.size() << " vs " << branches.size()
+                          << " branches");
+  bool any = false;
+  std::vector<Variable> out;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (active[i]) {
+      out.push_back(branches[i]);
+      any = true;
+    } else {
+      out.push_back(Variable(Tensor::zeros(branches[i].shape())));
+    }
+  }
+  DDNN_CHECK(any, "aggregation with every branch inactive");
+  return out;
+}
+
+std::vector<bool> all_active(std::size_t n) {
+  return std::vector<bool>(n, true);
+}
+
+}  // namespace
+
+VectorAggregator::VectorAggregator(AggKind kind, int num_branches,
+                                   std::int64_t dims, Rng& rng)
+    : kind_(kind), num_branches_(num_branches), dims_(dims) {
+  DDNN_CHECK(num_branches_ >= 1, "aggregator needs at least one branch");
+  if (kind_ == AggKind::kConcat) {
+    projection_ =
+        std::make_unique<nn::Linear>(num_branches_ * dims_, dims_, rng);
+    add_child("projection", projection_.get());
+  } else if (kind_ == AggKind::kGatedAvg) {
+    gates_ = add_parameter("gates", Tensor::zeros(Shape{num_branches_}));
+  }
+}
+
+Variable VectorAggregator::forward(const std::vector<Variable>& branches,
+                                   const std::vector<bool>& active) {
+  DDNN_CHECK(static_cast<int>(branches.size()) == num_branches_,
+             "expected " << num_branches_ << " branches, got "
+                         << branches.size());
+  if (num_branches_ == 1) {
+    DDNN_CHECK(active[0], "single branch marked inactive");
+    return branches[0];
+  }
+  switch (kind_) {
+    case AggKind::kMaxPool:
+      return autograd::stack_max(active_branches(branches, active));
+    case AggKind::kAvgPool:
+      return autograd::stack_mean(active_branches(branches, active));
+    case AggKind::kConcat:
+      return projection_->forward(
+          autograd::concat(zero_filled_branches(branches, active), 1));
+    case AggKind::kGatedAvg:
+      return autograd::stack_gated_sum(branches, gates_, active);
+  }
+  DDNN_CHECK(false, "unreachable");
+  return {};
+}
+
+Variable VectorAggregator::forward(const std::vector<Variable>& branches) {
+  return forward(branches, all_active(branches.size()));
+}
+
+FeatureMapAggregator::FeatureMapAggregator(AggKind kind, int num_branches,
+                                           std::int64_t channels, Rng& rng)
+    : kind_(kind), num_branches_(num_branches), channels_(channels) {
+  DDNN_CHECK(num_branches_ >= 1, "aggregator needs at least one branch");
+  if (kind_ == AggKind::kConcat) {
+    projection_ = std::make_unique<nn::Conv2d>(
+        num_branches_ * channels_, channels_, /*kernel=*/1, /*stride=*/1,
+        /*pad=*/0, rng);
+    add_child("projection", projection_.get());
+  } else if (kind_ == AggKind::kGatedAvg) {
+    gates_ = add_parameter("gates", Tensor::zeros(Shape{num_branches_}));
+  }
+}
+
+Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches,
+                                       const std::vector<bool>& active) {
+  DDNN_CHECK(static_cast<int>(branches.size()) == num_branches_,
+             "expected " << num_branches_ << " branches, got "
+                         << branches.size());
+  if (num_branches_ == 1) {
+    DDNN_CHECK(active[0], "single branch marked inactive");
+    return branches[0];
+  }
+  switch (kind_) {
+    case AggKind::kMaxPool:
+      return autograd::stack_max(active_branches(branches, active));
+    case AggKind::kAvgPool:
+      return autograd::stack_mean(active_branches(branches, active));
+    case AggKind::kConcat:
+      return projection_->forward(
+          autograd::concat(zero_filled_branches(branches, active), 1));
+    case AggKind::kGatedAvg:
+      return autograd::stack_gated_sum(branches, gates_, active);
+  }
+  DDNN_CHECK(false, "unreachable");
+  return {};
+}
+
+Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches) {
+  return forward(branches, all_active(branches.size()));
+}
+
+}  // namespace ddnn::core

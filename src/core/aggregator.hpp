@@ -1,0 +1,80 @@
+// Aggregation schemes for fusing multi-device (and multi-edge) branches
+// (paper Section III-B).
+//
+//   MP  max pooling      — componentwise max over branches
+//   AP  average pooling  — componentwise mean over branches
+//   CC  concatenation    — concatenate, then a learned linear map back to
+//                          the input dimensionality ("additional linear
+//                          layer" in the paper; a 1x1 convolution for
+//                          feature maps)
+//
+// Two aggregator flavours exist because the two fusion points see different
+// data: the local aggregator fuses |C|-dim class-score vectors (so MP's
+// per-class max across devices is meaningful), while the cloud aggregator
+// fuses binary feature maps (where CC preserves the most information for
+// further NN processing). Both accept an activity mask so failed devices
+// (paper Section IV-G) degrade gracefully: MP/AP aggregate the surviving
+// branches; CC zero-fills the missing slots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace ddnn::core {
+
+/// MP / AP / CC are the paper's schemes; GA (gated average) is this
+/// repository's future-work extension: a learned softmax gate per branch,
+/// renormalized over the surviving branches under failures.
+enum class AggKind { kMaxPool, kAvgPool, kConcat, kGatedAvg };
+
+/// "MP" / "AP" / "CC" / "GA".
+std::string to_string(AggKind kind);
+
+/// Parse "MP" / "AP" / "CC" / "GA"; throws ddnn::Error otherwise.
+AggKind parse_agg_kind(const std::string& name);
+
+/// Fuses per-branch class-score vectors [B, C] into one [B, C].
+class VectorAggregator : public nn::Module {
+ public:
+  VectorAggregator(AggKind kind, int num_branches, std::int64_t dims, Rng& rng);
+
+  /// `active[i]` false drops branch i. At least one branch must be active.
+  nn::Variable forward(const std::vector<nn::Variable>& branches,
+                       const std::vector<bool>& active);
+
+  /// Convenience: all branches active.
+  nn::Variable forward(const std::vector<nn::Variable>& branches);
+
+  AggKind kind() const { return kind_; }
+
+ private:
+  AggKind kind_;
+  int num_branches_;
+  std::int64_t dims_;
+  std::unique_ptr<nn::Linear> projection_;  // CC only
+  nn::Variable gates_;                      // GA only
+};
+
+/// Fuses per-branch feature maps [B, F, H, W] into one [B, F, H, W].
+class FeatureMapAggregator : public nn::Module {
+ public:
+  FeatureMapAggregator(AggKind kind, int num_branches, std::int64_t channels,
+                       Rng& rng);
+
+  nn::Variable forward(const std::vector<nn::Variable>& branches,
+                       const std::vector<bool>& active);
+  nn::Variable forward(const std::vector<nn::Variable>& branches);
+
+  AggKind kind() const { return kind_; }
+
+ private:
+  AggKind kind_;
+  int num_branches_;
+  std::int64_t channels_;
+  std::unique_ptr<nn::Conv2d> projection_;  // CC only: 1x1 conv
+  nn::Variable gates_;                      // GA only
+};
+
+}  // namespace ddnn::core

@@ -1,0 +1,48 @@
+#include "core/cache.hpp"
+
+#include <cctype>
+#include <filesystem>
+
+#include "nn/serialize.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace ddnn::core {
+
+std::string cache_dir() {
+  const std::string dir = env_string("DDNN_CACHE_DIR", ".ddnn_cache");
+  return dir == "off" ? "" : dir;
+}
+
+std::string cache_path(const std::string& key) {
+  std::string safe;
+  safe.reserve(key.size());
+  for (const char ch : key) {
+    const auto c = static_cast<unsigned char>(ch);
+    safe += (std::isalnum(c) || ch == '.' || ch == '-' || ch == '_') ? ch : '_';
+  }
+  return cache_dir() + "/" + safe + ".ddnn";
+}
+
+bool train_or_load(nn::Module& model, const std::string& key,
+                   const std::function<void()>& train_fn) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) {
+    train_fn();
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  const std::string path = cache_path(key);
+  if (nn::is_state_file(path)) {
+    DDNN_INFO("loading cached model: " << path);
+    nn::load_state(model, path);
+    return true;
+  }
+  train_fn();
+  nn::save_state(model, path);
+  DDNN_INFO("cached trained model: " << path);
+  return false;
+}
+
+}  // namespace ddnn::core

@@ -1,0 +1,30 @@
+// Trained-model cache.
+//
+// Several bench binaries evaluate the same trained DDNN (the 6-device,
+// 4-filter MP-CC model backs Table II, Figures 7 and 10, and the
+// communication study). The cache keys a trained model's weights by its
+// architecture + training fingerprint so the first binary trains and the
+// rest load. Controlled by DDNN_CACHE_DIR (default ".ddnn_cache"; set to
+// "off" to disable).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace ddnn::core {
+
+/// Resolved cache directory ("" when caching is disabled).
+std::string cache_dir();
+
+/// Filesystem path for a cache key (key is sanitized for the filesystem).
+std::string cache_path(const std::string& key);
+
+/// If a cached state exists for `key`, load it into `model` and return true.
+/// Otherwise run `train_fn` (which should train `model`), save the state,
+/// and return false. With caching disabled, always trains and returns false.
+bool train_or_load(nn::Module& model, const std::string& key,
+                   const std::function<void()>& train_fn);
+
+}  // namespace ddnn::core

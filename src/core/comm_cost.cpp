@@ -1,0 +1,26 @@
+#include "core/comm_cost.hpp"
+
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+double ddnn_comm_bytes(double local_exit_fraction, const CommParams& params) {
+  DDNN_CHECK(local_exit_fraction >= 0.0 && local_exit_fraction <= 1.0,
+             "local exit fraction " << local_exit_fraction
+                                    << " outside [0, 1]");
+  DDNN_CHECK(params.num_classes >= 2 && params.filters >= 1 &&
+                 params.filter_output_bits >= 1,
+             "bad communication parameters");
+  const double always = 4.0 * static_cast<double>(params.num_classes);
+  const double offload =
+      static_cast<double>(params.filters * params.filter_output_bits) / 8.0;
+  return always + (1.0 - local_exit_fraction) * offload;
+}
+
+std::int64_t raw_offload_bytes(std::int64_t channels, std::int64_t height,
+                               std::int64_t width) {
+  DDNN_CHECK(channels > 0 && height > 0 && width > 0, "bad image dims");
+  return channels * height * width;  // one byte per pixel per channel
+}
+
+}  // namespace ddnn::core

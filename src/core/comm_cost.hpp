@@ -1,0 +1,34 @@
+// Analytic communication-cost model (paper Section III-E, Eq. 1).
+//
+//   c = 4 * |C| + (1 - l) * f * o / 8        [bytes per sample, per device]
+//
+// The first term is the float32 class-score vector every device always sends
+// to the local aggregator; the second is the bit-packed binary feature map
+// sent to the cloud for the (1 - l) fraction of samples that do not exit
+// locally. The simulated runtime (src/dist) measures the same quantity on
+// its links; tests assert the two agree.
+#pragma once
+
+#include <cstdint>
+
+namespace ddnn::core {
+
+struct CommParams {
+  /// |C|: number of classes (3 in the paper's evaluation).
+  std::int64_t num_classes = 3;
+  /// f: filters in the final device ConvP block.
+  std::int64_t filters = 4;
+  /// o: per-filter output size in BITS (16x16 = 256 for one ConvP on 32x32).
+  std::int64_t filter_output_bits = 256;
+};
+
+/// Eq. 1: average bytes per sample for one end device, given the fraction
+/// `local_exit_fraction` of samples exited locally.
+double ddnn_comm_bytes(double local_exit_fraction, const CommParams& params);
+
+/// Baseline: offloading the raw sensor input to the cloud (3 KB for a
+/// 32x32 RGB image in the paper, Section IV-H).
+std::int64_t raw_offload_bytes(std::int64_t channels, std::int64_t height,
+                               std::int64_t width);
+
+}  // namespace ddnn::core

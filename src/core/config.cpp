@@ -1,0 +1,131 @@
+#include "core/config.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+std::string to_string(HierarchyPreset preset) {
+  switch (preset) {
+    case HierarchyPreset::kCloudOnly: return "(a) cloud-only";
+    case HierarchyPreset::kDeviceCloud: return "(b) device-cloud";
+    case HierarchyPreset::kDevicesCloud: return "(c) devices-cloud";
+    case HierarchyPreset::kDeviceEdgeCloud: return "(d) device-edge-cloud";
+    case HierarchyPreset::kDevicesEdgeCloud: return "(e) devices-edge-cloud";
+    case HierarchyPreset::kDevicesEdgesCloud: return "(f) devices-edges-cloud";
+  }
+  return "?";
+}
+
+void DdnnConfig::validate() const {
+  DDNN_CHECK(num_classes >= 2, "need at least two classes");
+  DDNN_CHECK(num_devices >= 1, "need at least one device");
+  DDNN_CHECK(input_channels >= 1 && input_size >= 4, "bad input geometry");
+  DDNN_CHECK(device_conv_blocks >= 0 && device_conv_blocks <= 4,
+             "device_conv_blocks out of range");
+  if (device_conv_blocks == 0) {
+    DDNN_CHECK(!has_local_exit,
+               "a local exit needs at least one device ConvP block");
+  } else {
+    DDNN_CHECK(device_filters >= 1, "device_filters must be positive");
+    DDNN_CHECK(device_out_size() >= 1, "device trunk shrinks input to zero");
+  }
+  if (has_edge()) {
+    DDNN_CHECK(edge_conv_blocks >= 1 && edge_filters >= 1, "bad edge config");
+    DDNN_CHECK(edge_out_size() >= 1, "edge trunk shrinks features to zero");
+    std::set<int> seen;
+    for (const auto& group : edge_groups) {
+      DDNN_CHECK(!group.empty(), "empty edge group");
+      for (int d : group) {
+        DDNN_CHECK(d >= 0 && d < num_devices, "edge group device " << d
+                                                                   << " out of range");
+        DDNN_CHECK(seen.insert(d).second,
+                   "device " << d << " appears in two edge groups");
+      }
+    }
+    DDNN_CHECK(static_cast<int>(seen.size()) == num_devices,
+               "edge groups must cover every device");
+  }
+  std::int64_t spatial = has_edge() ? edge_out_size() : device_out_size();
+  for (int f : cloud_filters) {
+    DDNN_CHECK(f >= 1, "cloud filter count must be positive");
+    spatial /= 2;
+    DDNN_CHECK(spatial >= 1, "cloud trunk shrinks features to zero");
+  }
+  DDNN_CHECK(cloud_fc_nodes >= 0, "cloud_fc_nodes must be non-negative");
+}
+
+std::string DdnnConfig::cache_key() const {
+  std::ostringstream os;
+  os << "ddnn-v1_C" << num_classes << "_D" << num_devices << "_in"
+     << input_channels << "x" << input_size << "_devb" << device_conv_blocks
+     << "f" << device_filters << (has_local_exit ? "_lex" : "_nolex");
+  if (has_edge()) {
+    os << "_edge" << edge_conv_blocks << "f" << edge_filters << "g";
+    for (const auto& group : edge_groups) {
+      os << "[";
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        os << (i ? "," : "") << group[i];
+      }
+      os << "]";
+    }
+  }
+  os << "_cloud";
+  for (int f : cloud_filters) os << "-" << f;
+  os << "_fc" << cloud_fc_nodes << (float_cloud ? "_fp32" : "")
+     << (float_devices ? "_fp32dev" : "") << "_" << to_string(local_agg)
+     << "-" << to_string(edge_agg) << "-" << to_string(cloud_agg) << "_seed"
+     << init_seed;
+  return os.str();
+}
+
+DdnnConfig DdnnConfig::preset(HierarchyPreset preset, int num_devices,
+                              int device_filters) {
+  DdnnConfig cfg;
+  cfg.device_filters = device_filters;
+  switch (preset) {
+    case HierarchyPreset::kCloudOnly:
+      // Devices forward raw sensor input; the whole DNN runs in the cloud.
+      cfg.num_devices = num_devices;
+      cfg.device_conv_blocks = 0;
+      cfg.has_local_exit = false;
+      cfg.cloud_filters = {device_filters, 24, 48};
+      break;
+    case HierarchyPreset::kDeviceCloud:
+      cfg.num_devices = 1;
+      break;
+    case HierarchyPreset::kDevicesCloud:
+      cfg.num_devices = num_devices;
+      break;
+    case HierarchyPreset::kDeviceEdgeCloud:
+      cfg.num_devices = 1;
+      cfg.edge_groups = {{0}};
+      cfg.cloud_filters = {48};
+      break;
+    case HierarchyPreset::kDevicesEdgeCloud: {
+      cfg.num_devices = num_devices;
+      std::vector<int> all;
+      for (int d = 0; d < num_devices; ++d) all.push_back(d);
+      cfg.edge_groups = {all};
+      cfg.cloud_filters = {48};
+      break;
+    }
+    case HierarchyPreset::kDevicesEdgesCloud: {
+      DDNN_CHECK(num_devices >= 2, "config (f) needs at least two devices");
+      cfg.num_devices = num_devices;
+      std::vector<int> first, second;
+      for (int d = 0; d < num_devices; ++d) {
+        (d < (num_devices + 1) / 2 ? first : second).push_back(d);
+      }
+      cfg.edge_groups = {first, second};
+      cfg.cloud_filters = {48};
+      break;
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace ddnn::core

@@ -1,0 +1,116 @@
+// DDNN hierarchy configuration (paper Figure 2, configurations (a)-(f)).
+//
+// A DdnnConfig describes how a single jointly-trained DNN is partitioned
+// over the distributed computing hierarchy: how much network runs on each
+// end device, whether an edge tier exists (and which devices each edge
+// serves), what runs in the cloud, which aggregation schemes fuse the
+// branches at each physical boundary, and where the exit points are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/comm_cost.hpp"
+
+namespace ddnn::core {
+
+/// The six hierarchy shapes of the paper's Figure 2.
+enum class HierarchyPreset {
+  kCloudOnly,          // (a) raw input offloaded; all inference in the cloud
+  kDeviceCloud,        // (b) one device with a local exit + cloud
+  kDevicesCloud,       // (c) multiple devices, local exit + cloud (evaluated)
+  kDeviceEdgeCloud,    // (d) one device, edge tier, three exits
+  kDevicesEdgeCloud,   // (e) multiple devices, one edge, three exits
+  kDevicesEdgesCloud,  // (f) multiple devices AND multiple edges
+};
+
+std::string to_string(HierarchyPreset preset);
+
+struct DdnnConfig {
+  int num_classes = 3;
+  int num_devices = 6;
+  std::int64_t input_channels = 3;
+  std::int64_t input_size = 32;
+
+  /// ConvP blocks per end device (each halves the spatial size). 0 means the
+  /// devices send raw sensor input (configuration (a)); then
+  /// `has_local_exit` must be false.
+  int device_conv_blocks = 1;
+  /// Filters f in each device ConvP block (the paper sweeps 2..12, Fig. 9).
+  int device_filters = 4;
+  bool has_local_exit = true;
+
+  /// Device indices served by each edge; empty means no edge tier.
+  /// E.g. {{0,1,2},{3,4,5}} is configuration (f) with two edges.
+  std::vector<std::vector<int>> edge_groups{};
+  int edge_conv_blocks = 1;
+  int edge_filters = 16;
+
+  /// Filters of the cloud ConvP chain (each halves the spatial size).
+  std::vector<int> cloud_filters{24, 48};
+  /// Hidden FC block width before the cloud exit head (0 = none).
+  int cloud_fc_nodes = 96;
+  /// Mixed precision (paper future work, Section VI): keep the device (and
+  /// edge) sections binary but run the cloud section in float32
+  /// (conv->pool->BN->ReLU blocks). The wire format is unchanged — devices
+  /// still transmit bit-packed binary features.
+  bool float_cloud = false;
+  /// Upper-bound ablation: run the DEVICE sections in float32 as well. This
+  /// breaks the paper's device memory budget and its 1-bit wire format
+  /// (float features cost 32x the bytes), so it is for centralized accuracy
+  /// comparison only — the distributed runtime rejects such models.
+  bool float_devices = false;
+
+  /// Aggregation schemes (paper Table I notation: local-cloud, e.g. MP-CC).
+  AggKind local_agg = AggKind::kMaxPool;
+  AggKind edge_agg = AggKind::kConcat;  // device features -> edge
+  AggKind cloud_agg = AggKind::kConcat;
+
+  std::uint64_t init_seed = 1;
+
+  // ------------------------------------------------------------- derived
+
+  bool has_edge() const { return !edge_groups.empty(); }
+
+  /// Number of exit points: optional local + optional edge + cloud.
+  int num_exits() const {
+    return (has_local_exit ? 1 : 0) + (has_edge() ? 1 : 0) + 1;
+  }
+
+  /// Spatial side length of a device's output feature map.
+  std::int64_t device_out_size() const {
+    return input_size >> device_conv_blocks;
+  }
+
+  /// Spatial side length of an edge's output feature map.
+  std::int64_t edge_out_size() const {
+    return device_out_size() >> edge_conv_blocks;
+  }
+
+  /// o in Eq. 1: bits per device filter sent to the next tier.
+  std::int64_t filter_output_bits() const {
+    return device_out_size() * device_out_size();
+  }
+
+  /// Parameters for the analytic communication model (Eq. 1).
+  CommParams comm_params() const {
+    return {.num_classes = num_classes,
+            .filters = device_filters,
+            .filter_output_bits = filter_output_bits()};
+  }
+
+  /// Throws ddnn::Error if the configuration is inconsistent.
+  void validate() const;
+
+  /// Stable string key identifying the architecture + init seed; used by
+  /// the trained-model cache.
+  std::string cache_key() const;
+
+  /// Construct one of the paper's Figure 2 shapes.
+  static DdnnConfig preset(HierarchyPreset preset, int num_devices = 6,
+                           int device_filters = 4);
+};
+
+}  // namespace ddnn::core

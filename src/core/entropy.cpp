@@ -1,0 +1,81 @@
+#include "core/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+double normalized_entropy(std::span<const float> probs) {
+  DDNN_CHECK(probs.size() >= 2, "entropy needs at least two classes");
+  double h = 0.0;
+  for (const float p : probs) {
+    DDNN_CHECK(p >= -1e-6f, "negative probability " << p);
+    if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+  }
+  const double norm = std::log(static_cast<double>(probs.size()));
+  return std::clamp(h / norm, 0.0, 1.0);
+}
+
+double normalized_entropy_row(const Tensor& probs, std::int64_t row) {
+  DDNN_CHECK(probs.ndim() == 2, "expected [N, C] probabilities");
+  const std::int64_t c = probs.dim(1);
+  return normalized_entropy(
+      std::span<const float>(probs.data() + row * c, static_cast<std::size_t>(c)));
+}
+
+std::string to_string(ConfidenceCriterion criterion) {
+  switch (criterion) {
+    case ConfidenceCriterion::kNormalizedEntropy: return "normalized-entropy";
+    case ConfidenceCriterion::kUnnormalizedEntropy:
+      return "unnormalized-entropy";
+    case ConfidenceCriterion::kMaxProbability: return "max-probability";
+  }
+  return "?";
+}
+
+double confidence_score(std::span<const float> probs,
+                        ConfidenceCriterion criterion) {
+  switch (criterion) {
+    case ConfidenceCriterion::kNormalizedEntropy:
+      return normalized_entropy(probs);
+    case ConfidenceCriterion::kUnnormalizedEntropy:
+      return normalized_entropy(probs) *
+             std::log(static_cast<double>(probs.size()));
+    case ConfidenceCriterion::kMaxProbability: {
+      DDNN_CHECK(!probs.empty(), "empty probability vector");
+      float mx = probs[0];
+      for (const float p : probs) mx = std::max(mx, p);
+      return 1.0 - static_cast<double>(mx);
+    }
+  }
+  DDNN_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+double confidence_score_row(const Tensor& probs, std::int64_t row,
+                            ConfidenceCriterion criterion) {
+  DDNN_CHECK(probs.ndim() == 2, "expected [N, C] probabilities");
+  const std::int64_t c = probs.dim(1);
+  return confidence_score(
+      std::span<const float>(probs.data() + row * c,
+                             static_cast<std::size_t>(c)),
+      criterion);
+}
+
+double max_confidence_score(std::int64_t num_classes,
+                            ConfidenceCriterion criterion) {
+  DDNN_CHECK(num_classes >= 2, "need at least two classes");
+  switch (criterion) {
+    case ConfidenceCriterion::kNormalizedEntropy: return 1.0;
+    case ConfidenceCriterion::kUnnormalizedEntropy:
+      return std::log(static_cast<double>(num_classes));
+    case ConfidenceCriterion::kMaxProbability:
+      return 1.0 - 1.0 / static_cast<double>(num_classes);
+  }
+  DDNN_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace ddnn::core

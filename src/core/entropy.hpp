@@ -1,0 +1,58 @@
+// Normalized-entropy confidence criterion (paper Section III-D).
+//
+//   eta(x) = -sum_i x_i log x_i / log |C|
+//
+// eta is 0 for a one-hot (fully confident) distribution and 1 for the
+// uniform distribution, which makes the exit threshold T directly
+// interpretable. A sample exits at an exit point iff eta <= T; otherwise it
+// falls back to the next exit up the hierarchy (the last exit always
+// classifies).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ddnn::core {
+
+/// Normalized entropy of a probability vector (values >= 0, summing to ~1).
+/// Terms with x_i == 0 contribute 0. Result is clamped to [0, 1] to absorb
+/// floating-point wobble.
+double normalized_entropy(std::span<const float> probs);
+
+/// Normalized entropy of row `row` of a [N, C] probability matrix.
+double normalized_entropy_row(const Tensor& probs, std::int64_t row);
+
+/// Exit decision: confident enough to classify here?
+inline bool should_exit(double eta, double threshold) {
+  return eta <= threshold;
+}
+
+/// Confidence criteria for the exit decision. The paper uses normalized
+/// entropy (its Section III-D argues it is easier to interpret and to search
+/// over than BranchyNet's unnormalized entropy); the other two are provided
+/// for the ablation in bench_ablation_entropy.
+enum class ConfidenceCriterion {
+  kNormalizedEntropy,    // the paper's eta(x), in [0, 1]
+  kUnnormalizedEntropy,  // BranchyNet's H(x), in [0, log |C|]
+  kMaxProbability,       // 1 - max_i x_i, in [0, 1 - 1/|C|]
+};
+
+std::string to_string(ConfidenceCriterion criterion);
+
+/// Confidence score under `criterion`; smaller always means more confident,
+/// so the exit rule is uniformly `score <= T`.
+double confidence_score(std::span<const float> probs,
+                        ConfidenceCriterion criterion);
+
+/// Score of row `row` of a [N, C] probability matrix.
+double confidence_score_row(const Tensor& probs, std::int64_t row,
+                            ConfidenceCriterion criterion);
+
+/// Largest possible score under `criterion` for `num_classes` classes (the
+/// upper end of the threshold search range).
+double max_confidence_score(std::int64_t num_classes,
+                            ConfidenceCriterion criterion);
+
+}  // namespace ddnn::core

@@ -1,0 +1,227 @@
+#include "core/inference.hpp"
+
+#include <cmath>
+
+#include "autograd/grad_mode.hpp"
+#include "core/entropy.hpp"
+#include "data/loader.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+ExitEval evaluate_exits(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& samples,
+                        const std::vector<int>& devices,
+                        const std::vector<bool>& active,
+                        std::size_t batch_size) {
+  DDNN_CHECK(!samples.empty(), "empty evaluation set");
+  autograd::NoGradGuard no_grad;
+  model.set_training(false);
+
+  const auto n = static_cast<std::int64_t>(samples.size());
+  const std::int64_t c = model.config().num_classes;
+  const int num_exits = model.config().num_exits();
+
+  ExitEval eval;
+  eval.exit_names = model.exit_names();
+  eval.labels.reserve(samples.size());
+  for (int e = 0; e < num_exits; ++e) {
+    eval.exit_probs.emplace_back(Shape{n, c});
+  }
+
+  std::int64_t row = 0;
+  for (const auto& batch_idx :
+       data::chunk_batches(data::all_indices(samples.size()), batch_size)) {
+    const data::Batch batch = data::make_batch(samples, batch_idx, devices);
+    std::vector<Variable> views;
+    views.reserve(batch.views.size());
+    for (const auto& v : batch.views) views.emplace_back(v);
+
+    DdnnOutputs out = model.forward(views, active);
+    for (int e = 0; e < num_exits; ++e) {
+      const Tensor probs =
+          ops::softmax_rows(out.exit_logits[static_cast<std::size_t>(e)].value());
+      for (std::int64_t b = 0; b < batch.size(); ++b) {
+        for (std::int64_t j = 0; j < c; ++j) {
+          eval.exit_probs[static_cast<std::size_t>(e)].at(row + b, j) =
+              probs.at(b, j);
+        }
+      }
+    }
+    for (const auto label : batch.labels) eval.labels.push_back(label);
+    row += batch.size();
+  }
+  DDNN_ASSERT(row == n);
+  return eval;
+}
+
+ExitEval evaluate_exits(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& samples,
+                        const std::vector<int>& devices,
+                        std::size_t batch_size) {
+  return evaluate_exits(model, samples, devices,
+                        std::vector<bool>(devices.size(), true), batch_size);
+}
+
+double exit_accuracy(const ExitEval& eval, std::size_t exit_index) {
+  DDNN_CHECK(exit_index < eval.num_exits(), "exit index out of range");
+  const auto preds = ops::argmax_rows(eval.exit_probs[exit_index]);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == eval.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(eval.sample_count());
+}
+
+PolicyResult apply_policy(const ExitEval& eval,
+                          const std::vector<double>& thresholds,
+                          ConfidenceCriterion criterion) {
+  DDNN_CHECK(eval.num_exits() >= 1, "no exits");
+  DDNN_CHECK(thresholds.size() + 1 == eval.num_exits(),
+             "need one threshold per non-final exit: got "
+                 << thresholds.size() << " for " << eval.num_exits()
+                 << " exits");
+
+  PolicyResult result;
+  result.exit_fraction.assign(eval.num_exits(), 0.0);
+  result.decisions.reserve(static_cast<std::size_t>(eval.sample_count()));
+
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < eval.sample_count(); ++i) {
+    SampleDecision d;
+    d.exit_taken = static_cast<int>(eval.num_exits()) - 1;
+    for (std::size_t e = 0; e < thresholds.size(); ++e) {
+      const double eta =
+          confidence_score_row(eval.exit_probs[e], i, criterion);
+      if (should_exit(eta, thresholds[e])) {
+        d.exit_taken = static_cast<int>(e);
+        d.entropy = eta;
+        break;
+      }
+    }
+    const Tensor& probs =
+        eval.exit_probs[static_cast<std::size_t>(d.exit_taken)];
+    if (d.exit_taken == static_cast<int>(eval.num_exits()) - 1) {
+      d.entropy = confidence_score_row(probs, i, criterion);
+    }
+    const std::int64_t c = probs.dim(1);
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (probs.at(i, j) > probs.at(i, best)) best = j;
+    }
+    d.prediction = best;
+    if (d.prediction == eval.labels[static_cast<std::size_t>(i)]) ++correct;
+    result.exit_fraction[static_cast<std::size_t>(d.exit_taken)] += 1.0;
+    result.decisions.push_back(d);
+  }
+  for (auto& f : result.exit_fraction) {
+    f /= static_cast<double>(eval.sample_count());
+  }
+  result.overall_accuracy =
+      static_cast<double>(correct) / static_cast<double>(eval.sample_count());
+  return result;
+}
+
+double search_threshold_best_overall(const ExitEval& eval, double step) {
+  DDNN_CHECK(eval.num_exits() == 2,
+             "threshold search implemented for 2-exit models");
+  DDNN_CHECK(step > 0.0 && step <= 1.0, "bad grid step");
+  double best_t = 0.0;
+  double best_acc = -1.0;
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += step) {
+    const auto r = apply_policy(eval, {t});
+    // Ties prefer larger T: more samples exit locally for the same accuracy.
+    if (r.overall_accuracy >= best_acc) {
+      best_acc = r.overall_accuracy;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+namespace {
+
+/// Tier preference of a policy result: mean exit depth (lower = earlier
+/// exits = cheaper). Used to break accuracy ties in threshold search.
+double mean_exit_depth(const PolicyResult& r) {
+  double depth = 0.0;
+  for (std::size_t e = 0; e < r.exit_fraction.size(); ++e) {
+    depth += static_cast<double>(e) * r.exit_fraction[e];
+  }
+  return depth;
+}
+
+}  // namespace
+
+std::vector<double> search_thresholds_best_overall(const ExitEval& eval,
+                                                   double step) {
+  DDNN_CHECK(step > 0.0 && step <= 1.0, "bad grid step");
+  const std::size_t knobs = eval.num_exits() - 1;
+  DDNN_CHECK(knobs >= 1, "nothing to search for a single-exit model");
+
+  std::vector<double> grid;
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += step) grid.push_back(t);
+
+  std::vector<double> best(knobs, 0.0);
+  double best_acc = -1.0;
+  double best_depth = 1e18;
+  std::vector<std::size_t> idx(knobs, 0);
+  while (true) {
+    std::vector<double> thresholds(knobs);
+    for (std::size_t k = 0; k < knobs; ++k) thresholds[k] = grid[idx[k]];
+    const auto r = apply_policy(eval, thresholds);
+    const double depth = mean_exit_depth(r);
+    if (r.overall_accuracy > best_acc + 1e-12 ||
+        (r.overall_accuracy > best_acc - 1e-12 && depth < best_depth)) {
+      best_acc = r.overall_accuracy;
+      best_depth = depth;
+      best = thresholds;
+    }
+    // Odometer increment over the grid.
+    std::size_t k = 0;
+    while (k < knobs && ++idx[k] == grid.size()) {
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == knobs) break;
+  }
+  return best;
+}
+
+double search_threshold_for_local_fraction(const ExitEval& eval,
+                                           double target_fraction,
+                                           double step) {
+  DDNN_CHECK(eval.num_exits() == 2,
+             "threshold search implemented for 2-exit models");
+  DDNN_CHECK(target_fraction >= 0.0 && target_fraction <= 1.0,
+             "bad target fraction");
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += step) {
+    const auto r = apply_policy(eval, {t});
+    if (r.local_exit_fraction() >= target_fraction) return t;
+  }
+  return 1.0;
+}
+
+double individual_accuracy(IndividualModel& model,
+                           const std::vector<data::MvmcSample>& samples,
+                           int device, std::size_t batch_size) {
+  DDNN_CHECK(!samples.empty(), "empty evaluation set");
+  autograd::NoGradGuard no_grad;
+  model.set_training(false);
+
+  std::int64_t correct = 0;
+  for (const auto& batch_idx :
+       data::chunk_batches(data::all_indices(samples.size()), batch_size)) {
+    const data::Batch batch = data::make_batch(samples, batch_idx, {device});
+    const Variable logits = model.forward(Variable(batch.views[0]));
+    const auto preds = ops::argmax_rows(logits.value());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace ddnn::core

@@ -1,0 +1,104 @@
+// Staged DDNN inference and the paper's accuracy measures (Sections III-D,
+// III-F).
+//
+// evaluate_exits() runs the model once over a sample set and caches the
+// softmax probabilities of every exit point. Threshold policies (Table II /
+// Figure 7 sweeps) are then applied to the cached probabilities without
+// re-running the network, which makes fine threshold grids cheap.
+#pragma once
+
+#include <vector>
+
+#include "core/comm_cost.hpp"
+#include "core/entropy.hpp"
+#include "core/model.hpp"
+#include "data/mvmc.hpp"
+
+namespace ddnn::core {
+
+/// Cached per-exit softmax probabilities for a sample set.
+struct ExitEval {
+  std::vector<Tensor> exit_probs;  // per exit: [N, C]
+  std::vector<std::int64_t> labels;
+  std::vector<std::string> exit_names;
+
+  std::int64_t sample_count() const {
+    return static_cast<std::int64_t>(labels.size());
+  }
+  std::size_t num_exits() const { return exit_probs.size(); }
+};
+
+/// Run `model` (eval mode, no tape) over `samples` restricted to `devices`,
+/// with the given device-activity mask.
+ExitEval evaluate_exits(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& samples,
+                        const std::vector<int>& devices,
+                        const std::vector<bool>& active,
+                        std::size_t batch_size = 64);
+
+/// All devices healthy.
+ExitEval evaluate_exits(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& samples,
+                        const std::vector<int>& devices,
+                        std::size_t batch_size = 64);
+
+/// Accuracy when 100% of samples exit at `exit_index` (the paper's Local /
+/// Edge / Cloud Accuracy measures).
+double exit_accuracy(const ExitEval& eval, std::size_t exit_index);
+
+/// Per-sample decision of a threshold policy.
+struct SampleDecision {
+  int exit_taken = 0;             // index into exit_probs
+  std::int64_t prediction = 0;    // argmax at that exit
+  double entropy = 0.0;           // normalized entropy at the taken exit
+};
+
+/// The paper's Overall Accuracy: each sample exits at the first exit whose
+/// normalized entropy is <= that exit's threshold; the last exit always
+/// classifies. `thresholds` has one entry per non-final exit.
+struct PolicyResult {
+  double overall_accuracy = 0.0;
+  std::vector<double> exit_fraction;  // per exit, sums to 1
+  std::vector<SampleDecision> decisions;
+
+  /// Fraction exited at the first (local) exit.
+  double local_exit_fraction() const {
+    return exit_fraction.empty() ? 0.0 : exit_fraction.front();
+  }
+};
+
+/// `criterion` selects the confidence measure (the paper uses normalized
+/// entropy; the others back the entropy-criterion ablation).
+PolicyResult apply_policy(const ExitEval& eval,
+                          const std::vector<double>& thresholds,
+                          ConfidenceCriterion criterion =
+                              ConfidenceCriterion::kNormalizedEntropy);
+
+/// Grid-search the local-exit threshold (2-exit models) for the best
+/// overall accuracy; ties prefer the larger threshold (more local exits,
+/// less communication). Returns the chosen threshold.
+double search_threshold_best_overall(const ExitEval& eval, double step = 0.05);
+
+/// Smallest grid threshold whose local-exit fraction reaches
+/// `target_fraction` (used by the paper's Figure 9 setup, ~75% local).
+double search_threshold_for_local_fraction(const ExitEval& eval,
+                                           double target_fraction,
+                                           double step = 0.01);
+
+/// Joint grid search over all non-final exit thresholds (any number of
+/// exits; the 3-exit device–edge–cloud configurations need a (T_local,
+/// T_edge) pair). Maximizes overall accuracy; among equally accurate grids,
+/// prefers the one exiting more samples at lower tiers (less communication
+/// and latency). Grid size is step^-(num_exits-1) policy evaluations on the
+/// cached probabilities.
+std::vector<double> search_thresholds_best_overall(const ExitEval& eval,
+                                                   double step = 0.1);
+
+/// Individual Accuracy (paper Section III-F): classify ALL samples
+/// (including frames where the object is absent) with the standalone
+/// per-device model.
+double individual_accuracy(IndividualModel& model,
+                           const std::vector<data::MvmcSample>& samples,
+                           int device, std::size_t batch_size = 64);
+
+}  // namespace ddnn::core

@@ -1,0 +1,95 @@
+#include "core/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace ddnn::core {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  DDNN_CHECK(num_classes >= 2, "need at least two classes");
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t prediction) {
+  DDNN_CHECK(truth >= 0 && truth < num_classes_, "truth label out of range");
+  DDNN_CHECK(prediction >= 0 && prediction < num_classes_,
+             "prediction out of range");
+  ++counts_[static_cast<std::size_t>(truth * num_classes_ + prediction)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<std::int64_t>& truths,
+                              const std::vector<std::int64_t>& predictions) {
+  DDNN_CHECK(truths.size() == predictions.size(),
+             "truth/prediction size mismatch");
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t prediction) const {
+  DDNN_CHECK(truth >= 0 && truth < num_classes_ && prediction >= 0 &&
+                 prediction < num_classes_,
+             "index out of range");
+  return counts_[static_cast<std::size_t>(truth * num_classes_ + prediction)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::int64_t cls) const {
+  std::int64_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += count(t, cls);
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(count(cls, cls)) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::int64_t cls) const {
+  std::int64_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(cls, p);
+  return actual == 0 ? 0.0
+                     : static_cast<double>(count(cls, cls)) /
+                           static_cast<double>(actual);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += recall(c);
+  return sum / static_cast<double>(num_classes_);
+}
+
+Table ConfusionMatrix::to_table(
+    const std::vector<std::string>& class_names) const {
+  auto name = [&](int c) {
+    return c < static_cast<int>(class_names.size())
+               ? class_names[static_cast<std::size_t>(c)]
+               : std::to_string(c);
+  };
+  std::vector<std::string> headers{"truth \\ pred"};
+  for (int c = 0; c < num_classes_; ++c) headers.push_back(name(c));
+  headers.push_back("recall");
+  Table table(std::move(headers));
+  for (int t = 0; t < num_classes_; ++t) {
+    std::vector<std::string> row{name(t)};
+    for (int p = 0; p < num_classes_; ++p) {
+      row.push_back(std::to_string(count(t, p)));
+    }
+    row.push_back(Table::num(100.0 * recall(t), 1) + "%");
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> prec{"precision"};
+  for (int p = 0; p < num_classes_; ++p) {
+    prec.push_back(Table::num(100.0 * precision(p), 1) + "%");
+  }
+  prec.push_back(Table::num(100.0 * accuracy(), 1) + "% acc");
+  table.add_row(std::move(prec));
+  return table;
+}
+
+}  // namespace ddnn::core

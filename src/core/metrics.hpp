@@ -1,0 +1,45 @@
+// Classification metrics beyond plain accuracy: confusion matrix with
+// per-class precision/recall. Used by the benches and examples to show how
+// the dataset's class imbalance (paper Figure 6) is handled by each exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace ddnn::core {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(std::int64_t truth, std::int64_t prediction);
+
+  /// Add a whole batch of decisions.
+  void add_all(const std::vector<std::int64_t>& truths,
+               const std::vector<std::int64_t>& predictions);
+
+  std::int64_t count(std::int64_t truth, std::int64_t prediction) const;
+  std::int64_t total() const { return total_; }
+
+  double accuracy() const;
+  /// TP / (TP + FP); 0 when the class is never predicted.
+  double precision(std::int64_t cls) const;
+  /// TP / (TP + FN); 0 when the class never occurs.
+  double recall(std::int64_t cls) const;
+  /// Unweighted mean of per-class recall (robust to class imbalance).
+  double macro_recall() const;
+
+  /// Render with per-class rows; `class_names[i]` labels class i (falls back
+  /// to indices when empty).
+  Table to_table(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  std::vector<std::int64_t> counts_;  // row = truth, col = prediction
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ddnn::core

@@ -1,0 +1,144 @@
+#include "core/trainer.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ddnn::core {
+
+namespace {
+
+std::vector<float> resolve_exit_weights(const std::vector<float>& weights,
+                                        int num_exits) {
+  if (weights.empty()) return std::vector<float>(num_exits, 1.0f);
+  DDNN_CHECK(static_cast<int>(weights.size()) == num_exits,
+             "got " << weights.size() << " exit weights for " << num_exits
+                    << " exits");
+  return weights;
+}
+
+}  // namespace
+
+TrainHistory train_ddnn(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& train_data,
+                        const std::vector<int>& devices,
+                        const TrainConfig& config) {
+  DDNN_CHECK(!train_data.empty(), "empty training set");
+  DDNN_CHECK(static_cast<int>(devices.size()) == model.config().num_devices,
+             "device list size " << devices.size() << " vs model branches "
+                                 << model.config().num_devices);
+  const auto weights =
+      resolve_exit_weights(config.exit_weights, model.config().num_exits());
+
+  model.set_training(true);
+  opt::Adam optimizer(model.parameters(), config.adam);
+  optimizer.set_gradient_clip(config.grad_clip_norm);
+  Rng shuffle_rng(config.shuffle_seed);
+  Stopwatch total;
+
+  TrainHistory history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.lr_schedule) {
+      optimizer.set_learning_rate(config.lr_schedule(epoch));
+    }
+    double epoch_loss = 0.0;
+    std::int64_t seen = 0;
+    for (const auto& batch_idx :
+         data::epoch_batches(train_data.size(), config.batch_size,
+                             shuffle_rng)) {
+      // Batch norm needs >1 element per channel in training mode.
+      if (batch_idx.size() == 1) continue;
+      const data::Batch batch =
+          data::make_batch(train_data, batch_idx, devices);
+      std::vector<Variable> views;
+      views.reserve(batch.views.size());
+      for (const auto& v : batch.views) views.emplace_back(v);
+
+      DdnnOutputs out = model.forward(views);
+      Variable loss;
+      for (std::size_t e = 0; e < out.exit_logits.size(); ++e) {
+        Variable term = autograd::mul_scalar(
+            autograd::softmax_cross_entropy(out.exit_logits[e], batch.labels),
+            weights[e]);
+        loss = loss.defined() ? autograd::add(loss, term) : term;
+      }
+
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.step();
+
+      epoch_loss += static_cast<double>(loss.value()[0]) *
+                    static_cast<double>(batch.size());
+      seen += batch.size();
+    }
+    history.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    if (config.verbose) {
+      DDNN_INFO("epoch " << (epoch + 1) << "/" << config.epochs << " loss "
+                         << history.epoch_loss.back());
+    }
+    if (config.epoch_callback) {
+      config.epoch_callback(epoch, history.epoch_loss.back());
+    }
+  }
+  history.total_seconds = total.seconds();
+  model.set_training(false);
+  return history;
+}
+
+TrainHistory train_individual(IndividualModel& model,
+                              const std::vector<data::MvmcSample>& train_data,
+                              int device, const TrainConfig& config) {
+  const auto usable = data::present_indices(train_data, device);
+  DDNN_CHECK(!usable.empty(), "device " << device
+                                        << " never sees the object");
+
+  model.set_training(true);
+  opt::Adam optimizer(model.parameters(), config.adam);
+  optimizer.set_gradient_clip(config.grad_clip_norm);
+  Rng shuffle_rng(config.shuffle_seed);
+  Stopwatch total;
+
+  TrainHistory history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.lr_schedule) {
+      optimizer.set_learning_rate(config.lr_schedule(epoch));
+    }
+    auto indices = usable;
+    shuffle_rng.shuffle(indices);
+    double epoch_loss = 0.0;
+    std::int64_t seen = 0;
+    for (const auto& batch_idx :
+         data::chunk_batches(indices, config.batch_size)) {
+      if (batch_idx.size() == 1) continue;  // batch norm needs >1 element
+      const data::Batch batch = data::make_batch(train_data, batch_idx,
+                                                 {device});
+      Variable logits = model.forward(Variable(batch.views[0]));
+      Variable loss = autograd::softmax_cross_entropy(logits, batch.labels);
+
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.step();
+
+      epoch_loss += static_cast<double>(loss.value()[0]) *
+                    static_cast<double>(batch.size());
+      seen += batch.size();
+    }
+    history.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    if (config.verbose) {
+      DDNN_INFO("individual device " << device << " epoch " << (epoch + 1)
+                                     << "/" << config.epochs << " loss "
+                                     << history.epoch_loss.back());
+    }
+    if (config.epoch_callback) {
+      config.epoch_callback(epoch, history.epoch_loss.back());
+    }
+  }
+  history.total_seconds = total.seconds();
+  model.set_training(false);
+  return history;
+}
+
+}  // namespace ddnn::core

@@ -1,0 +1,65 @@
+// Joint training of DDNNs (paper Section III-C) and training of the
+// standalone per-device baseline models.
+//
+// The joint objective is a weighted sum of per-exit softmax cross-entropy
+// losses; gradients from every exit flow into the shared lower sections, so
+// the device filters learn features that serve both the local classifier
+// and the cloud. The paper uses equal weights and Adam with (alpha 1e-3,
+// beta1 0.9, beta2 0.999, eps 1e-8) for 100 epochs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/loader.hpp"
+#include "opt/optimizer.hpp"
+
+namespace ddnn::core {
+
+struct TrainConfig {
+  int epochs = 50;
+  std::size_t batch_size = 32;
+  opt::AdamConfig adam{};
+  /// Per-exit loss weights; empty means equal weights (the paper's choice).
+  std::vector<float> exit_weights{};
+  std::uint64_t shuffle_seed = 7;
+  /// Log per-epoch loss via DDNN_INFO.
+  bool verbose = false;
+  /// Invoked after every epoch with (0-based epoch index, mean joint loss);
+  /// lets callers report progress or run periodic evaluation.
+  std::function<void(int, float)> epoch_callback{};
+  /// Global gradient-norm clip applied before every optimizer step
+  /// (0 disables; the paper's recipe does not clip).
+  float grad_clip_norm = 0.0f;
+  /// Learning-rate schedule: called at the start of each epoch with the
+  /// 0-based epoch index; its return value becomes the LR for that epoch.
+  /// Empty keeps the optimizer's configured LR throughout.
+  std::function<float(int)> lr_schedule{};
+};
+
+struct TrainHistory {
+  std::vector<float> epoch_loss;  // mean joint loss per epoch
+  double total_seconds = 0.0;
+
+  float final_loss() const {
+    return epoch_loss.empty() ? 0.0f : epoch_loss.back();
+  }
+};
+
+/// Jointly train `model` on the multi-view training samples. `devices` maps
+/// the model's input branches to dataset device ids (e.g. {0,1,2} trains a
+/// 3-device model on the first three cameras).
+TrainHistory train_ddnn(DdnnModel& model,
+                        const std::vector<data::MvmcSample>& train_data,
+                        const std::vector<int>& devices,
+                        const TrainConfig& config);
+
+/// Train the standalone single-device baseline on the samples where
+/// `device` sees the object (the paper excludes not-present frames from
+/// individual-model training).
+TrainHistory train_individual(IndividualModel& model,
+                              const std::vector<data::MvmcSample>& train_data,
+                              int device, const TrainConfig& config);
+
+}  // namespace ddnn::core

@@ -1,0 +1,85 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ddnn::data {
+
+Batch make_batch(const std::vector<MvmcSample>& samples,
+                 const std::vector<std::size_t>& indices,
+                 const std::vector<int>& devices) {
+  DDNN_CHECK(!indices.empty(), "empty batch");
+  DDNN_CHECK(!devices.empty(), "batch with no devices");
+  const auto b = static_cast<std::int64_t>(indices.size());
+  const Tensor& first_view = samples.at(indices[0]).views.at(0);
+  const std::int64_t c = first_view.dim(0), h = first_view.dim(1),
+                     w = first_view.dim(2);
+
+  Batch batch;
+  batch.labels.reserve(indices.size());
+  batch.present.resize(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    batch.views.emplace_back(Shape{b, c, h, w});
+    batch.present[d].reserve(indices.size());
+  }
+
+  for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+    const MvmcSample& s = samples.at(indices[bi]);
+    batch.labels.push_back(s.label);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const auto dev = static_cast<std::size_t>(devices[d]);
+      DDNN_CHECK(dev < s.views.size(), "device id " << devices[d]
+                                                    << " out of range");
+      const Tensor& view = s.views[dev];
+      DDNN_CHECK(view.shape() == first_view.shape(),
+                 "inconsistent view shapes in batch");
+      std::memcpy(batch.views[d].data() +
+                      static_cast<std::int64_t>(bi) * c * h * w,
+                  view.data(),
+                  static_cast<std::size_t>(c * h * w) * sizeof(float));
+      batch.present[d].push_back(s.present[dev]);
+    }
+  }
+  return batch;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+std::vector<std::size_t> present_indices(const std::vector<MvmcSample>& samples,
+                                         int device) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].present.at(static_cast<std::size_t>(device))) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+std::vector<std::vector<std::size_t>> chunk_batches(
+    std::vector<std::size_t> indices, std::size_t batch_size) {
+  DDNN_CHECK(batch_size > 0, "batch_size must be positive");
+  std::vector<std::vector<std::size_t>> out;
+  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+    const std::size_t end = std::min(indices.size(), start + batch_size);
+    out.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(start),
+                     indices.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> epoch_batches(std::size_t n,
+                                                    std::size_t batch_size,
+                                                    Rng& rng) {
+  auto idx = all_indices(n);
+  rng.shuffle(idx);
+  return chunk_batches(std::move(idx), batch_size);
+}
+
+}  // namespace ddnn::data

@@ -1,0 +1,52 @@
+// Mini-batch assembly for multi-view samples.
+//
+// A Batch carries one stacked [B, 3, H, W] tensor per selected device plus
+// the labels — the layout the DDNN forward pass consumes (one input branch
+// per end device).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/mvmc.hpp"
+#include "util/rng.hpp"
+
+namespace ddnn::data {
+
+struct Batch {
+  /// One [B, 3, H, W] tensor per selected device, in `devices` order.
+  std::vector<Tensor> views;
+  std::vector<std::int64_t> labels;
+  /// present[d][b]: was the object visible to device d in sample b?
+  std::vector<std::vector<bool>> present;
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(labels.size());
+  }
+};
+
+/// Assemble a batch from `samples[indices]`, restricted to the listed device
+/// ids (0-based). Device order in the batch follows `devices`.
+Batch make_batch(const std::vector<MvmcSample>& samples,
+                 const std::vector<std::size_t>& indices,
+                 const std::vector<int>& devices);
+
+/// All indices [0, n).
+std::vector<std::size_t> all_indices(std::size_t n);
+
+/// Indices of samples where `device` sees the object (for individual-model
+/// training: the paper excludes not-present frames).
+std::vector<std::size_t> present_indices(const std::vector<MvmcSample>& samples,
+                                         int device);
+
+/// Split `indices` (already shuffled by the caller if desired) into
+/// consecutive chunks of at most `batch_size`.
+std::vector<std::vector<std::size_t>> chunk_batches(
+    std::vector<std::size_t> indices, std::size_t batch_size);
+
+/// Shuffle + chunk: one epoch's batch schedule.
+std::vector<std::vector<std::size_t>> epoch_batches(std::size_t n,
+                                                    std::size_t batch_size,
+                                                    Rng& rng);
+
+}  // namespace ddnn::data

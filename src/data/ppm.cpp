@@ -1,0 +1,70 @@
+#include "data/ppm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace ddnn::data {
+
+void write_ppm(const Tensor& image, const std::string& path) {
+  DDNN_CHECK(image.defined() && image.ndim() == 3 && image.dim(0) == 3,
+             "write_ppm expects a [3, H, W] image");
+  const std::int64_t h = image.dim(1), w = image.dim(2);
+  std::ofstream f(path, std::ios::binary);
+  DDNN_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << "P6\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(3 * w));
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const float v = std::clamp(
+            image[(c * h + y) * w + x], 0.0f, 1.0f);
+        row[static_cast<std::size_t>(3 * x + c)] =
+            static_cast<unsigned char>(v * 255.0f + 0.5f);
+      }
+    }
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+  }
+  DDNN_CHECK(f.good(), "failed writing " << path);
+}
+
+Tensor read_ppm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  DDNN_CHECK(f.good(), "cannot open " << path << " for reading");
+  std::string magic;
+  std::int64_t w = 0, h = 0, maxval = 0;
+  f >> magic >> w >> h >> maxval;
+  DDNN_CHECK(magic == "P6", path << " is not a binary PPM (P6)");
+  DDNN_CHECK(w > 0 && h > 0 && maxval == 255,
+             "unsupported PPM geometry in " << path);
+  f.get();  // single whitespace after the header
+  std::vector<unsigned char> raw(static_cast<std::size_t>(3 * w * h));
+  f.read(reinterpret_cast<char*>(raw.data()),
+         static_cast<std::streamsize>(raw.size()));
+  DDNN_CHECK(f.good(), "truncated PPM " << path);
+  Tensor image(Shape{3, h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        image[(c * h + y) * w + x] =
+            static_cast<float>(raw[static_cast<std::size_t>(3 * (y * w + x) + c)]) /
+            255.0f;
+      }
+    }
+  }
+  return image;
+}
+
+int write_sample_views(const MvmcSample& sample, const std::string& prefix) {
+  int written = 0;
+  for (std::size_t d = 0; d < sample.views.size(); ++d) {
+    write_ppm(sample.views[d],
+              prefix + "_dev" + std::to_string(d + 1) + ".ppm");
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace ddnn::data

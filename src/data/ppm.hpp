@@ -1,0 +1,27 @@
+// Plain PPM (P6) export of dataset images, so users can inspect SynthMVMC
+// views and verify the per-device viewpoint/degradation story visually:
+//
+//   ddnn::data::write_ppm(sample.views[5], "device6.ppm");
+#pragma once
+
+#include <string>
+
+#include "data/mvmc.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ddnn::data {
+
+/// Write a [3, H, W] image with values in [0, 1] as binary PPM (P6).
+/// Values outside [0, 1] are clipped. Throws ddnn::Error on I/O failure.
+void write_ppm(const Tensor& image, const std::string& path);
+
+/// Read back a P6 PPM into a [3, H, W] tensor in [0, 1] (test round trips
+/// and simple external-image import). Only the plain binary P6 variant with
+/// maxval 255 is supported.
+Tensor read_ppm(const std::string& path);
+
+/// Dump every device view of `sample` as `<prefix>_dev<k>.ppm`; returns the
+/// number of files written.
+int write_sample_views(const MvmcSample& sample, const std::string& prefix);
+
+}  // namespace ddnn::data

@@ -1,0 +1,24 @@
+#include "dist/link.hpp"
+
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+
+Link::Link(std::string name, LinkConfig config)
+    : name_(std::move(name)), config_(config) {
+  DDNN_CHECK(config_.bandwidth_bytes_per_s > 0.0, "non-positive bandwidth");
+  DDNN_CHECK(config_.base_latency_s >= 0.0, "negative base latency");
+}
+
+double Link::transmit(const Message& msg) {
+  ++stats_.messages;
+  stats_.bytes += msg.payload_bytes();
+  return latency_for(msg.payload_bytes());
+}
+
+double Link::latency_for(std::int64_t bytes) const {
+  return config_.base_latency_s +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
+}
+
+}  // namespace ddnn::dist

@@ -1,0 +1,49 @@
+// A simulated network link with byte accounting and a linear latency model.
+//
+// latency(message) = base_latency + payload_bytes / bandwidth.
+//
+// The byte counters are the ground truth for the paper's communication
+// claims: tests assert that a device's average bytes/sample on these links
+// equals the analytic model of Eq. 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/message.hpp"
+
+namespace ddnn::dist {
+
+struct LinkStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Default link parameters: a constrained wireless uplink (the paper's
+/// setting for device links).
+struct LinkConfig {
+  double bandwidth_bytes_per_s = 250e3;  // ~2 Mbit/s
+  double base_latency_s = 5e-3;
+};
+
+class Link {
+ public:
+  Link(std::string name, LinkConfig config = {});
+
+  /// Account for one message crossing this link; returns its latency.
+  double transmit(const Message& msg);
+
+  /// Latency a message of `bytes` would incur (no accounting).
+  double latency_for(std::int64_t bytes) const;
+
+  const std::string& name() const { return name_; }
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::string name_;
+  LinkConfig config_;
+  LinkStats stats_;
+};
+
+}  // namespace ddnn::dist

@@ -1,0 +1,88 @@
+#include "dist/message.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/bitpack.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kClassScores: return "class-scores";
+    case MessageKind::kBinaryFeatureMap: return "binary-features";
+    case MessageKind::kRawImage: return "raw-image";
+  }
+  return "?";
+}
+
+Message encode_class_scores(const Tensor& scores) {
+  DDNN_CHECK(scores.defined(), "encoding undefined tensor");
+  Message msg;
+  msg.kind = MessageKind::kClassScores;
+  msg.payload.resize(static_cast<std::size_t>(scores.numel()) * sizeof(float));
+  std::memcpy(msg.payload.data(), scores.data(), msg.payload.size());
+  return msg;
+}
+
+Tensor decode_class_scores(const Message& msg, std::int64_t num_classes) {
+  DDNN_CHECK(msg.kind == MessageKind::kClassScores,
+             "expected class-scores, got " << to_string(msg.kind));
+  DDNN_CHECK(msg.payload.size() ==
+                 static_cast<std::size_t>(num_classes) * sizeof(float),
+             "class-scores payload " << msg.payload.size() << " B for "
+                                     << num_classes << " classes");
+  Tensor t(Shape{1, num_classes});
+  std::memcpy(t.data(), msg.payload.data(), msg.payload.size());
+  return t;
+}
+
+Message encode_binary_feature_map(const Tensor& features) {
+  DDNN_CHECK(features.defined(), "encoding undefined tensor");
+  // Precondition: the tensor really is binarized (exact +-1), otherwise
+  // packing would silently lose information.
+  for (std::int64_t i = 0; i < features.numel(); ++i) {
+    DDNN_CHECK(features[i] == 1.0f || features[i] == -1.0f,
+               "feature map is not binarized at index " << i << ": "
+                                                        << features[i]);
+  }
+  Message msg;
+  msg.kind = MessageKind::kBinaryFeatureMap;
+  msg.payload = pack_signs(features);
+  return msg;
+}
+
+Tensor decode_binary_feature_map(const Message& msg, Shape shape) {
+  DDNN_CHECK(msg.kind == MessageKind::kBinaryFeatureMap,
+             "expected binary-features, got " << to_string(msg.kind));
+  return unpack_signs(msg.payload, std::move(shape));
+}
+
+Message encode_raw_image(const Tensor& image) {
+  DDNN_CHECK(image.defined(), "encoding undefined tensor");
+  Message msg;
+  msg.kind = MessageKind::kRawImage;
+  msg.payload.resize(static_cast<std::size_t>(image.numel()));
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    const float clipped = std::fmin(1.0f, std::fmax(0.0f, image[i]));
+    msg.payload[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(std::lround(clipped * 255.0f));
+  }
+  return msg;
+}
+
+Tensor decode_raw_image(const Message& msg, Shape shape) {
+  DDNN_CHECK(msg.kind == MessageKind::kRawImage,
+             "expected raw-image, got " << to_string(msg.kind));
+  DDNN_CHECK(static_cast<std::int64_t>(msg.payload.size()) == shape.numel(),
+             "raw-image payload size mismatch");
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(msg.payload[static_cast<std::size_t>(i)]) /
+           255.0f;
+  }
+  return t;
+}
+
+}  // namespace ddnn::dist

@@ -1,0 +1,163 @@
+#include "dist/node.hpp"
+
+#include "autograd/grad_mode.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+
+using core::DdnnConfig;
+using core::Variable;
+
+namespace {
+
+/// Shape of a single-sample device feature tensor under `cfg`.
+Shape device_feature_shape(const DdnnConfig& cfg) {
+  if (cfg.device_conv_blocks == 0) {
+    return Shape{1, cfg.input_channels, cfg.input_size, cfg.input_size};
+  }
+  const std::int64_t s = cfg.device_out_size();
+  return Shape{1, cfg.device_filters, s, s};
+}
+
+Shape edge_feature_shape(const DdnnConfig& cfg) {
+  const std::int64_t s = cfg.edge_out_size();
+  return Shape{1, cfg.edge_filters, s, s};
+}
+
+/// Decode a device/edge feature message of known shape. Raw images are the
+/// config-(a) device payload; everything else is bit-packed binary.
+Tensor decode_features(const Message& msg, const Shape& shape) {
+  if (msg.kind == MessageKind::kRawImage) {
+    return decode_raw_image(msg, shape);
+  }
+  return decode_binary_feature_map(msg, shape);
+}
+
+}  // namespace
+
+DeviceNode::DeviceNode(int id, core::DdnnModel& model, int branch)
+    : id_(id), model_(model), branch_(branch) {
+  DDNN_CHECK(branch >= 0 && branch < model.config().num_devices,
+             "branch out of range");
+}
+
+void DeviceNode::sense(const Tensor& view) {
+  if (failed_) return;
+  DDNN_CHECK(view.ndim() == 3, "sense expects a single [C, S, S] view");
+  autograd::NoGradGuard no_grad;
+  view_ = view;
+  const Variable input(view.reshape(
+      Shape{1, view.dim(0), view.dim(1), view.dim(2)}));
+  if (model_.config().device_conv_blocks == 0) {
+    features_ = input;  // raw offload: no on-device NN blocks
+  } else {
+    features_ = model_.device_section_features(branch_, input);
+  }
+}
+
+Message DeviceNode::scores_message() {
+  DDNN_CHECK(!failed_, "failed device asked for scores");
+  DDNN_CHECK(features_.defined(), "scores_message before sense()");
+  autograd::NoGradGuard no_grad;
+  const Variable logits = model_.device_section_logits(branch_, features_);
+  return encode_class_scores(logits.value());
+}
+
+Message DeviceNode::feature_message() const {
+  DDNN_CHECK(!failed_, "failed device asked for features");
+  DDNN_CHECK(features_.defined(), "feature_message before sense()");
+  if (model_.config().device_conv_blocks == 0) {
+    return encode_raw_image(view_);
+  }
+  return encode_binary_feature_map(features_.value());
+}
+
+Shape DeviceNode::feature_shape() const {
+  return device_feature_shape(model_.config());
+}
+
+GatewayNode::GatewayNode(core::DdnnModel& model) : model_(model) {
+  DDNN_CHECK(model.config().has_local_exit,
+             "gateway requires a model with a local exit");
+}
+
+Tensor GatewayNode::aggregate(
+    const std::vector<std::optional<Message>>& scores) {
+  autograd::NoGradGuard no_grad;
+  const std::int64_t c = model_.config().num_classes;
+  std::vector<Variable> logits;
+  std::vector<bool> active;
+  for (const auto& msg : scores) {
+    if (msg.has_value()) {
+      logits.emplace_back(decode_class_scores(*msg, c));
+      active.push_back(true);
+    } else {
+      logits.emplace_back(Tensor::zeros(Shape{1, c}));
+      active.push_back(false);
+    }
+  }
+  return model_.local_aggregate(logits, active).value();
+}
+
+EdgeNode::EdgeNode(std::size_t group, core::DdnnModel& model)
+    : group_(group), model_(model) {
+  DDNN_CHECK(model.config().has_edge(), "edge node without an edge tier");
+  DDNN_CHECK(group < model.config().edge_groups.size(),
+             "edge group out of range");
+}
+
+Message EdgeNode::process(
+    const std::vector<std::optional<Message>>& member_features,
+    std::int64_t batch) {
+  DDNN_CHECK(batch == 1, "the simulated runtime classifies one sample at a time");
+  autograd::NoGradGuard no_grad;
+  const Shape shape = device_feature_shape(model_.config());
+  std::vector<Variable> features;
+  std::vector<bool> active;
+  for (const auto& msg : member_features) {
+    if (msg.has_value()) {
+      features.emplace_back(decode_features(*msg, shape));
+      active.push_back(true);
+    } else {
+      features.emplace_back(Tensor::zeros(shape));
+      active.push_back(false);
+    }
+  }
+  const auto result = model_.edge_section(group_, features, active);
+  features_ = result.features;
+  return encode_class_scores(result.logits.value());
+}
+
+Message EdgeNode::feature_message() const {
+  DDNN_CHECK(features_.defined(), "feature_message before process()");
+  return encode_binary_feature_map(features_.value());
+}
+
+Shape EdgeNode::feature_shape() const {
+  return edge_feature_shape(model_.config());
+}
+
+CloudNode::CloudNode(core::DdnnModel& model) : model_(model) {}
+
+Tensor CloudNode::process(const std::vector<std::optional<Message>>& branches,
+                          std::int64_t batch) {
+  DDNN_CHECK(batch == 1, "the simulated runtime classifies one sample at a time");
+  autograd::NoGradGuard no_grad;
+  const Shape shape = model_.config().has_edge()
+                          ? edge_feature_shape(model_.config())
+                          : device_feature_shape(model_.config());
+  std::vector<Variable> features;
+  std::vector<bool> active;
+  for (const auto& msg : branches) {
+    if (msg.has_value()) {
+      features.emplace_back(decode_features(*msg, shape));
+      active.push_back(true);
+    } else {
+      features.emplace_back(Tensor::zeros(shape));
+      active.push_back(false);
+    }
+  }
+  return model_.cloud_section(features, active).value();
+}
+
+}  // namespace ddnn::dist

@@ -1,0 +1,100 @@
+// Simulated hierarchy nodes.
+//
+// Each node executes its partition of the jointly-trained DDNN by calling
+// the model's section API (core::DdnnModel::device_section_*, edge_section,
+// cloud_section), so the distributed execution is the SAME computation as
+// the centralized forward pass — with the intermediate tensors round-tripped
+// through the wire format in between (lossless for binarized features).
+#pragma once
+
+#include <optional>
+
+#include "core/model.hpp"
+#include "dist/message.hpp"
+
+namespace ddnn::dist {
+
+/// An end device: senses one view, runs its trunk + local exit head.
+class DeviceNode {
+ public:
+  /// `branch` is the model input branch this device drives.
+  DeviceNode(int id, core::DdnnModel& model, int branch);
+
+  int id() const { return id_; }
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
+  /// Run the device NN section on a sensed view ([3, S, S]); caches the
+  /// features for a later escalation. No-op when failed.
+  void sense(const Tensor& view);
+
+  /// Class-score message for the local aggregator (requires a local exit
+  /// and a prior sense()).
+  Message scores_message();
+
+  /// Feature message for the tier above: bit-packed binary features, or the
+  /// quantized raw image when the device runs no NN blocks (config (a)).
+  Message feature_message() const;
+
+  /// Shape of the feature tensor this device forwards upward.
+  Shape feature_shape() const;
+
+ private:
+  int id_;
+  core::DdnnModel& model_;
+  int branch_;
+  bool failed_ = false;
+  Tensor view_;                    // last sensed input (config (a) path)
+  core::Variable features_;        // cached trunk output
+};
+
+/// The local aggregator / gateway: fuses device class scores and makes the
+/// local exit decision.
+class GatewayNode {
+ public:
+  explicit GatewayNode(core::DdnnModel& model);
+
+  /// Decode and fuse the per-device score messages (slots of failed devices
+  /// carry no message => std::nullopt). Returns the fused [1, C] scores.
+  Tensor aggregate(const std::vector<std::optional<Message>>& scores);
+
+ private:
+  core::DdnnModel& model_;
+};
+
+/// An edge server handling one device group.
+class EdgeNode {
+ public:
+  EdgeNode(std::size_t group, core::DdnnModel& model);
+
+  /// Decode member feature messages, run the edge section. Caches features.
+  /// Returns this edge's exit-score message.
+  Message process(const std::vector<std::optional<Message>>& member_features,
+                  std::int64_t batch);
+
+  /// Bit-packed edge features for the cloud (requires a prior process()).
+  Message feature_message() const;
+
+  Shape feature_shape() const;
+
+ private:
+  std::size_t group_;
+  core::DdnnModel& model_;
+  core::Variable features_;
+};
+
+/// The cloud: fuses incoming branches and produces the final classification.
+class CloudNode {
+ public:
+  explicit CloudNode(core::DdnnModel& model);
+
+  /// `branches[i]`: feature message from device/edge branch i (nullopt for
+  /// failed branches). Returns the final [1, C] scores.
+  Tensor process(const std::vector<std::optional<Message>>& branches,
+                 std::int64_t batch);
+
+ private:
+  core::DdnnModel& model_;
+};
+
+}  // namespace ddnn::dist

@@ -1,0 +1,63 @@
+#include "dist/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+
+QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
+                              const QueueingConfig& config,
+                              std::int64_t stream_length) {
+  DDNN_CHECK(!traces.empty(), "queueing simulation needs at least one trace");
+  DDNN_CHECK(config.arrival_rate_hz > 0.0, "non-positive arrival rate");
+  DDNN_CHECK(config.cloud_service_s >= 0.0, "negative service time");
+  DDNN_CHECK(stream_length > 0, "non-positive stream length");
+
+  Rng rng(config.seed);
+  QueueingStats stats;
+  stats.samples = stream_length;
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(stream_length));
+
+  double now = 0.0;              // arrival clock
+  double cloud_free_at = 0.0;    // single-server FIFO cloud
+  double cloud_busy_total = 0.0;
+
+  for (std::int64_t k = 0; k < stream_length; ++k) {
+    // Poisson arrivals: exponential inter-arrival times.
+    now += -std::log(1.0 - rng.uniform()) / config.arrival_rate_hz;
+    const InferenceTrace& trace =
+        traces[static_cast<std::size_t>(k) % traces.size()];
+
+    if (trace.exit_taken == 0) {
+      // Local exit: device + gateway latency only, no shared resource.
+      latencies.push_back(trace.latency_s);
+      continue;
+    }
+    ++stats.escalated;
+    // The sample reaches the cloud after its network latency, then waits
+    // for the server.
+    const double at_cloud = now + trace.latency_s;
+    const double start = std::max(at_cloud, cloud_free_at);
+    const double done = start + config.cloud_service_s;
+    cloud_busy_total += config.cloud_service_s;
+    cloud_free_at = done;
+    latencies.push_back(done - now);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  stats.mean_latency_s = sum / static_cast<double>(latencies.size());
+  stats.p50_latency_s = latencies[latencies.size() / 2];
+  stats.p95_latency_s = latencies[(latencies.size() * 95) / 100];
+  stats.max_latency_s = latencies.back();
+  const double horizon = std::max(now, cloud_free_at);
+  stats.cloud_utilization = horizon > 0.0 ? cloud_busy_total / horizon : 0.0;
+  return stats;
+}
+
+}  // namespace ddnn::dist

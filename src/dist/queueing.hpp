@@ -1,0 +1,52 @@
+// Queueing study: end-to-end response time of a DDNN under streaming load.
+//
+// The paper's latency argument (Sections I and V) is per-sample: samples
+// exiting locally skip the uplink. Under *load*, local exits matter even
+// more — escalated samples contend for the shared cloud, and queueing delay
+// compounds the transfer time. This module runs an event-driven simulation:
+// samples arrive as a Poisson process; locally exited samples finish after
+// their device+gateway latency; escalated samples additionally pass through
+// a single-server FIFO cloud queue.
+//
+// Input is a trace of per-sample outcomes from HierarchyRuntime (exit tier
+// and network latency), so the queueing layer composes with any trained
+// model and threshold policy without re-running inference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace ddnn::dist {
+
+struct QueueingConfig {
+  /// Mean sample arrival rate of the whole camera fleet (samples/second).
+  double arrival_rate_hz = 20.0;
+  /// Cloud service time per escalated sample (NN layer processing).
+  double cloud_service_s = 10e-3;
+  std::uint64_t seed = 1;
+};
+
+struct QueueingStats {
+  std::int64_t samples = 0;
+  std::int64_t escalated = 0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  /// Busy fraction of the cloud server over the simulated horizon.
+  double cloud_utilization = 0.0;
+};
+
+/// Simulate a Poisson sample stream over per-sample inference traces
+/// (cycled if the stream is longer than the trace). Every trace's
+/// `latency_s` is the network+compute latency without contention; samples
+/// with `exit_taken` past the first exit additionally queue for the cloud
+/// server.
+QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
+                              const QueueingConfig& config,
+                              std::int64_t stream_length = 2000);
+
+}  // namespace ddnn::dist

@@ -1,0 +1,270 @@
+#include "dist/runtime.hpp"
+
+#include <algorithm>
+
+#include "core/entropy.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+
+namespace {
+
+/// argmax + normalized entropy of a [1, C] score vector.
+struct Decision {
+  std::int64_t prediction;
+  double entropy;
+};
+
+Decision decide(const Tensor& logits) {
+  const Tensor probs = ops::softmax_rows(logits);
+  return {ops::argmax_rows(probs)[0], core::normalized_entropy_row(probs, 0)};
+}
+
+}  // namespace
+
+HierarchyRuntime::HierarchyRuntime(core::DdnnModel& model,
+                                   std::vector<double> thresholds,
+                                   std::vector<int> device_map,
+                                   RuntimeConfig config)
+    : model_(model),
+      thresholds_(std::move(thresholds)),
+      device_map_(std::move(device_map)),
+      config_(config),
+      cloud_(model) {
+  const auto& cfg = model_.config();
+  DDNN_CHECK(!cfg.float_devices,
+             "float-device models have no 1-bit wire format; the distributed "
+             "runtime requires binarized device sections");
+  DDNN_CHECK(static_cast<int>(thresholds_.size()) + 1 == cfg.num_exits(),
+             "need one threshold per non-final exit");
+  DDNN_CHECK(static_cast<int>(device_map_.size()) == cfg.num_devices,
+             "device map size mismatch");
+
+  for (int b = 0; b < cfg.num_devices; ++b) {
+    devices_.emplace_back(b, model_, b);
+    dev_gateway_links_.emplace_back("device" + std::to_string(b) + "->gateway",
+                                    config_.device_link);
+    const std::string up_target = cfg.has_edge() ? "edge" : "cloud";
+    dev_uplink_links_.emplace_back(
+        "device" + std::to_string(b) + "->" + up_target, config_.device_link);
+  }
+  if (cfg.has_local_exit) gateway_.emplace(model_);
+  if (cfg.has_edge()) {
+    for (std::size_t g = 0; g < cfg.edge_groups.size(); ++g) {
+      edges_.emplace_back(g, model_);
+      edge_coord_links_.emplace_back("edge" + std::to_string(g) + "->coord",
+                                     config_.edge_link);
+      edge_cloud_links_.emplace_back("edge" + std::to_string(g) + "->cloud",
+                                     config_.edge_link);
+    }
+  }
+  reset_metrics();
+}
+
+void HierarchyRuntime::set_device_failed(int branch, bool failed) {
+  DDNN_CHECK(branch >= 0 &&
+                 branch < static_cast<int>(devices_.size()),
+             "branch out of range");
+  devices_[static_cast<std::size_t>(branch)].set_failed(failed);
+}
+
+void HierarchyRuntime::reset_metrics() {
+  metrics_ = {};
+  metrics_.exit_counts.assign(
+      static_cast<std::size_t>(model_.config().num_exits()), 0);
+  metrics_.device_bytes.assign(devices_.size(), 0);
+  for (auto& l : dev_gateway_links_) l.reset_stats();
+  for (auto& l : dev_uplink_links_) l.reset_stats();
+  for (auto& l : edge_coord_links_) l.reset_stats();
+  for (auto& l : edge_cloud_links_) l.reset_stats();
+}
+
+int HierarchyRuntime::group_of(int branch) const {
+  const auto& groups = model_.config().edge_groups;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int d : groups[g]) {
+      if (d == branch) return static_cast<int>(g);
+    }
+  }
+  return -1;
+}
+
+Table HierarchyRuntime::link_report() const {
+  Table table({"Link", "Messages", "Bytes", "Bytes/sample"});
+  const double n = std::max<double>(1.0, static_cast<double>(metrics_.samples));
+  auto emit = [&](const std::vector<Link>& links) {
+    for (const auto& link : links) {
+      table.add_row({link.name(), std::to_string(link.stats().messages),
+                     std::to_string(link.stats().bytes),
+                     Table::num(static_cast<double>(link.stats().bytes) / n,
+                                1)});
+    }
+  };
+  emit(dev_gateway_links_);
+  emit(dev_uplink_links_);
+  emit(edge_coord_links_);
+  emit(edge_cloud_links_);
+  return table;
+}
+
+InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
+  const auto& cfg = model_.config();
+  const auto n_dev = devices_.size();
+  InferenceTrace trace;
+  int exit_index = 0;
+
+  auto account = [&](Link& link, const Message& msg, int branch) -> double {
+    trace.bytes_sent += msg.payload_bytes();
+    if (branch >= 0) {
+      metrics_.device_bytes[static_cast<std::size_t>(branch)] +=
+          msg.payload_bytes();
+    }
+    return link.transmit(msg);
+  };
+
+  // --- Stage 0: every healthy device runs its NN section on its view.
+  bool any_active = false;
+  for (std::size_t b = 0; b < n_dev; ++b) {
+    if (devices_[b].failed()) continue;
+    const auto dev_id = static_cast<std::size_t>(device_map_[b]);
+    devices_[b].sense(sample.views.at(dev_id));
+    any_active = true;
+  }
+  DDNN_CHECK(any_active, "classify with every device failed");
+  trace.latency_s += config_.device_compute_s;
+
+  // --- Stage 1: local exit.
+  if (cfg.has_local_exit) {
+    std::vector<std::optional<Message>> scores(n_dev);
+    double stage_latency = 0.0;
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      if (devices_[b].failed()) continue;
+      Message msg = devices_[b].scores_message();
+      stage_latency = std::max(
+          stage_latency, account(dev_gateway_links_[b], msg,
+                                 static_cast<int>(b)));
+      scores[b] = std::move(msg);
+    }
+    trace.latency_s += stage_latency;
+    const Tensor fused = gateway_->aggregate(scores);
+    const Decision d = decide(fused);
+    if (core::should_exit(d.entropy, thresholds_[0])) {
+      trace.exit_taken = 0;
+      trace.prediction = d.prediction;
+      trace.entropy = d.entropy;
+      ++metrics_.exit_counts[0];
+      ++metrics_.samples;
+      metrics_.total_bytes += trace.bytes_sent;
+      metrics_.total_latency_s += trace.latency_s;
+      if (trace.prediction == sample.label) ++metrics_.correct;
+      return trace;
+    }
+    exit_index = 1;
+  }
+
+  // --- Stage 2: devices escalate their features upward.
+  std::vector<std::optional<Message>> features(n_dev);
+  {
+    double stage_latency = 0.0;
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      if (devices_[b].failed()) continue;
+      Message msg = devices_[b].feature_message();
+      stage_latency = std::max(
+          stage_latency,
+          account(dev_uplink_links_[b], msg, static_cast<int>(b)));
+      features[b] = std::move(msg);
+    }
+    trace.latency_s += stage_latency;
+  }
+
+  std::vector<std::optional<Message>> cloud_branches;
+  if (cfg.has_edge()) {
+    // --- Stage 3: edges process their member devices.
+    const auto n_groups = cfg.edge_groups.size();
+    std::vector<std::optional<Message>> edge_scores(n_groups);
+    std::vector<bool> group_active(n_groups, false);
+    double stage_latency = 0.0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      std::vector<std::optional<Message>> members;
+      bool any = false;
+      for (int d : cfg.edge_groups[g]) {
+        members.push_back(features[static_cast<std::size_t>(d)]);
+        any = any || features[static_cast<std::size_t>(d)].has_value();
+      }
+      group_active[g] = any;
+      if (!any) continue;
+      Message msg = edges_[g].process(members, 1);
+      stage_latency =
+          std::max(stage_latency, account(edge_coord_links_[g], msg, -1));
+      edge_scores[g] = std::move(msg);
+    }
+    trace.latency_s += config_.edge_compute_s + stage_latency;
+
+    // --- Stage 4: fused edge exit decision.
+    std::vector<core::Variable> edge_logits;
+    std::vector<bool> active;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (edge_scores[g].has_value()) {
+        edge_logits.emplace_back(
+            decode_class_scores(*edge_scores[g], cfg.num_classes));
+        active.push_back(true);
+      } else {
+        edge_logits.emplace_back(Tensor::zeros(Shape{1, cfg.num_classes}));
+        active.push_back(false);
+      }
+    }
+    const Tensor fused =
+        model_.edge_exit_aggregate(edge_logits, active).value();
+    const Decision d = decide(fused);
+    if (core::should_exit(d.entropy,
+                          thresholds_[static_cast<std::size_t>(exit_index)])) {
+      trace.exit_taken = exit_index;
+      trace.prediction = d.prediction;
+      trace.entropy = d.entropy;
+      ++metrics_.exit_counts[static_cast<std::size_t>(exit_index)];
+      ++metrics_.samples;
+      metrics_.total_bytes += trace.bytes_sent;
+      metrics_.total_latency_s += trace.latency_s;
+      if (trace.prediction == sample.label) ++metrics_.correct;
+      return trace;
+    }
+    ++exit_index;
+
+    // --- Stage 5: edges forward their features to the cloud.
+    double cloud_latency = 0.0;
+    cloud_branches.resize(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (!group_active[g]) continue;
+      Message msg = edges_[g].feature_message();
+      cloud_latency =
+          std::max(cloud_latency, account(edge_cloud_links_[g], msg, -1));
+      cloud_branches[g] = std::move(msg);
+    }
+    trace.latency_s += cloud_latency;
+  } else {
+    cloud_branches = std::move(features);
+  }
+
+  // --- Stage 6: the cloud always classifies.
+  const Tensor logits = cloud_.process(cloud_branches, 1);
+  const Decision d = decide(logits);
+  trace.latency_s += config_.cloud_compute_s;
+  trace.exit_taken = exit_index;
+  trace.prediction = d.prediction;
+  trace.entropy = d.entropy;
+  ++metrics_.exit_counts[static_cast<std::size_t>(exit_index)];
+  ++metrics_.samples;
+  metrics_.total_bytes += trace.bytes_sent;
+  metrics_.total_latency_s += trace.latency_s;
+  if (trace.prediction == sample.label) ++metrics_.correct;
+  return trace;
+}
+
+RuntimeMetrics HierarchyRuntime::run(
+    const std::vector<data::MvmcSample>& samples) {
+  for (const auto& s : samples) classify(s);
+  return metrics_;
+}
+
+}  // namespace ddnn::dist

@@ -1,0 +1,141 @@
+// HierarchyRuntime: end-to-end simulated execution of DDNN inference over
+// the distributed computing hierarchy (paper Section III-D, steps 1-6).
+//
+// Per sample:
+//   1. every healthy device runs its NN section and sends its class-score
+//      message to the local aggregator (gateway);
+//   2. the gateway fuses the scores and computes the normalized entropy;
+//   3. eta <= T_local  -> classify locally, nothing else is transmitted;
+//   4. otherwise every healthy device transmits its bit-packed binary
+//      feature map to its edge (or straight to the cloud);
+//   5. with an edge tier: each edge aggregates its members, runs its trunk,
+//      and the fused edge exit decides; confident -> classify at the edge;
+//   6. otherwise the edges (or devices) forward features to the cloud,
+//      which always classifies.
+//
+// Every message crosses a Link, so byte counts and simulated latency are
+// measured, not modeled; tests assert the measured per-device bytes match
+// the paper's Eq. 1.
+#pragma once
+
+#include <optional>
+
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "data/mvmc.hpp"
+#include "dist/link.hpp"
+#include "dist/node.hpp"
+#include "util/table.hpp"
+
+namespace ddnn::dist {
+
+struct RuntimeConfig {
+  /// Device uplinks (to gateway / edge / cloud): constrained wireless.
+  LinkConfig device_link{};
+  /// Edge-to-cloud links: faster backhaul.
+  LinkConfig edge_link{.bandwidth_bytes_per_s = 2e6, .base_latency_s = 10e-3};
+  /// Fixed compute latency charged per tier per sample (seconds).
+  double device_compute_s = 2e-3;
+  double edge_compute_s = 1e-3;
+  double cloud_compute_s = 0.5e-3;
+};
+
+/// Outcome of classifying one sample on the simulated hierarchy.
+struct InferenceTrace {
+  int exit_taken = 0;            // index into exit_names()
+  std::int64_t prediction = 0;
+  double entropy = 0.0;          // normalized entropy at the taken exit
+  double latency_s = 0.0;        // simulated network + compute latency
+  std::int64_t bytes_sent = 0;   // total bytes across all links
+};
+
+/// Aggregate statistics over a run.
+struct RuntimeMetrics {
+  std::int64_t samples = 0;
+  std::vector<std::int64_t> exit_counts;   // per exit
+  std::vector<std::int64_t> device_bytes;  // per device, all uplinks
+  std::int64_t total_bytes = 0;
+  double total_latency_s = 0.0;
+  std::int64_t correct = 0;
+
+  double accuracy() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(samples);
+  }
+  double mean_latency_s() const {
+    return samples == 0 ? 0.0 : total_latency_s / static_cast<double>(samples);
+  }
+  /// Average uplink bytes per sample for one device — the quantity the
+  /// paper's Eq. 1 models.
+  double device_bytes_per_sample(int device) const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(
+                     device_bytes[static_cast<std::size_t>(device)]) /
+                     static_cast<double>(samples);
+  }
+};
+
+class HierarchyRuntime {
+ public:
+  /// `thresholds`: one normalized-entropy threshold per non-final exit.
+  /// `device_map` maps model branches to dataset device ids (as in
+  /// core::train_ddnn).
+  HierarchyRuntime(core::DdnnModel& model, std::vector<double> thresholds,
+                   std::vector<int> device_map, RuntimeConfig config = {});
+
+  /// Mark a device (by model branch index) failed/healthy.
+  void set_device_failed(int branch, bool failed);
+
+  /// Classify one multi-view sample; updates metrics.
+  InferenceTrace classify(const data::MvmcSample& sample);
+
+  /// Classify a whole sample set (convenience; updates metrics).
+  RuntimeMetrics run(const std::vector<data::MvmcSample>& samples);
+
+  const RuntimeMetrics& metrics() const { return metrics_; }
+  void reset_metrics();
+
+  /// Per-link traffic table (link, messages, bytes, bytes/sample) over the
+  /// metrics window — the bytes-crossing-every-boundary view of a run.
+  Table link_report() const;
+
+  core::DdnnModel& model() { return model_; }
+
+  /// Link inspection for tests/benches.
+  const std::vector<Link>& device_gateway_links() const {
+    return dev_gateway_links_;
+  }
+  const std::vector<Link>& device_uplink_links() const {
+    return dev_uplink_links_;
+  }
+  const std::vector<Link>& edge_cloud_links() const {
+    return edge_cloud_links_;
+  }
+
+ private:
+  core::DdnnModel& model_;
+  std::vector<double> thresholds_;
+  std::vector<int> device_map_;
+  RuntimeConfig config_;
+
+  std::vector<DeviceNode> devices_;
+  std::optional<GatewayNode> gateway_;
+  std::vector<EdgeNode> edges_;
+  CloudNode cloud_;
+
+  // Device -> gateway (class scores) and device -> edge/cloud (features).
+  std::vector<Link> dev_gateway_links_;
+  std::vector<Link> dev_uplink_links_;
+  // Edge -> edge-exit coordinator (scores) and edge -> cloud (features).
+  std::vector<Link> edge_coord_links_;
+  std::vector<Link> edge_cloud_links_;
+
+  RuntimeMetrics metrics_;
+
+  /// Edge group index for a model branch (-1 when no edge tier).
+  int group_of(int branch) const;
+};
+
+}  // namespace ddnn::dist

@@ -1,0 +1,83 @@
+#include "nn/blocks.hpp"
+
+namespace ddnn::nn {
+
+namespace {
+
+/// gamma + beta + running mean + running var, one float32 each per feature.
+std::int64_t batch_norm_bytes(std::int64_t features) { return 4 * 4 * features; }
+
+}  // namespace
+
+FCBlock::FCBlock(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+                 bool binary_output)
+    : out_(out_features),
+      binary_output_(binary_output),
+      linear_(std::make_unique<BinaryLinear>(in_features, out_features, rng)),
+      bn_(std::make_unique<BatchNorm>(out_features)) {
+  add_child("linear", linear_.get());
+  add_child("bn", bn_.get());
+}
+
+Variable FCBlock::forward(const Variable& x) {
+  Variable h = bn_->forward(linear_->forward(x));
+  return binary_output_ ? autograd::binarize(h) : h;
+}
+
+std::int64_t FCBlock::inference_memory_bytes() const {
+  return (linear_->weight_bits() + 7) / 8 + batch_norm_bytes(out_);
+}
+
+FloatConvPBlock::FloatConvPBlock(std::int64_t in_channels,
+                                 std::int64_t filters, Rng& rng)
+    : filters_(filters),
+      conv_(std::make_unique<Conv2d>(in_channels, filters, /*kernel=*/3,
+                                     /*stride=*/1, /*pad=*/1, rng,
+                                     /*bias=*/false)),
+      pool_(std::make_unique<MaxPool2d>(/*kernel=*/3, /*stride=*/2, /*pad=*/1)),
+      bn_(std::make_unique<BatchNorm>(filters)) {
+  add_child("conv", conv_.get());
+  add_child("pool", pool_.get());
+  add_child("bn", bn_.get());
+}
+
+Variable FloatConvPBlock::forward(const Variable& x) {
+  return autograd::relu(bn_->forward(pool_->forward(conv_->forward(x))));
+}
+
+FloatFCBlock::FloatFCBlock(std::int64_t in_features, std::int64_t out_features,
+                           Rng& rng, bool relu_output)
+    : relu_output_(relu_output),
+      linear_(std::make_unique<Linear>(in_features, out_features, rng,
+                                       /*bias=*/false)),
+      bn_(std::make_unique<BatchNorm>(out_features)) {
+  add_child("linear", linear_.get());
+  add_child("bn", bn_.get());
+}
+
+Variable FloatFCBlock::forward(const Variable& x) {
+  Variable h = bn_->forward(linear_->forward(x));
+  return relu_output_ ? autograd::relu(h) : h;
+}
+
+ConvPBlock::ConvPBlock(std::int64_t in_channels, std::int64_t filters,
+                       Rng& rng)
+    : filters_(filters),
+      conv_(std::make_unique<BinaryConv2d>(in_channels, filters, /*kernel=*/3,
+                                           /*stride=*/1, /*pad=*/1, rng)),
+      pool_(std::make_unique<MaxPool2d>(/*kernel=*/3, /*stride=*/2, /*pad=*/1)),
+      bn_(std::make_unique<BatchNorm>(filters)) {
+  add_child("conv", conv_.get());
+  add_child("pool", pool_.get());
+  add_child("bn", bn_.get());
+}
+
+Variable ConvPBlock::forward(const Variable& x) {
+  return autograd::binarize(bn_->forward(pool_->forward(conv_->forward(x))));
+}
+
+std::int64_t ConvPBlock::inference_memory_bytes() const {
+  return (conv_->weight_bits() + 7) / 8 + batch_norm_bytes(filters_);
+}
+
+}  // namespace ddnn::nn

@@ -1,0 +1,120 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ddnn::nn {
+
+float glorot_bound(std::int64_t fan_in, std::int64_t fan_out) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  DDNN_CHECK(in_ > 0 && out_ > 0, "Linear: non-positive feature count");
+  const float bound = glorot_bound(in_, out_);
+  weight_ = add_parameter(
+      "weight", Tensor::rand_uniform(Shape{out_, in_}, rng, -bound, bound));
+  if (bias) bias_ = add_parameter("bias", Tensor::zeros(Shape{out_}));
+}
+
+Variable Linear::forward(const Variable& x) {
+  return autograd::linear(x, weight_, bias_);
+}
+
+BinaryLinear::BinaryLinear(std::int64_t in_features, std::int64_t out_features,
+                           Rng& rng)
+    : in_(in_features), out_(out_features) {
+  DDNN_CHECK(in_ > 0 && out_ > 0, "BinaryLinear: non-positive feature count");
+  const float bound = glorot_bound(in_, out_);
+  weight_ = add_parameter(
+      "weight", Tensor::rand_uniform(Shape{out_, in_}, rng, -bound, bound),
+      /*clamp_to_unit=*/true);
+}
+
+Variable BinaryLinear::forward(const Variable& x) {
+  return autograd::linear(x, autograd::binarize(weight_), Variable());
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng, bool bias)
+    : stride_(stride), pad_(pad) {
+  DDNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+             "Conv2d: bad dimensions");
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const std::int64_t fan_out = out_channels * kernel * kernel;
+  const float bound = glorot_bound(fan_in, fan_out);
+  weight_ = add_parameter(
+      "weight",
+      Tensor::rand_uniform(Shape{out_channels, in_channels, kernel, kernel},
+                           rng, -bound, bound));
+  if (bias) bias_ = add_parameter("bias", Tensor::zeros(Shape{out_channels}));
+}
+
+Variable Conv2d::forward(const Variable& x) {
+  return autograd::conv2d(x, weight_, bias_, stride_, pad_);
+}
+
+BinaryConv2d::BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
+                           std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad, Rng& rng)
+    : stride_(stride), pad_(pad) {
+  DDNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+             "BinaryConv2d: bad dimensions");
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const std::int64_t fan_out = out_channels * kernel * kernel;
+  const float bound = glorot_bound(fan_in, fan_out);
+  weight_ = add_parameter(
+      "weight",
+      Tensor::rand_uniform(Shape{out_channels, in_channels, kernel, kernel},
+                           rng, -bound, bound),
+      /*clamp_to_unit=*/true);
+}
+
+Variable BinaryConv2d::forward(const Variable& x) {
+  return autograd::conv2d(x, autograd::binarize(weight_), Variable(), stride_,
+                          pad_);
+}
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {
+  DDNN_CHECK(kernel_ > 0 && stride_ > 0 && pad_ >= 0, "MaxPool2d: bad config");
+}
+
+Variable MaxPool2d::forward(const Variable& x) {
+  return autograd::max_pool2d(x, kernel_, stride_, pad_);
+}
+
+BatchNorm::BatchNorm(std::int64_t num_features, float momentum, float eps)
+    : features_(num_features), momentum_(momentum), eps_(eps) {
+  DDNN_CHECK(features_ > 0, "BatchNorm: non-positive feature count");
+  gamma_ = add_parameter("gamma", Tensor::ones(Shape{features_}));
+  beta_ = add_parameter("beta", Tensor::zeros(Shape{features_}));
+  running_mean_ = add_buffer("running_mean", Tensor::zeros(Shape{features_}));
+  running_var_ = add_buffer("running_var", Tensor::ones(Shape{features_}));
+}
+
+Variable BatchNorm::forward(const Variable& x) {
+  return autograd::batch_norm(x, gamma_, beta_, running_mean_, running_var_,
+                              training(), momentum_, eps_);
+}
+
+Variable Sequential::forward(const Variable& x) {
+  Variable cur = x;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    cur = forwards_[i](*stages_[i], cur);
+  }
+  return cur;
+}
+
+void Sequential::add_stage_internal(std::unique_ptr<Module> stage,
+                                    ForwardFn fn) {
+  add_child("stage" + std::to_string(stages_.size()), stage.get());
+  stages_.push_back(std::move(stage));
+  forwards_.push_back(fn);
+}
+
+}  // namespace ddnn::nn

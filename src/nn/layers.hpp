@@ -1,0 +1,149 @@
+// Standard and binarized neural-network layers.
+//
+// The binarized layers follow BinaryConnect / BNN (Courbariaux et al.) as
+// used by the paper: float "latent" weights are binarized with sign() on
+// every forward pass; the straight-through estimator carries gradients back
+// to the latent weights, which the optimizer clamps to [-1, 1] after each
+// step. BinaryActivation applies the same sign+STE to activations, which is
+// what makes the device->cloud feature maps 1 bit per value on the wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace ddnn::nn {
+
+using autograd::Variable;
+
+/// Fully connected layer: y = x W^T + b. Weights use Glorot-uniform init.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+  Variable forward(const Variable& x);
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  Variable weight_, bias_;
+};
+
+/// Fully connected layer with binarized weights (latent floats, sign() on
+/// forward, STE backward, clamped by the optimizer).
+class BinaryLinear : public Module {
+ public:
+  BinaryLinear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+  Variable forward(const Variable& x);
+
+  /// Weight bits actually needed at inference time (1 bit per weight).
+  std::int64_t weight_bits() const { return in_ * out_; }
+
+ private:
+  std::int64_t in_, out_;
+  Variable weight_;
+};
+
+/// Standard 2-D convolution.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+         bool bias = true);
+  Variable forward(const Variable& x);
+
+ private:
+  std::int64_t stride_, pad_;
+  Variable weight_, bias_;
+};
+
+/// 2-D convolution with binarized weights.
+class BinaryConv2d : public Module {
+ public:
+  BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng);
+  Variable forward(const Variable& x);
+
+  std::int64_t weight_bits() const { return weight_.numel(); }
+
+ private:
+  std::int64_t stride_, pad_;
+  Variable weight_;
+};
+
+/// Spatial max pooling.
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad);
+  Variable forward(const Variable& x);
+
+ private:
+  std::int64_t kernel_, stride_, pad_;
+};
+
+/// Batch normalization over [N, F] features or [N, C, H, W] channels.
+class BatchNorm : public Module {
+ public:
+  explicit BatchNorm(std::int64_t num_features, float momentum = 0.1f,
+                     float eps = 1e-5f);
+  Variable forward(const Variable& x);
+
+  std::int64_t num_features() const { return features_; }
+
+ private:
+  std::int64_t features_;
+  float momentum_, eps_;
+  Variable gamma_, beta_;
+  Tensor running_mean_, running_var_;
+};
+
+/// sign() activation with straight-through gradient.
+class BinaryActivation : public Module {
+ public:
+  Variable forward(const Variable& x) { return autograd::binarize(x); }
+};
+
+/// [N, ...] -> [N, prod(...)]
+class Flatten : public Module {
+ public:
+  Variable forward(const Variable& x) { return autograd::flatten2d(x); }
+};
+
+/// Heterogeneous layer pipeline. Owns its stages.
+class Sequential : public Module {
+ public:
+  /// Append a stage constructed in place; returns a reference to it.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto stage = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *stage;
+    add_stage_internal(std::move(stage),
+                       [](Module& m, const Variable& x) {
+                         return static_cast<T&>(m).forward(x);
+                       });
+    return ref;
+  }
+
+  Variable forward(const Variable& x);
+
+  std::size_t size() const { return stages_.size(); }
+
+ private:
+  using ForwardFn = Variable (*)(Module&, const Variable&);
+  void add_stage_internal(std::unique_ptr<Module> stage, ForwardFn fn);
+
+  std::vector<std::unique_ptr<Module>> stages_;
+  std::vector<ForwardFn> forwards_;
+};
+
+/// Glorot-uniform initialization bound for a weight tensor.
+float glorot_bound(std::int64_t fan_in, std::int64_t fan_out);
+
+}  // namespace ddnn::nn

@@ -1,0 +1,75 @@
+#include "nn/module.hpp"
+
+#include "util/error.hpp"
+
+namespace ddnn::nn {
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+std::vector<Parameter> Module::parameters() { return named_parameters(); }
+
+std::vector<Parameter> Module::named_parameters(const std::string& prefix) {
+  std::vector<Parameter> out;
+  for (const auto& p : params_) {
+    out.push_back({prefix + p.name, p.var, p.clamp_to_unit});
+  }
+  for (auto& [name, child] : children_) {
+    auto sub = child->named_parameters(prefix + name + ".");
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_buffers(
+    const std::string& prefix) {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, buf] : buffers_) {
+    out.emplace_back(prefix + name, buf);
+  }
+  for (auto& [name, child] : children_) {
+    auto sub = child->named_buffers(prefix + name + ".");
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::int64_t Module::parameter_count() {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.var.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.var.zero_grad();
+}
+
+autograd::Variable Module::add_parameter(const std::string& name, Tensor init,
+                                         bool clamp_to_unit) {
+  for (const auto& p : params_) {
+    DDNN_CHECK(p.name != name, "duplicate parameter name '" << name << "'");
+  }
+  autograd::Variable v = autograd::Variable::parameter(std::move(init));
+  params_.push_back({name, v, clamp_to_unit});
+  return v;
+}
+
+Tensor Module::add_buffer(const std::string& name, Tensor init) {
+  for (const auto& [n, b] : buffers_) {
+    DDNN_CHECK(n != name, "duplicate buffer name '" << name << "'");
+  }
+  buffers_.emplace_back(name, init);
+  return init;  // Tensor shares storage: caller and registry see one buffer
+}
+
+void Module::add_child(const std::string& name, Module* child) {
+  DDNN_CHECK(child != nullptr, "null child module");
+  for (const auto& [n, c] : children_) {
+    DDNN_CHECK(n != name, "duplicate child name '" << name << "'");
+  }
+  children_.emplace_back(name, child);
+}
+
+}  // namespace ddnn::nn

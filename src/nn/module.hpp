@@ -1,0 +1,74 @@
+// Module: base class for neural-network components.
+//
+// A module owns named parameters (trainable Variables), named buffers
+// (non-trainable tensors such as batch-norm running statistics) and child
+// modules. parameters() / named_parameters() / named_buffers() walk the tree
+// in registration order, which gives serialization and optimizers a stable,
+// deterministic ordering.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace ddnn::nn {
+
+/// A trainable tensor with metadata.
+struct Parameter {
+  std::string name;
+  autograd::Variable var;
+  /// True for the latent weights of binarized layers: the optimizer clamps
+  /// them to [-1, 1] after every step (BinaryConnect recipe), keeping the
+  /// straight-through gradient gate open.
+  bool clamp_to_unit = false;
+};
+
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Switch between training behaviour (batch statistics, tape recording by
+  /// callers) and inference behaviour. Recurses into children.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// All parameters of this module and its descendants, registration order.
+  std::vector<Parameter> parameters();
+
+  /// Parameters with dotted path names ("cloud.block0.conv.weight").
+  std::vector<Parameter> named_parameters(const std::string& prefix = "");
+
+  /// Buffers (running statistics) with dotted path names.
+  std::vector<std::pair<std::string, Tensor>> named_buffers(
+      const std::string& prefix = "");
+
+  /// Sum over parameters of numel (for model-size reporting).
+  std::int64_t parameter_count();
+
+  void zero_grad();
+
+ protected:
+  /// Register a trainable parameter; returns a Variable sharing the node.
+  autograd::Variable add_parameter(const std::string& name, Tensor init,
+                                   bool clamp_to_unit = false);
+
+  /// Register a buffer; returns a Tensor sharing storage.
+  Tensor add_buffer(const std::string& name, Tensor init);
+
+  /// Register a child (not owned; derived classes own their children).
+  void add_child(const std::string& name, Module* child);
+
+ private:
+  bool training_ = true;
+  std::vector<Parameter> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace ddnn::nn

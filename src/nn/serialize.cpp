@@ -1,0 +1,103 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace ddnn::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'N', 'N', 'P', 'A', 'R', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& f, T value) {
+  f.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T value{};
+  f.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DDNN_CHECK(f.good(), "truncated state file");
+  return value;
+}
+
+void write_entry(std::ofstream& f, const std::string& name, const Tensor& t) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(name.size()));
+  f.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(t.ndim()));
+  for (auto d : t.shape().dims()) write_pod<std::int64_t>(f, d);
+  f.write(reinterpret_cast<const char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+/// Collect name -> tensor for all parameters and buffers of a module.
+std::map<std::string, Tensor> state_map(Module& module) {
+  std::map<std::string, Tensor> state;
+  for (auto& p : module.named_parameters()) {
+    DDNN_CHECK(!state.contains(p.name), "duplicate state name " << p.name);
+    state.emplace(p.name, p.var.value());
+  }
+  for (auto& [name, buf] : module.named_buffers()) {
+    DDNN_CHECK(!state.contains(name), "duplicate state name " << name);
+    state.emplace(name, buf);
+  }
+  return state;
+}
+
+}  // namespace
+
+void save_state(Module& module, const std::string& path) {
+  auto state = state_map(module);
+  std::ofstream f(path, std::ios::binary);
+  DDNN_CHECK(f.good(), "cannot open " << path << " for writing");
+  f.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(f, state.size());
+  for (const auto& [name, tensor] : state) write_entry(f, name, tensor);
+  DDNN_CHECK(f.good(), "failed writing " << path);
+}
+
+void load_state(Module& module, const std::string& path) {
+  auto state = state_map(module);
+  std::ifstream f(path, std::ios::binary);
+  DDNN_CHECK(f.good(), "cannot open " << path << " for reading");
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  DDNN_CHECK(f.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             path << " is not a DDNN state file");
+  const auto count = read_pod<std::uint64_t>(f);
+  DDNN_CHECK(count == state.size(), "state file has " << count
+                                                      << " entries, module has "
+                                                      << state.size());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    DDNN_CHECK(f.good(), "truncated state file");
+    auto it = state.find(name);
+    DDNN_CHECK(it != state.end(), "unknown entry '" << name << "' in " << path);
+    const auto ndim = read_pod<std::uint32_t>(f);
+    std::vector<std::int64_t> dims(ndim);
+    for (auto& d : dims) d = read_pod<std::int64_t>(f);
+    DDNN_CHECK(Shape(dims) == it->second.shape(),
+               "shape mismatch for '" << name << "': file "
+                                      << Shape(dims).to_string() << ", module "
+                                      << it->second.shape().to_string());
+    f.read(reinterpret_cast<char*>(it->second.data()),
+           static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
+    DDNN_CHECK(f.good(), "truncated state file");
+  }
+}
+
+bool is_state_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  return f.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace ddnn::nn

@@ -1,0 +1,28 @@
+// Binary (de)serialization of module state: parameters and buffers.
+//
+// File layout (little-endian):
+//   magic "DDNNPAR1" | u64 entry_count |
+//   per entry: u32 name_len | name | u32 ndim | i64 dims[ndim] | f32 data[]
+//
+// Used by the bench harness to cache trained models between binaries
+// (DDNN_CACHE_DIR) and by tests to verify round-tripping.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace ddnn::nn {
+
+/// Write all named parameters and buffers of `module` to `path`.
+void save_state(Module& module, const std::string& path);
+
+/// Load state saved by save_state into `module`. Every entry in the file
+/// must match a parameter/buffer of the same name and shape, and every
+/// parameter/buffer of the module must be present in the file.
+void load_state(Module& module, const std::string& path);
+
+/// True if `path` exists and starts with the DDNNPAR1 magic.
+bool is_state_file(const std::string& path);
+
+}  // namespace ddnn::nn

@@ -1,0 +1,100 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ddnn::opt {
+
+Optimizer::Optimizer(std::vector<nn::Parameter> params)
+    : params_(std::move(params)) {
+  DDNN_CHECK(!params_.empty(), "optimizer with no parameters");
+}
+
+void Optimizer::set_gradient_clip(float max_norm) {
+  DDNN_CHECK(max_norm >= 0.0f, "negative clip norm");
+  clip_norm_ = max_norm;
+}
+
+void Optimizer::step() {
+  if (clip_norm_ > 0.0f) {
+    double sq = 0.0;
+    for (auto& p : params_) {
+      if (!p.var.has_grad()) continue;
+      const Tensor& g = p.var.grad();
+      for (std::int64_t j = 0; j < g.numel(); ++j) {
+        sq += static_cast<double>(g[j]) * g[j];
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > clip_norm_) {
+      const auto scale = static_cast<float>(clip_norm_ / norm);
+      for (auto& p : params_) {
+        if (!p.var.has_grad()) continue;
+        Tensor& g = p.var.grad();
+        for (std::int64_t j = 0; j < g.numel(); ++j) g[j] *= scale;
+      }
+    }
+  }
+  on_step_begin();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.var.has_grad()) continue;
+    update(i, p.var.value(), p.var.grad());
+    if (p.clamp_to_unit) {
+      Tensor& w = p.var.value();
+      for (std::int64_t j = 0; j < w.numel(); ++j) {
+        w[j] = std::min(1.0f, std::max(-1.0f, w[j]));
+      }
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.var.zero_grad();
+}
+
+Adam::Adam(std::vector<nn::Parameter> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.var.value().shape()));
+    v_.push_back(Tensor::zeros(p.var.value().shape()));
+  }
+}
+
+void Adam::update(std::size_t index, Tensor& value, const Tensor& grad) {
+  Tensor& m = m_[index];
+  Tensor& v = v_[index];
+  const float b1 = config_.beta1, b2 = config_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = config_.lr;
+  for (std::int64_t j = 0; j < value.numel(); ++j) {
+    const float g = grad[j];
+    m[j] = b1 * m[j] + (1.0f - b1) * g;
+    v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    value[j] -= lr * mhat / (std::sqrt(vhat) + config_.eps);
+  }
+}
+
+Sgd::Sgd(std::vector<nn::Parameter> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::zeros(p.var.value().shape()));
+  }
+}
+
+void Sgd::update(std::size_t index, Tensor& value, const Tensor& grad) {
+  Tensor& vel = velocity_[index];
+  for (std::int64_t j = 0; j < value.numel(); ++j) {
+    vel[j] = momentum_ * vel[j] - lr_ * grad[j];
+    value[j] += vel[j];
+  }
+}
+
+}  // namespace ddnn::opt

@@ -1,0 +1,91 @@
+// Optimizers.
+//
+// Adam uses the paper's hyper-parameters by default (alpha 1e-3, beta1 0.9,
+// beta2 0.999, eps 1e-8, Section IV-A). Both optimizers clamp latent binary
+// weights (Parameter::clamp_to_unit) to [-1, 1] after each step, which keeps
+// the straight-through gradient gate open — the BinaryConnect recipe.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ddnn::opt {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the gradients currently stored on the parameters;
+  /// parameters without an allocated gradient are skipped.
+  void step();
+
+  void zero_grad();
+
+  std::size_t parameter_count() const { return params_.size(); }
+
+  /// Clip the GLOBAL gradient norm to `max_norm` before each step
+  /// (0 disables, the default). Uses the usual scale-all-by
+  /// max_norm/||g|| rule.
+  void set_gradient_clip(float max_norm);
+
+  /// Override the learning rate (e.g., from a schedule between epochs).
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+
+ protected:
+  /// Called once at the start of each step() (e.g. Adam's timestep).
+  virtual void on_step_begin() {}
+
+  /// Update a single parameter in place from its gradient.
+  virtual void update(std::size_t index, Tensor& value, const Tensor& grad) = 0;
+
+  std::vector<nn::Parameter> params_;
+
+ private:
+  float clip_norm_ = 0.0f;  // 0 = no clipping
+};
+
+/// Adam (Kingma & Ba), the paper's training optimizer.
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(std::vector<nn::Parameter> params, AdamConfig config = {});
+
+  void set_learning_rate(float lr) override { config_.lr = lr; }
+  float learning_rate() const override { return config_.lr; }
+
+ protected:
+  void on_step_begin() override { ++t_; }
+  void update(std::size_t index, Tensor& value, const Tensor& grad) override;
+
+ private:
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// SGD with optional momentum (baseline / tests).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter> params, float lr, float momentum = 0.0f);
+
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ protected:
+  void update(std::size_t index, Tensor& value, const Tensor& grad) override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace ddnn::opt

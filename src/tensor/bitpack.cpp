@@ -1,0 +1,41 @@
+#include "tensor/bitpack.hpp"
+
+namespace ddnn {
+
+std::int64_t packed_size_bytes(std::int64_t numel) {
+  DDNN_CHECK(numel >= 0, "negative element count");
+  return (numel + 7) / 8;
+}
+
+std::vector<std::uint8_t> pack_signs(const Tensor& t) {
+  DDNN_CHECK(t.defined(), "pack_signs of undefined tensor");
+  const std::int64_t n = t.numel();
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(packed_size_bytes(n)),
+                                  0);
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (p[i] >= 0.0f) {
+      bytes[static_cast<std::size_t>(i / 8)] |=
+          static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  return bytes;
+}
+
+Tensor unpack_signs(const std::vector<std::uint8_t>& bytes, Shape shape) {
+  const std::int64_t n = shape.numel();
+  DDNN_CHECK(static_cast<std::int64_t>(bytes.size()) == packed_size_bytes(n),
+             "unpack_signs: byte count " << bytes.size()
+                                         << " does not match shape "
+                                         << shape.to_string());
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool bit =
+        (bytes[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u;
+    p[i] = bit ? 1.0f : -1.0f;
+  }
+  return t;
+}
+
+}  // namespace ddnn

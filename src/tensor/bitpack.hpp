@@ -1,0 +1,27 @@
+// Bit-packing of binarized activations for the wire format.
+//
+// After a binary activation every value is exactly -1.0f or +1.0f, so a
+// feature map of `n` activations travels as ceil(n / 8) bytes. This is the
+// `f * o / 8` term of the paper's communication-cost model (Eq. 1) and is
+// what the simulated device->cloud links carry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ddnn {
+
+/// Bytes needed to carry `numel` sign bits.
+std::int64_t packed_size_bytes(std::int64_t numel);
+
+/// Pack signs of `t` (bit = 1 for x >= 0). Trailing bits of the last byte
+/// are zero.
+std::vector<std::uint8_t> pack_signs(const Tensor& t);
+
+/// Inverse of pack_signs: produces a tensor of the given shape with values
+/// in {-1, +1}.
+Tensor unpack_signs(const std::vector<std::uint8_t>& bytes, Shape shape);
+
+}  // namespace ddnn

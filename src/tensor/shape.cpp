@@ -1,0 +1,41 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ddnn {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) DDNN_CHECK(d >= 0, "negative dimension in " << to_string());
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) DDNN_CHECK(d >= 0, "negative dimension in " << to_string());
+}
+
+std::int64_t Shape::dim(std::int64_t i) const {
+  const auto n = static_cast<std::int64_t>(dims_.size());
+  if (i < 0) i += n;
+  DDNN_CHECK(i >= 0 && i < n, "axis " << i << " out of range for " << to_string());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ddnn

@@ -1,0 +1,42 @@
+// Tensor shape: a small ordered list of dimension extents.
+//
+// All tensors in this library are dense, contiguous, row-major (NCHW for
+// 4-D activations), so Shape fully determines the memory layout.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ddnn {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t ndim() const { return dims_.size(); }
+
+  /// Extent of axis `i`; negative `i` counts from the back (Python-style).
+  std::int64_t dim(std::int64_t i) const;
+
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+
+  /// Total number of elements (1 for a 0-D/empty shape).
+  std::int64_t numel() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 32, 32]"
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace ddnn

@@ -1,0 +1,100 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+namespace ddnn {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()), 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(std::move(data))) {
+  DDNN_CHECK(static_cast<std::int64_t>(data_->size()) == shape_.numel(),
+             "data size " << data_->size() << " does not match shape "
+                          << shape_.to_string());
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : *t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : *t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  DDNN_ASSERT(defined() && i >= 0 && i < numel());
+  return (*data_)[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  DDNN_ASSERT(defined() && i >= 0 && i < numel());
+  return (*data_)[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  DDNN_ASSERT(ndim() == 2);
+  return (*this)[i * shape_[1] + j];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  DDNN_ASSERT(ndim() == 2);
+  return (*this)[i * shape_[1] + j];
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  DDNN_ASSERT(ndim() == 4);
+  return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  DDNN_ASSERT(ndim() == 4);
+  return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::clone() const {
+  DDNN_CHECK(defined(), "clone() of undefined tensor");
+  return Tensor(shape_, *data_);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  DDNN_CHECK(defined(), "reshape() of undefined tensor");
+  DDNN_CHECK(new_shape.numel() == shape_.numel(),
+             "reshape " << shape_.to_string() << " -> " << new_shape.to_string()
+                        << " changes element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  DDNN_CHECK(defined(), "fill() of undefined tensor");
+  for (auto& x : *data_) x = value;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (!defined() || !other.defined()) return false;
+  if (shape_ != other.shape_) return false;
+  for (std::int64_t i = 0; i < numel(); ++i) {
+    if (std::fabs((*this)[i] - other[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ddnn

@@ -1,0 +1,83 @@
+// Dense float32 tensor with shared, contiguous, row-major storage.
+//
+// Copying a Tensor is cheap and *shares* the underlying buffer (like a
+// reference); use clone() for a deep copy. This matches the needs of the
+// autograd tape, where many nodes view the same activation buffer.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ddnn {
+
+class Tensor {
+ public:
+  /// An undefined tensor (no storage). defined() is false.
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor adopting `data` (must match shape.numel()).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value);
+  static Tensor from_vector(Shape shape, std::vector<float> data) {
+    return Tensor(std::move(shape), std::move(data));
+  }
+  /// 0-D-like scalar stored as shape [1].
+  static Tensor scalar(float value) { return full(Shape{1}, value); }
+
+  /// i.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  bool defined() const { return data_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
+  std::size_t ndim() const { return shape_.ndim(); }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+  std::span<float> span() { return {data_->data(), data_->size()}; }
+  std::span<const float> span() const { return {data_->data(), data_->size()}; }
+
+  /// Flat element access with bounds checking.
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// Multi-dimensional access (ndim must match the overload used).
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// View with a new shape of equal numel (shares storage).
+  Tensor reshape(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// True when both tensors are defined, same shape, and elementwise within
+  /// `tol` of each other.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace ddnn

@@ -1,0 +1,65 @@
+// Raw (non-differentiable) tensor kernels.
+//
+// These are the computational primitives the autograd layer builds on. All
+// functions validate shapes with DDNN_CHECK and allocate their results; the
+// *_into variants accumulate in place and are used on gradient buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ddnn::ops {
+
+// ---------------------------------------------------------------- elementwise
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+/// sign with sign(0) = +1, so binarized values are always in {-1, +1}.
+Tensor sign(const Tensor& a);
+
+/// y += alpha * x (shapes must match).
+void axpy_into(Tensor& y, float alpha, const Tensor& x);
+
+// ------------------------------------------------------------------- matmul
+
+/// C[m,n] = A[m,k] * B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[k,m]^T * B[k,n]
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[m,k] * B[n,k]^T
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+Tensor transpose2d(const Tensor& a);
+
+// --------------------------------------------------------------- reductions
+
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+
+/// Row-wise argmax of a [m, n] matrix.
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+/// Row-wise numerically-stable softmax of a [m, n] matrix.
+Tensor softmax_rows(const Tensor& a);
+
+// -------------------------------------------------------------- broadcasting
+
+/// X[m,n] + b[n] broadcast over rows.
+Tensor add_row_vector(const Tensor& x, const Tensor& b);
+
+/// Column-wise sum of a [m, n] matrix -> [n]. (Gradient of the broadcast.)
+Tensor sum_rows(const Tensor& x);
+
+}  // namespace ddnn::ops

@@ -1,0 +1,59 @@
+// Minimal command-line argument parser for the CLI tool and examples.
+//
+// Supports long options with values ("--epochs 40" or "--epochs=40"),
+// boolean flags ("--verbose"), positional arguments, and --help. Unknown
+// options and missing values throw ddnn::Error so the CLI fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddnn {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register a boolean flag ("--verbose").
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Register a value option with a default ("--epochs", "40").
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+
+  /// Parse argv. Returns false when --help was requested (usage printed to
+  /// stdout); throws ddnn::Error on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    bool is_flag = false;
+    std::string value;  // default, then parsed
+    bool seen = false;
+  };
+
+  Spec* find(const std::string& name);
+  const Spec* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<std::string> positionals_;
+};
+
+/// Split "2,5,0" into integers (empty string -> empty vector).
+std::vector<int> parse_int_list(const std::string& csv);
+
+}  // namespace ddnn

@@ -1,0 +1,26 @@
+// Typed access to environment-variable configuration.
+//
+// Bench binaries and examples read their knobs (epoch count, seed, cache
+// directory, ...) from DDNN_* environment variables so that the canonical
+// `for b in build/bench/*; do $b; done` loop needs no arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ddnn {
+
+/// String env var, or `fallback` when unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Integer env var; throws ddnn::Error on malformed values.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Floating-point env var; throws ddnn::Error on malformed values.
+double env_double(const std::string& name, double fallback);
+
+/// Boolean env var: "1"/"true"/"yes"/"on" are true, "0"/"false"/"no"/"off"
+/// are false (case-insensitive); throws on anything else.
+bool env_bool(const std::string& name, bool fallback);
+
+}  // namespace ddnn

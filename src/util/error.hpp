@@ -1,0 +1,48 @@
+// Error-handling helpers for the DDNN library.
+//
+// All invariant violations throw ddnn::Error (derived from std::runtime_error)
+// with a message that includes the failing expression and source location.
+// We use exceptions rather than abort() so that library users can recover and
+// tests can assert on failure modes.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ddnn {
+
+/// Exception type thrown by every DDNN_CHECK / DDNN_ASSERT failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DDNN check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ddnn
+
+/// Check a precondition/invariant; throws ddnn::Error with a streamed message.
+/// Usage: DDNN_CHECK(a == b, "shape mismatch: " << a << " vs " << b);
+#define DDNN_CHECK(expr, ...)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream ddnn_check_os_;                                   \
+      ddnn_check_os_ << "" __VA_OPT__(<< __VA_ARGS__);                     \
+      ::ddnn::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                          ddnn_check_os_.str());           \
+    }                                                                      \
+  } while (false)
+
+/// Cheap internal-consistency assertion; active in all build types because
+/// the kernels here are small and correctness matters more than the branch.
+#define DDNN_ASSERT(expr) DDNN_CHECK(expr)

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace ddnn {
+
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("DDNN_LOG_LEVEL");
+  return env == nullptr ? LogLevel::kInfo : parse_log_level(env);
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %s] %s\n", ts, level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace ddnn

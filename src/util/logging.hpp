@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The log level is read once from the DDNN_LOG_LEVEL environment variable
+// ("trace" | "debug" | "info" | "warn" | "error" | "off"; default "info").
+// Output goes to stderr so that bench binaries can print clean tables on
+// stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ddnn {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global log level (initialized from DDNN_LOG_LEVEL).
+LogLevel log_level();
+
+/// Override the global log level (e.g., from tests).
+void set_log_level(LogLevel level);
+
+/// Parse a level name; unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace ddnn
+
+#define DDNN_LOG(level, ...)                                         \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::ddnn::log_level())) { \
+      std::ostringstream ddnn_log_os_;                               \
+      ddnn_log_os_ << __VA_ARGS__;                                   \
+      ::ddnn::detail::log_emit(level, ddnn_log_os_.str());           \
+    }                                                                \
+  } while (false)
+
+#define DDNN_TRACE(...) DDNN_LOG(::ddnn::LogLevel::kTrace, __VA_ARGS__)
+#define DDNN_DEBUG(...) DDNN_LOG(::ddnn::LogLevel::kDebug, __VA_ARGS__)
+#define DDNN_INFO(...) DDNN_LOG(::ddnn::LogLevel::kInfo, __VA_ARGS__)
+#define DDNN_WARN(...) DDNN_LOG(::ddnn::LogLevel::kWarn, __VA_ARGS__)
+#define DDNN_ERROR(...) DDNN_LOG(::ddnn::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,41 @@
+// Console table and CSV writers used by the bench harness to print the
+// paper's tables/figure series in a readable, diff-stable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddnn {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision so repeated runs diff cleanly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number formatted with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 2);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule and aligned columns.
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; throws ddnn::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace ddnn

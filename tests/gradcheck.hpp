@@ -1,0 +1,57 @@
+// Numerical gradient checking for autograd ops.
+//
+// Compares the analytic gradient of a scalar-valued computation against
+// central finite differences, perturbing every element of every leaf. Only
+// valid for genuinely differentiable ops — straight-through estimators
+// (binarize) and tie-breaking ops (max pooling at exact ties) are tested
+// for their *defined* semantics instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace ddnn::testing {
+
+/// `build` must recompute the scalar loss from the CURRENT values of
+/// `leaves` on every call (the tape is rebuilt each time).
+inline void expect_gradients_match(
+    const std::function<autograd::Variable()>& build,
+    std::vector<autograd::Variable> leaves, float eps = 1e-3f,
+    float tol = 2e-2f) {
+  // Analytic gradients.
+  for (auto& leaf : leaves) leaf.zero_grad();
+  autograd::Variable loss = build();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) analytic.push_back(leaf.grad().clone());
+
+  // Numerical gradients by central differences.
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    Tensor& x = leaves[l].value();
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const float saved = x[i];
+      x[i] = saved + eps;
+      const float up = build().value()[0];
+      x[i] = saved - eps;
+      const float down = build().value()[0];
+      x[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      // Absolute tolerance for small gradients, relative for large ones
+      // (float32 central differences lose precision as magnitudes grow).
+      const float bound = std::max(tol, 0.02f * std::fabs(numeric));
+      EXPECT_NEAR(analytic[l][i], numeric, bound)
+          << "leaf " << l << " element " << i;
+    }
+  }
+}
+
+}  // namespace ddnn::testing

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace ddnn {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args};
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  ArgParser p("prog", "test");
+  p.add_option("epochs", "epochs", "40").add_flag("verbose", "verbosity");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get_int("epochs"), 40);
+  EXPECT_FALSE(p.has_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  ArgParser p("prog", "test");
+  p.add_option("epochs", "", "1").add_option("lr", "", "0.1");
+  const auto argv = argv_of({"prog", "--epochs", "7", "--lr=0.5"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get_int("epochs"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("lr"), 0.5);
+}
+
+TEST(ArgParser, FlagsAndPositionals) {
+  ArgParser p("prog", "test");
+  p.add_flag("verbose", "");
+  const auto argv = argv_of({"prog", "input.bin", "--verbose", "more"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(p.has_flag("verbose"));
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "input.bin");
+  EXPECT_EQ(p.positionals()[1], "more");
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p("prog", "test");
+  p.add_option("x", "", "1");
+  const auto argv = argv_of({"prog", "--help"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  ArgParser p("prog", "test");
+  p.add_option("epochs", "", "1").add_flag("verbose", "");
+  {
+    const auto argv = argv_of({"prog", "--nope"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), Error);
+  }
+  {
+    ArgParser q("prog", "test");
+    q.add_option("epochs", "", "1");
+    const auto argv = argv_of({"prog", "--epochs"});
+    EXPECT_THROW(q.parse(static_cast<int>(argv.size()), argv.data()), Error);
+  }
+  {
+    ArgParser q("prog", "test");
+    q.add_flag("verbose", "");
+    const auto argv = argv_of({"prog", "--verbose=yes"});
+    EXPECT_THROW(q.parse(static_cast<int>(argv.size()), argv.data()), Error);
+  }
+}
+
+TEST(ArgParser, TypedGettersValidate) {
+  ArgParser p("prog", "test");
+  p.add_option("epochs", "", "x");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(p.get_int("epochs"), Error);
+  EXPECT_THROW(p.get("missing"), Error);
+  EXPECT_THROW(p.has_flag("epochs"), Error);  // option, not a flag
+}
+
+TEST(ArgParser, UsageListsOptionsAndDefaults) {
+  ArgParser p("prog", "The test tool.");
+  p.add_option("epochs", "training epochs", "40").add_flag("verbose", "talk");
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--epochs"), std::string::npos);
+  EXPECT_NE(u.find("(default: 40)"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("The test tool."), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p("prog", "test");
+  p.add_option("x", "", "1");
+  EXPECT_THROW(p.add_flag("x", ""), Error);
+}
+
+TEST(ParseIntList, SplitsAndValidates) {
+  EXPECT_EQ(parse_int_list("1,2,3"), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(parse_int_list(""), (std::vector<int>{}));
+  EXPECT_EQ(parse_int_list("7"), (std::vector<int>{7}));
+  EXPECT_EQ(parse_int_list("-1,0"), (std::vector<int>{-1, 0}));
+  EXPECT_THROW(parse_int_list("1,x"), Error);
+}
+
+}  // namespace
+}  // namespace ddnn

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_mode.hpp"
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "gradcheck.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ddnn::autograd {
+namespace {
+
+using ddnn::testing::expect_gradients_match;
+
+/// Sum of all elements as a differentiable scalar (via a ones matmul), used
+/// to reduce op outputs for grad checking.
+Variable reduce_sum(const Variable& x) {
+  const std::int64_t n = x.numel();
+  Variable flat = reshape(x, Shape{1, n});
+  Variable ones = Variable(Tensor::ones(Shape{n, 1}));
+  return matmul(flat, ones);
+}
+
+TEST(Variable, LeafBasics) {
+  Variable v(Tensor::full(Shape{2}, 3.0f));
+  EXPECT_TRUE(v.defined());
+  EXPECT_FALSE(v.requires_grad());
+  Variable p = Variable::parameter(Tensor::zeros(Shape{2}));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_FALSE(p.has_grad());
+  p.grad();  // allocates
+  EXPECT_TRUE(p.has_grad());
+}
+
+TEST(Variable, BackwardRequiresScalar) {
+  Variable p = Variable::parameter(Tensor::zeros(Shape{2}));
+  Variable y = add(p, p);
+  EXPECT_THROW(y.backward(), Error);
+}
+
+TEST(Variable, GradAccumulatesAcrossConsumers) {
+  // y = sum(p + p): each element's gradient must be 2 (fan-out of p).
+  Variable p = Variable::parameter(Tensor::full(Shape{3}, 1.0f));
+  Variable y = reduce_sum(add(p, p));
+  y.backward();
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.grad()[i], 2.0f);
+}
+
+TEST(Variable, DiamondGraphAccumulates) {
+  // z = sum(a*a + a): dz/da = 2a + 1. Exercises the multi-exit DAG pattern.
+  Variable a = Variable::parameter(Tensor::from_vector(Shape{3}, {1, 2, 3}));
+  Variable y = add(mul(a, a), a);
+  reduce_sum(y).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 5.0f);
+  EXPECT_FLOAT_EQ(a.grad()[2], 7.0f);
+}
+
+TEST(Variable, DetachBlocksGradient) {
+  Variable a = Variable::parameter(Tensor::full(Shape{2}, 2.0f));
+  Variable y = reduce_sum(mul(a.detach(), a));
+  y.backward();
+  // Only the non-detached operand receives gradient (value of detached = 2).
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(GradMode, NoGradGuardDisablesTape) {
+  Variable p = Variable::parameter(Tensor::full(Shape{2}, 1.0f));
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_enabled());
+    Variable y = add(p, p);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(grad_enabled());
+  Variable y = add(p, p);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(GradMode, GuardsNest) {
+  NoGradGuard a;
+  {
+    NoGradGuard b;
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_FALSE(grad_enabled());
+}
+
+TEST(Ops, ConstantSubgraphRecordsNoTape) {
+  Variable a(Tensor::full(Shape{2}, 1.0f));
+  Variable b(Tensor::full(Shape{2}, 2.0f));
+  EXPECT_FALSE(add(a, b).requires_grad());
+}
+
+// ------------------------------------------------------- gradient checking
+
+TEST(GradCheck, AddSubMul) {
+  Rng rng(1);
+  Variable a = Variable::parameter(Tensor::randn(Shape{2, 3}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{2, 3}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(mul(add(a, b), sub(a, b))); }, {a, b});
+}
+
+TEST(GradCheck, MulScalar) {
+  Rng rng(2);
+  Variable a = Variable::parameter(Tensor::randn(Shape{4}, rng));
+  expect_gradients_match([&] { return reduce_sum(mul_scalar(a, -2.5f)); },
+                         {a});
+}
+
+TEST(GradCheck, LinearWithBias) {
+  Rng rng(3);
+  Variable x = Variable::parameter(Tensor::randn(Shape{4, 3}, rng));
+  Variable w = Variable::parameter(Tensor::randn(Shape{2, 3}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{2}, rng));
+  expect_gradients_match([&] { return reduce_sum(linear(x, w, b)); },
+                         {x, w, b});
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng(4);
+  Variable a = Variable::parameter(Tensor::randn(Shape{3, 4}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{4, 2}, rng));
+  expect_gradients_match([&] { return reduce_sum(matmul(a, b)); }, {a, b});
+}
+
+TEST(GradCheck, Conv2d) {
+  Rng rng(5);
+  Variable x = Variable::parameter(Tensor::randn(Shape{2, 2, 5, 5}, rng));
+  Variable w = Variable::parameter(Tensor::randn(Shape{3, 2, 3, 3}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{3}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(conv2d(x, w, b, 1, 1)); }, {x, w, b});
+}
+
+TEST(GradCheck, Conv2dStride2NoBias) {
+  Rng rng(6);
+  Variable x = Variable::parameter(Tensor::randn(Shape{1, 2, 6, 6}, rng));
+  Variable w = Variable::parameter(Tensor::randn(Shape{2, 2, 3, 3}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(conv2d(x, w, Variable(), 2, 1)); }, {x, w});
+}
+
+TEST(GradCheck, MaxPool) {
+  // Distinct values so the pooling argmax is stable under perturbation.
+  Variable x = Variable::parameter(Tensor::from_vector(
+      Shape{1, 1, 4, 4},
+      {1, 5, 2, 8, 3, 9, 4, 6, 11, 7, 15, 10, 12, 13, 14, 16}));
+  expect_gradients_match([&] { return reduce_sum(max_pool2d(x, 3, 2, 1)); },
+                         {x});
+}
+
+TEST(GradCheck, BatchNormTraining) {
+  Rng rng(7);
+  Variable x = Variable::parameter(Tensor::randn(Shape{6, 3}, rng));
+  Variable gamma = Variable::parameter(
+      Tensor::rand_uniform(Shape{3}, rng, 0.5f, 1.5f));
+  Variable beta = Variable::parameter(Tensor::randn(Shape{3}, rng));
+  Tensor rm = Tensor::zeros(Shape{3});
+  Tensor rv = Tensor::ones(Shape{3});
+  // Weight the output summands so the per-feature gradients are nontrivial
+  // (plain sums of normalized outputs have zero input gradient).
+  Variable w(Tensor::randn(Shape{3, 3}, rng));
+  expect_gradients_match(
+      [&] {
+        return reduce_sum(
+            matmul(batch_norm(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f), w));
+      },
+      {x, gamma, beta}, 1e-2f, 5e-2f);
+}
+
+TEST(GradCheck, BatchNormEval) {
+  Rng rng(8);
+  Variable x = Variable::parameter(Tensor::randn(Shape{4, 2}, rng));
+  Variable gamma = Variable::parameter(Tensor::ones(Shape{2}));
+  Variable beta = Variable::parameter(Tensor::zeros(Shape{2}));
+  Tensor rm = Tensor::from_vector(Shape{2}, {0.5f, -0.5f});
+  Tensor rv = Tensor::from_vector(Shape{2}, {2.0f, 0.5f});
+  expect_gradients_match(
+      [&] {
+        return reduce_sum(
+            batch_norm(x, gamma, beta, rm, rv, false, 0.1f, 1e-5f));
+      },
+      {x, gamma, beta});
+}
+
+TEST(GradCheck, BatchNorm4d) {
+  Rng rng(9);
+  Variable x = Variable::parameter(Tensor::randn(Shape{2, 2, 3, 3}, rng));
+  Variable gamma = Variable::parameter(
+      Tensor::rand_uniform(Shape{2}, rng, 0.5f, 1.5f));
+  Variable beta = Variable::parameter(Tensor::randn(Shape{2}, rng));
+  Tensor rm = Tensor::zeros(Shape{2});
+  Tensor rv = Tensor::ones(Shape{2});
+  // Elementwise weighting makes the per-channel input gradients nontrivial.
+  Variable w(Tensor::randn(Shape{2, 2, 3, 3}, rng));
+  expect_gradients_match(
+      [&] {
+        Variable y = batch_norm(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f);
+        return reduce_sum(mul(y, w));
+      },
+      {x, gamma, beta}, 1e-2f, 5e-2f);
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Variable x = Variable::parameter(
+      Tensor::from_vector(Shape{4}, {-2.0f, -0.5f, 0.5f, 2.0f}));
+  expect_gradients_match([&] { return reduce_sum(relu(x)); }, {x});
+}
+
+TEST(GradCheck, ConcatAxis1) {
+  Rng rng(10);
+  Variable a = Variable::parameter(Tensor::randn(Shape{2, 2}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{2, 3}, rng));
+  Variable w(Tensor::randn(Shape{5, 1}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(matmul(concat({a, b}, 1), w)); }, {a, b});
+}
+
+TEST(GradCheck, ConcatChannels4d) {
+  Rng rng(11);
+  Variable a = Variable::parameter(Tensor::randn(Shape{2, 2, 2, 2}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{2, 1, 2, 2}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(mul(concat({a, b}, 1), concat({a, b}, 1))); },
+      {a, b});
+}
+
+TEST(GradCheck, StackMeanSplitsEvenly) {
+  Rng rng(12);
+  Variable a = Variable::parameter(Tensor::randn(Shape{3}, rng));
+  Variable b = Variable::parameter(Tensor::randn(Shape{3}, rng));
+  Variable c = Variable::parameter(Tensor::randn(Shape{3}, rng));
+  expect_gradients_match(
+      [&] { return reduce_sum(mul(stack_mean({a, b, c}), a)); }, {a, b, c});
+}
+
+TEST(GradCheck, StackMaxAwayFromTies) {
+  Variable a = Variable::parameter(Tensor::from_vector(Shape{3}, {1, 5, 2}));
+  Variable b = Variable::parameter(Tensor::from_vector(Shape{3}, {4, 1, 7}));
+  expect_gradients_match([&] { return reduce_sum(stack_max({a, b})); },
+                         {a, b});
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(13);
+  Variable logits = Variable::parameter(Tensor::randn(Shape{5, 3}, rng));
+  const std::vector<std::int64_t> labels{0, 2, 1, 1, 0};
+  expect_gradients_match(
+      [&] { return softmax_cross_entropy(logits, labels); }, {logits}, 1e-2f,
+      1e-2f);
+}
+
+TEST(GradCheck, Reshape) {
+  Rng rng(14);
+  Variable x = Variable::parameter(Tensor::randn(Shape{2, 6}, rng));
+  expect_gradients_match(
+      [&] {
+        Variable y = reshape(x, Shape{3, 4});
+        return reduce_sum(mul(y, y));
+      },
+      {x});
+}
+
+// ------------------------------------------------ STE / defined semantics
+
+TEST(Binarize, ForwardIsSign) {
+  Variable x(Tensor::from_vector(Shape{4}, {-3.0f, -0.2f, 0.0f, 2.0f}));
+  const Tensor y = binarize(x).value();
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+}
+
+TEST(Binarize, StraightThroughGateOnUnitInterval) {
+  // Gradient passes where |x| <= 1 and is blocked elsewhere.
+  Variable x = Variable::parameter(
+      Tensor::from_vector(Shape{5}, {-2.0f, -1.0f, 0.3f, 1.0f, 1.5f}));
+  Variable y = binarize(x);
+  reduce_sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[3], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[4], 0.0f);
+}
+
+TEST(MaxPool, OutputShapeConvP) {
+  Variable x(Tensor::zeros(Shape{2, 4, 32, 32}));
+  EXPECT_EQ(max_pool2d(x, 3, 2, 1).shape(), Shape({2, 4, 16, 16}));
+}
+
+TEST(MaxPool, RoutesGradientToWinnerOnly) {
+  Variable x = Variable::parameter(
+      Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3, 4}));
+  Variable y = max_pool2d(x, 2, 2, 0);
+  ASSERT_EQ(y.numel(), 1);
+  reshape(y, Shape{1}).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[3], 1.0f);
+}
+
+TEST(StackMax, TieBreaksToFirstInput) {
+  Variable a = Variable::parameter(Tensor::full(Shape{2}, 3.0f));
+  Variable b = Variable::parameter(Tensor::full(Shape{2}, 3.0f));
+  Variable y = stack_max({a, b});
+  reduce_sum(y).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 0.0f);
+}
+
+TEST(SoftmaxCrossEntropy, MatchesHandComputedValue) {
+  // Uniform logits over 3 classes: loss = log(3).
+  Variable logits(Tensor::zeros(Shape{2, 3}));
+  Variable loss = softmax_cross_entropy(logits, {0, 2});
+  EXPECT_NEAR(loss.value()[0], std::log(3.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Variable logits(Tensor::zeros(Shape{2, 3}));
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), Error);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Variable x(Tensor::zeros(Shape{2, 3, 4, 4}));
+  EXPECT_EQ(flatten2d(x).shape(), Shape({2, 48}));
+}
+
+TEST(Concat, ValidatesShapes) {
+  Variable a(Tensor::zeros(Shape{2, 2}));
+  Variable b(Tensor::zeros(Shape{3, 2}));
+  EXPECT_THROW(concat({a, b}, 1), Error);
+  EXPECT_THROW(concat({}, 1), Error);
+}
+
+}  // namespace
+}  // namespace ddnn::autograd

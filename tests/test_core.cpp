@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregator.hpp"
+#include "core/comm_cost.hpp"
+#include "core/config.hpp"
+#include "core/entropy.hpp"
+#include "core/inference.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::core {
+namespace {
+
+using autograd::Variable;
+
+// ------------------------------------------------------------------ entropy
+
+TEST(Entropy, OneHotIsZero) {
+  const std::vector<float> p{1.0f, 0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(normalized_entropy(p), 0.0);
+}
+
+TEST(Entropy, UniformIsOne) {
+  for (int c : {2, 3, 10}) {
+    std::vector<float> p(static_cast<std::size_t>(c), 1.0f / c);
+    EXPECT_NEAR(normalized_entropy(p), 1.0, 1e-6) << c;
+  }
+}
+
+TEST(Entropy, MonotoneInUncertainty) {
+  // Mixtures between one-hot and uniform: entropy grows with the mix.
+  double prev = -1.0;
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.1) {
+    std::vector<float> p(3);
+    for (int i = 0; i < 3; ++i) {
+      p[static_cast<std::size_t>(i)] = static_cast<float>(
+          alpha / 3.0 + (1.0 - alpha) * (i == 0 ? 1.0 : 0.0));
+    }
+    const double h = normalized_entropy(p);
+    EXPECT_GT(h, prev - 1e-12);
+    prev = h;
+  }
+}
+
+TEST(Entropy, InvariantUnderPermutation) {
+  const std::vector<float> a{0.7f, 0.2f, 0.1f};
+  const std::vector<float> b{0.1f, 0.7f, 0.2f};
+  EXPECT_NEAR(normalized_entropy(a), normalized_entropy(b), 1e-9);
+}
+
+TEST(Entropy, RowAccessor) {
+  Tensor probs = Tensor::from_vector(Shape{2, 3},
+                                     {1, 0, 0, 1.0f / 3, 1.0f / 3, 1.0f / 3});
+  EXPECT_NEAR(normalized_entropy_row(probs, 0), 0.0, 1e-9);
+  EXPECT_NEAR(normalized_entropy_row(probs, 1), 1.0, 1e-6);
+}
+
+TEST(Entropy, RejectsDegenerateInput) {
+  EXPECT_THROW(normalized_entropy(std::vector<float>{1.0f}), Error);
+  EXPECT_THROW(normalized_entropy(std::vector<float>{-0.5f, 1.5f}), Error);
+}
+
+TEST(Entropy, ExitDecisionBoundary) {
+  EXPECT_TRUE(should_exit(0.5, 0.5));   // eta <= T exits
+  EXPECT_FALSE(should_exit(0.51, 0.5));
+  EXPECT_TRUE(should_exit(0.0, 0.0));
+}
+
+TEST(Criterion, ScoresAndRanges) {
+  const std::vector<float> one_hot{1.0f, 0.0f, 0.0f};
+  const std::vector<float> uniform{1.0f / 3, 1.0f / 3, 1.0f / 3};
+  using C = ConfidenceCriterion;
+  EXPECT_DOUBLE_EQ(confidence_score(one_hot, C::kNormalizedEntropy), 0.0);
+  EXPECT_DOUBLE_EQ(confidence_score(one_hot, C::kUnnormalizedEntropy), 0.0);
+  EXPECT_DOUBLE_EQ(confidence_score(one_hot, C::kMaxProbability), 0.0);
+  EXPECT_NEAR(confidence_score(uniform, C::kNormalizedEntropy), 1.0, 1e-6);
+  EXPECT_NEAR(confidence_score(uniform, C::kUnnormalizedEntropy),
+              std::log(3.0), 1e-6);
+  EXPECT_NEAR(confidence_score(uniform, C::kMaxProbability), 2.0 / 3.0, 1e-6);
+  EXPECT_DOUBLE_EQ(max_confidence_score(3, C::kNormalizedEntropy), 1.0);
+  EXPECT_DOUBLE_EQ(max_confidence_score(3, C::kUnnormalizedEntropy),
+                   std::log(3.0));
+  EXPECT_DOUBLE_EQ(max_confidence_score(3, C::kMaxProbability), 2.0 / 3.0);
+}
+
+TEST(Criterion, NamesAreDistinct) {
+  using C = ConfidenceCriterion;
+  EXPECT_NE(to_string(C::kNormalizedEntropy),
+            to_string(C::kUnnormalizedEntropy));
+  EXPECT_NE(to_string(C::kNormalizedEntropy), to_string(C::kMaxProbability));
+}
+
+
+// ---------------------------------------------------------------- comm cost
+
+TEST(CommCost, MatchesPaperTableIIAnchors) {
+  // Paper Table II with |C|=3, f=4, o=256: T=1 (l=100%) -> 12 B;
+  // T=0.1 (l=0%) -> 140 B; l=60.82% -> ~62 B.
+  const CommParams p{.num_classes = 3, .filters = 4, .filter_output_bits = 256};
+  EXPECT_DOUBLE_EQ(ddnn_comm_bytes(1.0, p), 12.0);
+  EXPECT_DOUBLE_EQ(ddnn_comm_bytes(0.0, p), 140.0);
+  EXPECT_NEAR(ddnn_comm_bytes(0.6082, p), 62.0, 0.2);
+}
+
+TEST(CommCost, MonotoneDecreasingInLocalExitFraction) {
+  const CommParams p{};
+  double prev = 1e18;
+  for (double l = 0.0; l <= 1.0; l += 0.25) {
+    const double c = ddnn_comm_bytes(l, p);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CommCost, RawOffloadIs3072BytesForPaperInput) {
+  EXPECT_EQ(raw_offload_bytes(3, 32, 32), 3072);
+}
+
+TEST(CommCost, TwentyTimesReductionHolds) {
+  // Section IV-H: worst-case DDNN (140 B) is >20x below raw offload.
+  const CommParams p{.num_classes = 3, .filters = 4, .filter_output_bits = 256};
+  EXPECT_GT(static_cast<double>(raw_offload_bytes(3, 32, 32)) /
+                ddnn_comm_bytes(0.0, p),
+            20.0);
+}
+
+TEST(CommCost, ValidatesInputs) {
+  EXPECT_THROW(ddnn_comm_bytes(-0.1, CommParams{}), Error);
+  EXPECT_THROW(ddnn_comm_bytes(1.1, CommParams{}), Error);
+}
+
+// --------------------------------------------------------------- aggregator
+
+TEST(AggKind, ParseAndPrintRoundTrip) {
+  for (const auto kind : {AggKind::kMaxPool, AggKind::kAvgPool,
+                          AggKind::kConcat, AggKind::kGatedAvg}) {
+    EXPECT_EQ(parse_agg_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_agg_kind("XX"), Error);
+}
+
+TEST(VectorAggregator, GatedAverageStartsAsUniformMean) {
+  // Fresh GA gates are zero, so the initial behaviour equals AP; training
+  // can then move the weights away from uniform.
+  Rng rng(31);
+  VectorAggregator ga(AggKind::kGatedAvg, 2, 3, rng);
+  std::vector<Variable> in{
+      Variable(Tensor::from_vector(Shape{1, 3}, {1, 2, 3})),
+      Variable(Tensor::from_vector(Shape{1, 3}, {3, 4, 5}))};
+  const Tensor out = ga.forward(in).value();
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+  EXPECT_FLOAT_EQ(out[2], 4.0f);
+  EXPECT_EQ(ga.parameters().size(), 1u);  // the gate vector is trainable
+}
+
+TEST(VectorAggregator, GatedAverageWeighsByGate) {
+  Rng rng(32);
+  VectorAggregator ga(AggKind::kGatedAvg, 2, 1, rng);
+  // Strongly favour branch 1.
+  ga.parameters()[0].var.value()[1] = 20.0f;
+  std::vector<Variable> in{Variable(Tensor::full(Shape{1, 1}, -4.0f)),
+                           Variable(Tensor::full(Shape{1, 1}, 8.0f))};
+  EXPECT_NEAR(ga.forward(in).value()[0], 8.0f, 1e-4f);
+}
+
+TEST(VectorAggregator, MaxPoolTakesComponentwiseMax) {
+  Rng rng(1);
+  VectorAggregator agg(AggKind::kMaxPool, 2, 3, rng);
+  std::vector<Variable> in{
+      Variable(Tensor::from_vector(Shape{1, 3}, {1, 5, 2})),
+      Variable(Tensor::from_vector(Shape{1, 3}, {4, 0, 3}))};
+  const Tensor out = agg.forward(in).value();
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 5.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+}
+
+TEST(VectorAggregator, AvgPoolTakesMean) {
+  Rng rng(2);
+  VectorAggregator agg(AggKind::kAvgPool, 2, 2, rng);
+  std::vector<Variable> in{
+      Variable(Tensor::from_vector(Shape{1, 2}, {1, 3})),
+      Variable(Tensor::from_vector(Shape{1, 2}, {3, 5}))};
+  const Tensor out = agg.forward(in).value();
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(VectorAggregator, ConcatKeepsOutputDimsViaProjection) {
+  Rng rng(3);
+  VectorAggregator agg(AggKind::kConcat, 3, 4, rng);
+  std::vector<Variable> in(3, Variable(Tensor::ones(Shape{2, 4})));
+  EXPECT_EQ(agg.forward(in).shape(), Shape({2, 4}));
+  EXPECT_FALSE(agg.parameters().empty());  // learned projection
+}
+
+TEST(VectorAggregator, PoolingSchemesHaveNoParameters) {
+  Rng rng(4);
+  VectorAggregator mp(AggKind::kMaxPool, 4, 3, rng);
+  VectorAggregator ap(AggKind::kAvgPool, 4, 3, rng);
+  EXPECT_TRUE(mp.parameters().empty());
+  EXPECT_TRUE(ap.parameters().empty());
+}
+
+TEST(VectorAggregator, MaskDropsFailedBranches) {
+  Rng rng(5);
+  VectorAggregator agg(AggKind::kMaxPool, 3, 2, rng);
+  std::vector<Variable> in{
+      Variable(Tensor::from_vector(Shape{1, 2}, {9, 9})),
+      Variable(Tensor::from_vector(Shape{1, 2}, {1, 2})),
+      Variable(Tensor::from_vector(Shape{1, 2}, {3, 1}))};
+  const Tensor out = agg.forward(in, {false, true, true}).value();
+  EXPECT_FLOAT_EQ(out[0], 3.0f);  // the 9s are from the failed device
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(VectorAggregator, AllBranchesFailedThrows) {
+  Rng rng(6);
+  VectorAggregator agg(AggKind::kAvgPool, 2, 2, rng);
+  std::vector<Variable> in(2, Variable(Tensor::ones(Shape{1, 2})));
+  EXPECT_THROW(agg.forward(in, {false, false}), Error);
+}
+
+TEST(VectorAggregator, SingleBranchIsIdentity) {
+  Rng rng(7);
+  VectorAggregator agg(AggKind::kConcat, 1, 3, rng);
+  Variable x(Tensor::from_vector(Shape{1, 3}, {1, 2, 3}));
+  EXPECT_TRUE(agg.forward({x}).value().allclose(x.value(), 0.0f));
+}
+
+TEST(FeatureMapAggregator, MaxAndMeanShapes) {
+  Rng rng(8);
+  FeatureMapAggregator mp(AggKind::kMaxPool, 3, 4, rng);
+  FeatureMapAggregator cc(AggKind::kConcat, 3, 4, rng);
+  std::vector<Variable> in(3, Variable(Tensor::ones(Shape{2, 4, 8, 8})));
+  EXPECT_EQ(mp.forward(in).shape(), Shape({2, 4, 8, 8}));
+  EXPECT_EQ(cc.forward(in).shape(), Shape({2, 4, 8, 8}));
+}
+
+TEST(FeatureMapAggregator, ConcatZeroFillsFailedBranch) {
+  Rng rng(9);
+  FeatureMapAggregator cc(AggKind::kConcat, 2, 1, rng);
+  std::vector<Variable> in{Variable(Tensor::ones(Shape{1, 1, 2, 2})),
+                           Variable(Tensor::ones(Shape{1, 1, 2, 2}))};
+  // With one branch failed, the projection input differs, so outputs differ.
+  const Tensor full = cc.forward(in).value();
+  const Tensor degraded = cc.forward(in, {true, false}).value();
+  EXPECT_FALSE(full.allclose(degraded, 1e-6f));
+}
+
+// -------------------------------------------------------------------- config
+
+TEST(Config, PresetShapesMatchFigure2) {
+  const auto a = DdnnConfig::preset(HierarchyPreset::kCloudOnly);
+  EXPECT_EQ(a.num_exits(), 1);
+  EXPECT_FALSE(a.has_local_exit);
+  EXPECT_EQ(a.device_conv_blocks, 0);
+
+  const auto b = DdnnConfig::preset(HierarchyPreset::kDeviceCloud);
+  EXPECT_EQ(b.num_devices, 1);
+  EXPECT_EQ(b.num_exits(), 2);
+
+  const auto c = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  EXPECT_EQ(c.num_devices, 6);
+  EXPECT_EQ(c.num_exits(), 2);
+
+  const auto d = DdnnConfig::preset(HierarchyPreset::kDeviceEdgeCloud);
+  EXPECT_EQ(d.num_exits(), 3);
+  EXPECT_EQ(d.edge_groups.size(), 1u);
+
+  const auto e = DdnnConfig::preset(HierarchyPreset::kDevicesEdgeCloud);
+  EXPECT_EQ(e.num_exits(), 3);
+  EXPECT_EQ(e.edge_groups[0].size(), 6u);
+
+  const auto f = DdnnConfig::preset(HierarchyPreset::kDevicesEdgesCloud);
+  EXPECT_EQ(f.edge_groups.size(), 2u);
+  EXPECT_EQ(f.num_exits(), 3);
+}
+
+TEST(Config, DerivedGeometry) {
+  DdnnConfig cfg;
+  EXPECT_EQ(cfg.device_out_size(), 16);
+  EXPECT_EQ(cfg.filter_output_bits(), 256);  // o in Eq. 1
+  const auto p = cfg.comm_params();
+  EXPECT_EQ(p.num_classes, 3);
+  EXPECT_EQ(p.filters, 4);
+}
+
+TEST(Config, ValidateCatchesInconsistencies) {
+  DdnnConfig cfg;
+  cfg.device_conv_blocks = 0;  // raw offload but local exit still set
+  EXPECT_THROW(cfg.validate(), Error);
+
+  DdnnConfig cfg2;
+  cfg2.edge_groups = {{0, 1}};  // does not cover all 6 devices
+  EXPECT_THROW(cfg2.validate(), Error);
+
+  DdnnConfig cfg3;
+  cfg3.edge_groups = {{0, 1, 2}, {2, 3, 4, 5}};  // device 2 twice
+  EXPECT_THROW(cfg3.validate(), Error);
+
+  DdnnConfig cfg4;
+  cfg4.cloud_filters = {8, 8, 8, 8, 8};  // shrinks 16 -> 0
+  EXPECT_THROW(cfg4.validate(), Error);
+}
+
+TEST(Config, CacheKeyDistinguishesArchitectures) {
+  DdnnConfig a, b;
+  b.device_filters = 8;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  DdnnConfig c;
+  c.local_agg = AggKind::kAvgPool;
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  DdnnConfig d;
+  EXPECT_EQ(a.cache_key(), d.cache_key());
+}
+
+// ----------------------------------------------------------- policy math
+
+/// Hand-built two-exit evaluation: 4 samples with controlled confidence.
+ExitEval synthetic_eval() {
+  ExitEval eval;
+  eval.exit_names = {"local", "cloud"};
+  eval.labels = {0, 1, 2, 0};
+  // Local: confident+correct, confident+wrong, uncertain, uncertain.
+  eval.exit_probs.push_back(Tensor::from_vector(
+      Shape{4, 3}, {0.98f, 0.01f, 0.01f,   //
+                    0.98f, 0.01f, 0.01f,   // wrong (label 1)
+                    0.33f, 0.33f, 0.34f,   //
+                    0.40f, 0.30f, 0.30f}));
+  // Cloud: correct on everything.
+  eval.exit_probs.push_back(Tensor::from_vector(
+      Shape{4, 3}, {0.9f, 0.05f, 0.05f,    //
+                    0.05f, 0.9f, 0.05f,    //
+                    0.05f, 0.05f, 0.9f,    //
+                    0.9f, 0.05f, 0.05f}));
+  return eval;
+}
+
+TEST(Policy, ThresholdZeroSendsEverythingToCloud) {
+  const auto r = apply_policy(synthetic_eval(), {0.0});
+  EXPECT_DOUBLE_EQ(r.local_exit_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.overall_accuracy, 1.0);
+}
+
+TEST(Policy, ThresholdOneExitsEverythingLocally) {
+  const auto r = apply_policy(synthetic_eval(), {1.0});
+  EXPECT_DOUBLE_EQ(r.local_exit_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.overall_accuracy, 0.75);  // sample 2 wrong at local
+}
+
+TEST(Policy, IntermediateThresholdSplits) {
+  // T=0.5: the two confident samples exit locally (one of them wrong),
+  // the uncertain two go to the cloud (both right) -> accuracy 3/4.
+  const auto r = apply_policy(synthetic_eval(), {0.5});
+  EXPECT_DOUBLE_EQ(r.local_exit_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(r.overall_accuracy, 0.75);
+  EXPECT_EQ(r.decisions[0].exit_taken, 0);
+  EXPECT_EQ(r.decisions[2].exit_taken, 1);
+}
+
+TEST(Policy, ExitFractionsSumToOne) {
+  for (double t : {0.0, 0.3, 0.7, 1.0}) {
+    const auto r = apply_policy(synthetic_eval(), {t});
+    double sum = 0;
+    for (double f : r.exit_fraction) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Policy, ValidatesThresholdCount) {
+  EXPECT_THROW(apply_policy(synthetic_eval(), {0.5, 0.5}), Error);
+  EXPECT_THROW(apply_policy(synthetic_eval(), {}), Error);
+}
+
+TEST(Policy, ExitAccuracyComputesPerExit) {
+  const auto eval = synthetic_eval();
+  EXPECT_DOUBLE_EQ(exit_accuracy(eval, 0), 0.75);
+  EXPECT_DOUBLE_EQ(exit_accuracy(eval, 1), 1.0);
+}
+
+TEST(Policy, BestOverallSearchFindsCloudWhenLocalIsWeak) {
+  // Cloud is perfect, local makes a mistake: best policy sends the
+  // confident-but-wrong sample up, i.e. accuracy 1.0 is reachable at T=0.
+  const double t = search_threshold_best_overall(synthetic_eval(), 0.05);
+  const auto r = apply_policy(synthetic_eval(), {t});
+  EXPECT_DOUBLE_EQ(r.overall_accuracy, 1.0);
+}
+
+TEST(Policy, FractionSearchHitsTarget) {
+  const double t =
+      search_threshold_for_local_fraction(synthetic_eval(), 0.5, 0.05);
+  const auto r = apply_policy(synthetic_eval(), {t});
+  EXPECT_GE(r.local_exit_fraction(), 0.5);
+}
+
+TEST(Policy, JointSearchMatchesSingleKnobOnTwoExits) {
+  const auto eval = synthetic_eval();
+  const double single = search_threshold_best_overall(eval, 0.25);
+  const auto joint = search_thresholds_best_overall(eval, 0.25);
+  ASSERT_EQ(joint.size(), 1u);
+  EXPECT_DOUBLE_EQ(apply_policy(eval, {single}).overall_accuracy,
+                   apply_policy(eval, joint).overall_accuracy);
+}
+
+TEST(Policy, JointSearchHandlesThreeExits) {
+  // Local never confident; edge right on sample 0, cloud right on both.
+  ExitEval eval;
+  eval.exit_names = {"local", "edge", "cloud"};
+  eval.labels = {0, 1};
+  eval.exit_probs = {
+      Tensor::from_vector(Shape{2, 3}, {0.34f, 0.33f, 0.33f,  //
+                                        0.34f, 0.33f, 0.33f}),
+      Tensor::from_vector(Shape{2, 3}, {0.97f, 0.02f, 0.01f,  //
+                                        0.34f, 0.33f, 0.33f}),
+      Tensor::from_vector(Shape{2, 3}, {0.97f, 0.02f, 0.01f,  //
+                                        0.02f, 0.97f, 0.01f})};
+  const auto best = search_thresholds_best_overall(eval, 0.25);
+  ASSERT_EQ(best.size(), 2u);
+  const auto r = apply_policy(eval, best);
+  EXPECT_DOUBLE_EQ(r.overall_accuracy, 1.0);
+  // Tie-breaking prefers earlier exits: sample 0 should stop at the edge.
+  EXPECT_EQ(r.decisions[0].exit_taken, 1);
+  EXPECT_EQ(r.decisions[1].exit_taken, 2);
+}
+
+TEST(Policy, CriteriaSelectEquivalentThresholdsAtMatchedScale) {
+  // Applying the unnormalized criterion at T * log|C| must reproduce the
+  // normalized criterion at T exactly.
+  const auto eval = synthetic_eval();
+  for (double t : {0.2, 0.5, 0.9}) {
+    const auto a =
+        apply_policy(eval, {t}, ConfidenceCriterion::kNormalizedEntropy);
+    const auto b = apply_policy(eval, {t * std::log(3.0)},
+                                ConfidenceCriterion::kUnnormalizedEntropy);
+    EXPECT_DOUBLE_EQ(a.overall_accuracy, b.overall_accuracy);
+    EXPECT_DOUBLE_EQ(a.local_exit_fraction(), b.local_exit_fraction());
+  }
+}
+
+TEST(Policy, ThreeExitPolicyFallsThrough) {
+  ExitEval eval;
+  eval.exit_names = {"local", "edge", "cloud"};
+  eval.labels = {0, 0};
+  const auto uncertain = std::vector<float>{0.34f, 0.33f, 0.33f};
+  const auto confident = std::vector<float>{0.98f, 0.01f, 0.01f};
+  auto probs = [&](std::vector<float> a, std::vector<float> b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return Tensor::from_vector(Shape{2, 3}, std::move(a));
+  };
+  eval.exit_probs = {probs(uncertain, uncertain),   // local: never confident
+                     probs(confident, uncertain),   // edge: sample 0 only
+                     probs(confident, confident)};  // cloud
+  const auto r = apply_policy(eval, {0.5, 0.5});
+  EXPECT_EQ(r.decisions[0].exit_taken, 1);
+  EXPECT_EQ(r.decisions[1].exit_taken, 2);
+  EXPECT_DOUBLE_EQ(r.exit_fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.exit_fraction[1], 0.5);
+  EXPECT_DOUBLE_EQ(r.exit_fraction[2], 0.5);
+}
+
+}  // namespace
+}  // namespace ddnn::core

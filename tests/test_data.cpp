@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "data/loader.hpp"
+#include "data/mvmc.hpp"
+#include "data/ppm.hpp"
+#include "data/renderer.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::data {
+namespace {
+
+MvmcConfig small_config(std::uint64_t seed = 7) {
+  MvmcConfig cfg;
+  cfg.train_samples = 40;
+  cfg.test_samples = 10;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Renderer, CanvasClipsToUnitRange) {
+  Canvas c(8);
+  c.fill({2.0f, -1.0f, 0.5f});
+  c.clip();
+  const Tensor t = c.to_tensor();
+  EXPECT_FLOAT_EQ(t[0], 1.0f);  // R channel clipped high
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], 0.0f);
+    EXPECT_LE(t[i], 1.0f);
+  }
+}
+
+TEST(Renderer, OutOfBoundsDrawsAreIgnored) {
+  Canvas c(8);
+  c.set(-1, 0, {1, 1, 1});
+  c.set(0, 100, {1, 1, 1});
+  c.fill_rect(-5, -5, 100, 100, {0.25f, 0.25f, 0.25f});  // clipped, no crash
+  const Tensor t = c.to_tensor();
+  EXPECT_FLOAT_EQ(t[0], 0.25f);
+}
+
+TEST(Renderer, BlankFrameIsUniformGrey) {
+  const Tensor blank = blank_frame(32);
+  EXPECT_EQ(blank.shape(), Shape({3, 32, 32}));
+  for (std::int64_t i = 0; i < blank.numel(); ++i) {
+    EXPECT_FLOAT_EQ(blank[i], 0.5f);
+  }
+}
+
+TEST(Renderer, ClassesProduceDistinctImages) {
+  Viewpoint view;
+  Rng rng(3);
+  std::vector<Tensor> images;
+  for (int cls = 0; cls < 3; ++cls) {
+    Canvas c(32);
+    render_background(c, view, rng);
+    Rng obj_rng(42);  // same placement for all classes
+    render_object(c, static_cast<ObjectClass>(cls), view, 1.0f,
+                  {0.6f, 0.6f, 0.6f}, obj_rng);
+    c.clip();
+    images.push_back(c.to_tensor());
+  }
+  // Pairwise L2 distances must be substantial (colour + shape differ).
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      double dist = 0;
+      for (std::int64_t i = 0; i < images[0].numel(); ++i) {
+        const double d = images[a][i] - images[b][i];
+        dist += d * d;
+      }
+      EXPECT_GT(dist, 10.0) << "classes " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Renderer, MirroredViewpointFlipsPlacement) {
+  Rng rng_a(5), rng_b(5);
+  Viewpoint plain;
+  Viewpoint mirrored;
+  mirrored.mirrored = true;
+  Canvas a(32), b(32);
+  render_object(a, ObjectClass::kPerson, plain, 1.0f, {0.6f, 0.6f, 0.6f},
+                rng_a);
+  render_object(b, ObjectClass::kPerson, mirrored, 1.0f, {0.6f, 0.6f, 0.6f},
+                rng_b);
+  const Tensor ta = a.to_tensor(), tb = b.to_tensor();
+  // Same jitter stream, mirrored placement: images differ unless the jitter
+  // landed exactly on the axis (it does not for this seed).
+  EXPECT_FALSE(ta.allclose(tb, 1e-6f));
+}
+
+TEST(Mvmc, GenerateIsDeterministic) {
+  const auto a = MvmcDataset::generate(small_config());
+  const auto b = MvmcDataset::generate(small_config());
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (std::size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].label, b.train()[i].label);
+    for (int d = 0; d < a.num_devices(); ++d) {
+      EXPECT_TRUE(a.train()[i].views[d].allclose(b.train()[i].views[d], 0.0f));
+    }
+  }
+}
+
+TEST(Mvmc, DifferentSeedsProduceDifferentData) {
+  const auto a = MvmcDataset::generate(small_config(1));
+  const auto b = MvmcDataset::generate(small_config(2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train().size() && !any_diff; ++i) {
+    any_diff = a.train()[i].label != b.train()[i].label ||
+               !a.train()[i].views[5].allclose(b.train()[i].views[5], 1e-6f);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Mvmc, SplitSizesMatchPaper) {
+  MvmcConfig cfg;  // defaults
+  EXPECT_EQ(cfg.train_samples, 680);
+  EXPECT_EQ(cfg.test_samples, 171);
+  EXPECT_EQ(cfg.num_devices, 6);
+  EXPECT_EQ(cfg.num_classes, 3);
+}
+
+TEST(Mvmc, EverySampleVisibleSomewhere) {
+  const auto ds = MvmcDataset::generate(small_config());
+  for (const auto& s : ds.train()) {
+    bool any = false;
+    for (const bool p : s.present) any = any || p;
+    EXPECT_TRUE(any);
+  }
+}
+
+TEST(Mvmc, AbsentViewsAreBlankPresentViewsAreNot) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const Tensor blank = blank_frame(32);
+  for (const auto& s : ds.train()) {
+    for (int d = 0; d < ds.num_devices(); ++d) {
+      if (!s.present[d]) {
+        EXPECT_TRUE(s.views[d].allclose(blank, 0.0f));
+      } else {
+        EXPECT_FALSE(s.views[d].allclose(blank, 1e-3f));
+      }
+    }
+  }
+}
+
+TEST(Mvmc, LabelsInRange) {
+  const auto ds = MvmcDataset::generate(small_config());
+  for (const auto& s : ds.train()) {
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 3);
+  }
+}
+
+TEST(Mvmc, PresenceRatesFollowProfiles) {
+  MvmcConfig cfg;
+  cfg.train_samples = 600;
+  cfg.test_samples = 10;
+  const auto ds = MvmcDataset::generate(cfg);
+  for (int d = 0; d < 6; ++d) {
+    int present = 0;
+    for (const auto& s : ds.train()) present += s.present[d];
+    const double rate = static_cast<double>(present) / 600.0;
+    // The re-draw-until-visible loop inflates rates slightly; allow slack.
+    EXPECT_NEAR(rate, ds.config().profiles[d].presence_prob, 0.08) << d;
+  }
+  // Monotone quality ordering: last device sees the object far more often
+  // than the first.
+  int first = 0, last = 0;
+  for (const auto& s : ds.train()) {
+    first += s.present[0];
+    last += s.present[5];
+  }
+  EXPECT_GT(last, first + 100);
+}
+
+TEST(Mvmc, DistributionTableShape) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const Table t = ds.distribution_table();
+  EXPECT_EQ(t.row_count(), 6u);
+  EXPECT_NE(t.to_string().find("Not-present"), std::string::npos);
+}
+
+TEST(Mvmc, DefaultProfilesCycleForMoreDevices) {
+  const auto p = default_profiles(8);
+  EXPECT_EQ(p.size(), 8u);
+  EXPECT_DOUBLE_EQ(p[6].presence_prob, p[0].presence_prob);
+}
+
+TEST(Mvmc, ClassNames) {
+  EXPECT_EQ(class_name(0), "car");
+  EXPECT_EQ(class_name(1), "bus");
+  EXPECT_EQ(class_name(2), "person");
+  EXPECT_EQ(class_name(-1), "unknown");
+}
+
+TEST(Loader, BatchShapesAndLabels) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const std::vector<std::size_t> idx{0, 3, 5};
+  const Batch b = make_batch(ds.train(), idx, {0, 2, 4});
+  ASSERT_EQ(b.views.size(), 3u);
+  EXPECT_EQ(b.views[0].shape(), Shape({3, 3, 32, 32}));
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_EQ(b.labels[1], ds.train()[3].label);
+  EXPECT_EQ(b.present[2][1], ds.train()[3].present[4]);
+}
+
+TEST(Loader, BatchCopiesCorrectViewData) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const Batch b = make_batch(ds.train(), {2}, {1});
+  const Tensor& src = ds.train()[2].views[1];
+  for (std::int64_t i = 0; i < src.numel(); ++i) {
+    EXPECT_FLOAT_EQ(b.views[0][i], src[i]);
+  }
+}
+
+TEST(Loader, PresentIndicesFilter) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const auto idx = present_indices(ds.train(), 0);
+  for (const auto i : idx) EXPECT_TRUE(ds.train()[i].present[0]);
+  std::size_t absent = ds.train().size() - idx.size();
+  std::size_t check = 0;
+  for (const auto& s : ds.train()) check += !s.present[0];
+  EXPECT_EQ(absent, check);
+}
+
+TEST(Loader, ChunkBatchesCoverAllIndicesInOrder) {
+  auto chunks = chunk_batches(all_indices(10), 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size(), 4u);
+  EXPECT_EQ(chunks[2].size(), 2u);
+  EXPECT_EQ(chunks[2][1], 9u);
+}
+
+TEST(Loader, EpochBatchesArePermutations) {
+  Rng rng(5);
+  auto chunks = epoch_batches(20, 6, rng);
+  std::set<std::size_t> seen;
+  for (const auto& c : chunks) {
+    for (const auto i : c) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Ppm, RoundTripIsLosslessAtByteResolution) {
+  Rng rng(9);
+  // Quantize first so the round trip is exact.
+  Tensor img(Shape{3, 8, 6});
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(rng.uniform_index(256)) / 255.0f;
+  }
+  const std::string path = ::testing::TempDir() + "/ddnn_test.ppm";
+  write_ppm(img, path);
+  const Tensor back = read_ppm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  EXPECT_TRUE(back.allclose(img, 0.5f / 255.0f));
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, ClipsOutOfRangeValues) {
+  const std::string path = ::testing::TempDir() + "/ddnn_clip.ppm";
+  Tensor img = Tensor::full(Shape{3, 2, 2}, 2.0f);
+  img[0] = -1.0f;
+  write_ppm(img, path);
+  const Tensor back = read_ppm(path);
+  EXPECT_FLOAT_EQ(back[0], 0.0f);
+  EXPECT_FLOAT_EQ(back[1], 1.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, ValidatesShapeAndFormat) {
+  EXPECT_THROW(write_ppm(Tensor(Shape{1, 4, 4}), "/tmp/x.ppm"), Error);
+  EXPECT_THROW(read_ppm("/nonexistent/ddnn.ppm"), Error);
+}
+
+TEST(Ppm, WritesEveryDeviceView) {
+  const auto ds = MvmcDataset::generate(small_config());
+  const std::string prefix = ::testing::TempDir() + "/ddnn_sample";
+  EXPECT_EQ(write_sample_views(ds.test()[0], prefix), 6);
+  for (int d = 1; d <= 6; ++d) {
+    const std::string path = prefix + "_dev" + std::to_string(d) + ".ppm";
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(Loader, RejectsEmptyBatch) {
+  const auto ds = MvmcDataset::generate(small_config());
+  EXPECT_THROW(make_batch(ds.train(), {}, {0}), Error);
+  EXPECT_THROW(make_batch(ds.train(), {0}, {}), Error);
+  EXPECT_THROW(make_batch(ds.train(), {0}, {17}), Error);
+}
+
+}  // namespace
+}  // namespace ddnn::data

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "autograd/grad_mode.hpp"
+#include "core/inference.hpp"
+#include "dist/link.hpp"
+#include "dist/message.hpp"
+#include "dist/queueing.hpp"
+#include "dist/runtime.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+namespace {
+
+// ----------------------------------------------------------------- messages
+
+TEST(Message, ClassScoresRoundTripIsExact) {
+  const Tensor scores =
+      Tensor::from_vector(Shape{1, 3}, {-1.25f, 3.5f, 0.0078125f});
+  const Message msg = encode_class_scores(scores);
+  EXPECT_EQ(msg.payload_bytes(), 12);  // 4 bytes * |C|, Eq. 1 first term
+  const Tensor back = decode_class_scores(msg, 3);
+  EXPECT_TRUE(back.allclose(scores, 0.0f));
+}
+
+TEST(Message, BinaryFeatureMapRoundTripIsExact) {
+  Rng rng(3);
+  const Tensor feats =
+      ops::sign(Tensor::randn(Shape{1, 4, 16, 16}, rng));
+  const Message msg = encode_binary_feature_map(feats);
+  EXPECT_EQ(msg.payload_bytes(), 128);  // f*o/8 = 4*256/8, Eq. 1 second term
+  const Tensor back = decode_binary_feature_map(msg, feats.shape());
+  EXPECT_TRUE(back.allclose(feats, 0.0f));
+}
+
+TEST(Message, BinaryEncoderRejectsNonBinaryInput) {
+  const Tensor not_binary = Tensor::from_vector(Shape{2}, {1.0f, 0.5f});
+  EXPECT_THROW(encode_binary_feature_map(not_binary), Error);
+}
+
+TEST(Message, RawImageQuantizesTo1BytePerValue) {
+  Rng rng(5);
+  const Tensor img = Tensor::rand_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  const Message msg = encode_raw_image(img);
+  EXPECT_EQ(msg.payload_bytes(), 3072);  // the paper's raw-offload cost
+  const Tensor back = decode_raw_image(msg, img.shape());
+  EXPECT_TRUE(back.allclose(img, 1.0f / 255.0f + 1e-6f));
+}
+
+TEST(Message, DecodersValidateKindAndSize) {
+  const Message scores = encode_class_scores(Tensor::zeros(Shape{1, 3}));
+  EXPECT_THROW(decode_binary_feature_map(scores, Shape{96}), Error);
+  EXPECT_THROW(decode_class_scores(scores, 4), Error);
+}
+
+TEST(Message, RandomPayloadsNeverCrashDecoders) {
+  // Fuzz: arbitrary byte payloads must either decode into a well-formed
+  // tensor or throw ddnn::Error — never crash or produce the wrong size.
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    Message msg;
+    msg.kind = static_cast<MessageKind>(rng.uniform_index(3));
+    msg.payload.resize(rng.uniform_index(64));
+    for (auto& b : msg.payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    try {
+      const Tensor t = decode_binary_feature_map(msg, Shape{32});
+      EXPECT_EQ(t.numel(), 32);
+      for (std::int64_t i = 0; i < 32; ++i) {
+        EXPECT_TRUE(t[i] == 1.0f || t[i] == -1.0f);
+      }
+    } catch (const Error&) {
+      // rejected: fine
+    }
+    try {
+      const Tensor t = decode_class_scores(msg, 3);
+      EXPECT_EQ(t.numel(), 3);
+    } catch (const Error&) {
+    }
+    try {
+      const Tensor t = decode_raw_image(msg, Shape{3, 2, 2});
+      EXPECT_EQ(t.numel(), 12);
+      for (std::int64_t i = 0; i < 12; ++i) {
+        EXPECT_GE(t[i], 0.0f);
+        EXPECT_LE(t[i], 1.0f);
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+// -------------------------------------------------------------------- links
+
+TEST(Link, AccountsBytesAndMessages) {
+  Link link("test");
+  link.transmit(encode_class_scores(Tensor::zeros(Shape{1, 3})));
+  link.transmit(encode_class_scores(Tensor::zeros(Shape{1, 3})));
+  EXPECT_EQ(link.stats().messages, 2);
+  EXPECT_EQ(link.stats().bytes, 24);
+  link.reset_stats();
+  EXPECT_EQ(link.stats().bytes, 0);
+}
+
+TEST(Link, LatencyIsAffineInBytes) {
+  Link link("test", {.bandwidth_bytes_per_s = 1000.0, .base_latency_s = 0.01});
+  EXPECT_DOUBLE_EQ(link.latency_for(0), 0.01);
+  EXPECT_DOUBLE_EQ(link.latency_for(500), 0.01 + 0.5);
+  EXPECT_THROW(Link("bad", {.bandwidth_bytes_per_s = 0.0}), Error);
+}
+
+// ------------------------------------------------------------------ runtime
+
+struct RuntimeFixture : public ::testing::Test {
+  RuntimeFixture() {
+    data::MvmcConfig data_cfg;
+    data_cfg.train_samples = 48;
+    data_cfg.test_samples = 24;
+    data_cfg.seed = 77;
+    dataset = std::make_unique<data::MvmcDataset>(
+        data::MvmcDataset::generate(data_cfg));
+  }
+
+  std::unique_ptr<data::MvmcDataset> dataset;
+  std::vector<int> devices{0, 1, 2, 3, 4, 5};
+};
+
+TEST_F(RuntimeFixture, DistributedMatchesCentralizedPredictions) {
+  // The key systems invariant: running the partitioned model over the
+  // simulated hierarchy (with bit-packed feature transport) must reproduce
+  // the centralized forward pass exactly, for every sample and threshold.
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  const double threshold = 0.5;
+
+  const auto eval =
+      core::evaluate_exits(model, dataset->test(), devices);
+  const auto central = core::apply_policy(eval, {threshold});
+
+  HierarchyRuntime runtime(model, {threshold}, devices);
+  for (std::size_t i = 0; i < dataset->test().size(); ++i) {
+    const auto trace = runtime.classify(dataset->test()[i]);
+    EXPECT_EQ(trace.prediction, central.decisions[i].prediction) << i;
+    EXPECT_EQ(trace.exit_taken, central.decisions[i].exit_taken) << i;
+    EXPECT_NEAR(trace.entropy, central.decisions[i].entropy, 1e-9) << i;
+  }
+}
+
+TEST_F(RuntimeFixture, MeasuredBytesMatchEq1Exactly) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {0.6}, devices);
+  const auto metrics = runtime.run(dataset->test());
+
+  const double local_fraction =
+      static_cast<double>(metrics.exit_counts[0]) /
+      static_cast<double>(metrics.samples);
+  const double analytic =
+      core::ddnn_comm_bytes(local_fraction, model.config().comm_params());
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_NEAR(metrics.device_bytes_per_sample(d), analytic, 1e-9) << d;
+  }
+}
+
+TEST_F(RuntimeFixture, ThresholdOneNeverTouchesTheUplink) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {1.0}, devices);
+  runtime.run(dataset->test());
+  for (const auto& link : runtime.device_uplink_links()) {
+    EXPECT_EQ(link.stats().bytes, 0);
+  }
+  EXPECT_EQ(runtime.metrics().exit_counts[0],
+            static_cast<std::int64_t>(dataset->test().size()));
+}
+
+TEST_F(RuntimeFixture, ThresholdZeroAlwaysOffloads) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {0.0}, devices);
+  runtime.run(dataset->test());
+  // Every sample pays both the score vector and the feature map.
+  const auto n = static_cast<std::int64_t>(dataset->test().size());
+  for (const auto& link : runtime.device_uplink_links()) {
+    EXPECT_EQ(link.stats().bytes, n * 128);
+  }
+  for (const auto& link : runtime.device_gateway_links()) {
+    EXPECT_EQ(link.stats().bytes, n * 12);
+  }
+}
+
+TEST_F(RuntimeFixture, FailedDeviceSendsNothingAndSystemStillWorks) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {0.5}, devices);
+  runtime.set_device_failed(2, true);
+  const auto metrics = runtime.run(dataset->test());
+  EXPECT_EQ(metrics.device_bytes[2], 0);
+  EXPECT_EQ(metrics.samples,
+            static_cast<std::int64_t>(dataset->test().size()));
+  // Failure path must match the centralized masked forward.
+  std::vector<bool> active(6, true);
+  active[2] = false;
+  const auto eval =
+      core::evaluate_exits(model, dataset->test(), devices, active);
+  const auto central = core::apply_policy(eval, {0.5});
+  EXPECT_DOUBLE_EQ(metrics.accuracy(), central.overall_accuracy);
+}
+
+TEST_F(RuntimeFixture, AllDevicesFailedThrows) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {0.5}, devices);
+  for (int d = 0; d < 6; ++d) runtime.set_device_failed(d, true);
+  EXPECT_THROW(runtime.classify(dataset->test()[0]), Error);
+}
+
+TEST_F(RuntimeFixture, LatencyGrowsWhenSamplesEscalate) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime always_local(model, {1.0}, devices);
+  HierarchyRuntime always_cloud(model, {0.0}, devices);
+  always_local.run(dataset->test());
+  always_cloud.run(dataset->test());
+  EXPECT_LT(always_local.metrics().mean_latency_s(),
+            always_cloud.metrics().mean_latency_s());
+}
+
+TEST_F(RuntimeFixture, EdgeConfigRunsThreeTiers) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesEdgeCloud));
+  model.set_training(false);
+  // Local never confident, edge always confident: everything exits at edge.
+  HierarchyRuntime runtime(model, {0.0, 1.0}, devices);
+  const auto metrics = runtime.run(dataset->test());
+  EXPECT_EQ(metrics.exit_counts[0], 0);
+  EXPECT_EQ(metrics.exit_counts[1],
+            static_cast<std::int64_t>(dataset->test().size()));
+  for (const auto& link : runtime.edge_cloud_links()) {
+    EXPECT_EQ(link.stats().bytes, 0);  // cloud never reached
+  }
+}
+
+TEST_F(RuntimeFixture, EdgeConfigMatchesCentralized) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesEdgeCloud));
+  model.set_training(false);
+  const std::vector<double> thresholds{0.4, 0.6};
+  const auto eval = core::evaluate_exits(model, dataset->test(), devices);
+  const auto central = core::apply_policy(eval, thresholds);
+  HierarchyRuntime runtime(model, thresholds, devices);
+  for (std::size_t i = 0; i < dataset->test().size(); ++i) {
+    const auto trace = runtime.classify(dataset->test()[i]);
+    EXPECT_EQ(trace.prediction, central.decisions[i].prediction) << i;
+    EXPECT_EQ(trace.exit_taken, central.decisions[i].exit_taken) << i;
+  }
+}
+
+TEST_F(RuntimeFixture, TwoEdgeGroupsMatchCentralized) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesEdgesCloud));
+  model.set_training(false);
+  const std::vector<double> thresholds{0.4, 0.6};
+  const auto eval = core::evaluate_exits(model, dataset->test(), devices);
+  const auto central = core::apply_policy(eval, thresholds);
+  HierarchyRuntime runtime(model, thresholds, devices);
+  for (std::size_t i = 0; i < dataset->test().size(); ++i) {
+    const auto trace = runtime.classify(dataset->test()[i]);
+    EXPECT_EQ(trace.prediction, central.decisions[i].prediction) << i;
+    EXPECT_EQ(trace.exit_taken, central.decisions[i].exit_taken) << i;
+  }
+}
+
+// ----------------------------------------------------------------- queueing
+
+std::vector<InferenceTrace> synthetic_traces(double escalate_fraction) {
+  std::vector<InferenceTrace> traces;
+  for (int i = 0; i < 100; ++i) {
+    InferenceTrace t;
+    const bool escalate =
+        static_cast<double>(i) < 100.0 * escalate_fraction;
+    t.exit_taken = escalate ? 1 : 0;
+    t.latency_s = escalate ? 10e-3 : 2e-3;
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+TEST(Queueing, AllLocalTrafficIsLoadInsensitive) {
+  const auto traces = synthetic_traces(0.0);
+  QueueingConfig low{.arrival_rate_hz = 1.0, .cloud_service_s = 10e-3};
+  QueueingConfig high{.arrival_rate_hz = 500.0, .cloud_service_s = 10e-3};
+  const auto a = simulate_stream(traces, low, 1000);
+  const auto b = simulate_stream(traces, high, 1000);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.escalated, 0);
+  EXPECT_DOUBLE_EQ(a.cloud_utilization, 0.0);
+}
+
+TEST(Queueing, LightLoadAddsNoWaiting) {
+  // At arrival rates far below 1/service, an escalated sample's latency is
+  // just network + service.
+  const auto traces = synthetic_traces(1.0);
+  QueueingConfig cfg{.arrival_rate_hz = 0.5, .cloud_service_s = 10e-3};
+  const auto stats = simulate_stream(traces, cfg, 500);
+  EXPECT_NEAR(stats.mean_latency_s, 10e-3 + 10e-3, 1e-3);
+  EXPECT_EQ(stats.escalated, 500);
+}
+
+TEST(Queueing, SaturationInflatesTailLatency) {
+  const auto traces = synthetic_traces(1.0);
+  QueueingConfig light{.arrival_rate_hz = 20.0, .cloud_service_s = 10e-3};
+  QueueingConfig heavy{.arrival_rate_hz = 99.0, .cloud_service_s = 10e-3};
+  const auto a = simulate_stream(traces, light, 2000);
+  const auto b = simulate_stream(traces, heavy, 2000);
+  EXPECT_GT(b.p95_latency_s, 2.0 * a.p95_latency_s);
+  EXPECT_GT(b.cloud_utilization, a.cloud_utilization);
+  EXPECT_LT(a.cloud_utilization, 0.5);
+  EXPECT_GT(b.cloud_utilization, 0.8);
+}
+
+TEST(Queueing, LocalExitsShieldTheQueue) {
+  // Same load: the mostly-local policy keeps p95 far below all-offload.
+  QueueingConfig cfg{.arrival_rate_hz = 95.0, .cloud_service_s = 10e-3};
+  const auto offload = simulate_stream(synthetic_traces(1.0), cfg, 2000);
+  const auto mostly_local = simulate_stream(synthetic_traces(0.2), cfg, 2000);
+  EXPECT_LT(mostly_local.p95_latency_s, offload.p95_latency_s / 2.0);
+}
+
+TEST(Queueing, DeterministicForSeed) {
+  const auto traces = synthetic_traces(0.5);
+  QueueingConfig cfg{.arrival_rate_hz = 50.0, .cloud_service_s = 10e-3,
+                     .seed = 9};
+  const auto a = simulate_stream(traces, cfg, 500);
+  const auto b = simulate_stream(traces, cfg, 500);
+  EXPECT_DOUBLE_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
+TEST(Queueing, ValidatesInputs) {
+  EXPECT_THROW(simulate_stream({}, QueueingConfig{}, 10), Error);
+  const auto traces = synthetic_traces(0.5);
+  EXPECT_THROW(
+      simulate_stream(traces, QueueingConfig{.arrival_rate_hz = 0.0}, 10),
+      Error);
+  EXPECT_THROW(simulate_stream(traces, QueueingConfig{}, 0), Error);
+}
+
+TEST_F(RuntimeFixture, RuntimeValidatesConstruction) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  EXPECT_THROW(HierarchyRuntime(model, {0.5, 0.5}, devices), Error);
+  EXPECT_THROW(HierarchyRuntime(model, {0.5}, {0, 1}), Error);
+}
+
+TEST_F(RuntimeFixture, LinkReportAccountsEveryByte) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  HierarchyRuntime runtime(model, {0.5}, devices);
+  runtime.run(dataset->test());
+  const Table report = runtime.link_report();
+  EXPECT_EQ(report.row_count(), 12u);  // 6 gateway + 6 uplink links
+  // Sum of per-link bytes in the report equals the metrics total.
+  std::int64_t sum = 0;
+  for (const auto& link : runtime.device_gateway_links()) {
+    sum += link.stats().bytes;
+  }
+  for (const auto& link : runtime.device_uplink_links()) {
+    sum += link.stats().bytes;
+  }
+  EXPECT_EQ(sum, runtime.metrics().total_bytes);
+  EXPECT_NE(report.to_string().find("device0->gateway"), std::string::npos);
+}
+
+TEST_F(RuntimeFixture, RejectsFloatDeviceModels) {
+  auto cfg = core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+  cfg.float_devices = true;
+  core::DdnnModel model(cfg);
+  // Float device features have no 1-bit wire representation.
+  EXPECT_THROW(HierarchyRuntime(model, {0.5}, devices), Error);
+}
+
+}  // namespace
+}  // namespace ddnn::dist

@@ -1,0 +1,262 @@
+// Edge-case and API-contract tests that don't fit a single module file:
+// double-backward accumulation semantics, degenerate configurations,
+// runtime parameterization, and dataset-configuration corners.
+#include <gtest/gtest.h>
+
+#include "autograd/grad_mode.hpp"
+#include "autograd/ops.hpp"
+#include "core/inference.hpp"
+#include "core/trainer.hpp"
+#include "data/mvmc.hpp"
+#include "dist/runtime.hpp"
+#include "nn/layers.hpp"
+#include "util/error.hpp"
+
+namespace ddnn {
+namespace {
+
+using autograd::Variable;
+
+// ------------------------------------------------------------ autograd API
+
+TEST(AutogradEdge, BackwardTwiceAccumulatesIntoGrad) {
+  // Documented semantics: gradients ACCUMULATE until zero_grad(); a second
+  // backward over a fresh tape adds to the existing buffer.
+  Variable p = Variable::parameter(Tensor::full(Shape{2}, 1.0f));
+  for (int pass = 0; pass < 2; ++pass) {
+    Variable y = autograd::mul_scalar(p, 3.0f);
+    Variable flat = autograd::reshape(y, Shape{1, 2});
+    autograd::matmul(flat, Variable(Tensor::ones(Shape{2, 1}))).backward();
+  }
+  EXPECT_FLOAT_EQ(p.grad()[0], 6.0f);
+  p.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.0f);
+}
+
+TEST(AutogradEdge, DetachInMiddleOfChainStopsUpstreamFlow) {
+  Variable p = Variable::parameter(Tensor::full(Shape{2}, 2.0f));
+  Variable h = autograd::mul_scalar(p, 5.0f);
+  Variable cut = h.detach();
+  Variable y = autograd::mul_scalar(cut, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+  // Values still flow.
+  EXPECT_FLOAT_EQ(y.value()[0], 20.0f);
+}
+
+TEST(AutogradEdge, ReshapeChainsShareStorageAndGradFlows) {
+  Variable p = Variable::parameter(Tensor::full(Shape{2, 3}, 1.0f));
+  Variable a = autograd::reshape(p, Shape{3, 2});
+  Variable b = autograd::reshape(a, Shape{6, 1});
+  autograd::matmul(Variable(Tensor::ones(Shape{1, 6})), b).backward();
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(p.grad()[i], 1.0f);
+}
+
+TEST(AutogradEdge, AccumulateGradRejectsShapeMismatch) {
+  Variable p = Variable::parameter(Tensor::zeros(Shape{2, 2}));
+  EXPECT_THROW(p.accumulate_grad(Tensor::zeros(Shape{4})), Error);
+}
+
+TEST(AutogradEdge, ScalarHelpers) {
+  const Tensor s = Tensor::scalar(2.5f);
+  EXPECT_EQ(s.shape(), Shape({1}));
+  EXPECT_FLOAT_EQ(s[0], 2.5f);
+}
+
+// ------------------------------------------------------------------ layers
+
+TEST(NnEdge, EmptySequentialIsIdentity) {
+  nn::Sequential seq;
+  Variable x(Tensor::full(Shape{2, 2}, 3.0f));
+  EXPECT_TRUE(seq.forward(x).value().allclose(x.value(), 0.0f));
+}
+
+TEST(NnEdge, BatchNormRejectsWrongFeatureCount) {
+  nn::BatchNorm bn(4);
+  EXPECT_THROW(bn.forward(Variable(Tensor::zeros(Shape{8, 3}))), Error);
+  EXPECT_THROW(bn.forward(Variable(Tensor::zeros(Shape{2, 3, 4, 4}))), Error);
+}
+
+TEST(NnEdge, LayersRejectDegenerateDimensions) {
+  Rng rng(1);
+  EXPECT_THROW(nn::Linear(0, 3, rng), Error);
+  EXPECT_THROW(nn::BinaryLinear(3, 0, rng), Error);
+  EXPECT_THROW(nn::Conv2d(0, 4, 3, 1, 1, rng), Error);
+  EXPECT_THROW(nn::BatchNorm(0), Error);
+}
+
+// ----------------------------------------------------------------- dataset
+
+TEST(DataEdge, DegenerateClassPriorYieldsSingleClass) {
+  data::MvmcConfig cfg;
+  cfg.train_samples = 20;
+  cfg.test_samples = 5;
+  cfg.class_prior = {1.0, 0.0, 0.0};
+  const auto ds = data::MvmcDataset::generate(cfg);
+  for (const auto& s : ds.train()) EXPECT_EQ(s.label, 0);
+}
+
+TEST(DataEdge, CustomProfilesAreRespected) {
+  data::MvmcConfig cfg;
+  cfg.train_samples = 60;
+  cfg.test_samples = 5;
+  cfg.profiles = data::default_profiles(6);
+  cfg.profiles[0].presence_prob = 1.0;  // always sees the object
+  const auto ds = data::MvmcDataset::generate(cfg);
+  for (const auto& s : ds.train()) EXPECT_TRUE(s.present[0]);
+}
+
+TEST(DataEdge, ConfigValidation) {
+  data::MvmcConfig cfg;
+  cfg.num_devices = 0;
+  EXPECT_THROW(data::MvmcDataset::generate(cfg), Error);
+  data::MvmcConfig cfg2;
+  cfg2.class_prior = {0.5, 0.5};  // wrong size for 3 classes
+  EXPECT_THROW(data::MvmcDataset::generate(cfg2), Error);
+}
+
+TEST(DataEdge, SingleDeviceDatasetWorks) {
+  data::MvmcConfig cfg;
+  cfg.num_devices = 1;
+  cfg.train_samples = 10;
+  cfg.test_samples = 2;
+  const auto ds = data::MvmcDataset::generate(cfg);
+  // With one device, every sample must be visible on it (re-draw rule).
+  for (const auto& s : ds.train()) EXPECT_TRUE(s.present[0]);
+}
+
+// ------------------------------------------------------------------- core
+
+TEST(CoreEdge, PresetHonoursCustomDevicesAndFilters) {
+  const auto cfg =
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud, 4, 8);
+  EXPECT_EQ(cfg.num_devices, 4);
+  EXPECT_EQ(cfg.device_filters, 8);
+  EXPECT_EQ(cfg.comm_params().filters, 8);
+}
+
+TEST(CoreEdge, EvaluateExitsRejectsEmptySet) {
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  const std::vector<data::MvmcSample> empty;
+  EXPECT_THROW(
+      core::evaluate_exits(model, empty, {0, 1, 2, 3, 4, 5}), Error);
+}
+
+TEST(CoreEdge, ExitAccuracyValidatesIndex) {
+  core::ExitEval eval;
+  eval.exit_probs.push_back(Tensor::from_vector(Shape{1, 3}, {1, 0, 0}));
+  eval.labels = {0};
+  EXPECT_THROW(core::exit_accuracy(eval, 1), Error);
+  EXPECT_DOUBLE_EQ(core::exit_accuracy(eval, 0), 1.0);
+}
+
+TEST(CoreEdge, TrainerRejectsDeviceCountMismatch) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 8;
+  dcfg.test_samples = 2;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  core::TrainConfig tcfg;
+  tcfg.epochs = 1;
+  EXPECT_THROW(core::train_ddnn(model, ds.train(), {0, 1}, tcfg), Error);
+}
+
+TEST(CoreEdge, LrScheduleIsApplied) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 16;
+  dcfg.test_samples = 2;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  core::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  std::vector<int> schedule_calls;
+  tcfg.lr_schedule = [&](int epoch) {
+    schedule_calls.push_back(epoch);
+    return 1e-3f * (epoch == 0 ? 1.0f : 0.1f);
+  };
+  core::train_ddnn(model, ds.train(), {0, 1, 2, 3, 4, 5}, tcfg);
+  EXPECT_EQ(schedule_calls, (std::vector<int>{0, 1}));
+}
+
+// ------------------------------------------------------------------- dist
+
+TEST(DistEdge, CustomLinkParametersChangeLatencyNotBytes) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 8;
+  dcfg.test_samples = 6;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  dist::RuntimeConfig fast;
+  fast.device_link.bandwidth_bytes_per_s = 1e9;
+  fast.device_link.base_latency_s = 0.0;
+  dist::RuntimeConfig slow;
+  slow.device_link.bandwidth_bytes_per_s = 1e3;
+  slow.device_link.base_latency_s = 0.1;
+
+  dist::HierarchyRuntime a(model, {0.5}, devices, fast);
+  dist::HierarchyRuntime b(model, {0.5}, devices, slow);
+  a.run(ds.test());
+  b.run(ds.test());
+  EXPECT_EQ(a.metrics().total_bytes, b.metrics().total_bytes);
+  EXPECT_LT(a.metrics().mean_latency_s(), b.metrics().mean_latency_s());
+}
+
+TEST(DistEdge, TraceBytesSumToMetricsTotal) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 8;
+  dcfg.test_samples = 10;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  dist::HierarchyRuntime runtime(model, {0.5}, {0, 1, 2, 3, 4, 5});
+  std::int64_t sum = 0;
+  for (const auto& s : ds.test()) sum += runtime.classify(s).bytes_sent;
+  EXPECT_EQ(sum, runtime.metrics().total_bytes);
+}
+
+TEST(DistEdge, ResetMetricsClearsEverything) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 8;
+  dcfg.test_samples = 4;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  dist::HierarchyRuntime runtime(model, {0.5}, {0, 1, 2, 3, 4, 5});
+  runtime.run(ds.test());
+  ASSERT_GT(runtime.metrics().samples, 0);
+  runtime.reset_metrics();
+  EXPECT_EQ(runtime.metrics().samples, 0);
+  EXPECT_EQ(runtime.metrics().total_bytes, 0);
+  for (const auto& link : runtime.device_gateway_links()) {
+    EXPECT_EQ(link.stats().bytes, 0);
+  }
+}
+
+TEST(DistEdge, RecoveredDeviceTransmitsAgain) {
+  data::MvmcConfig dcfg;
+  dcfg.train_samples = 8;
+  dcfg.test_samples = 4;
+  const auto ds = data::MvmcDataset::generate(dcfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  dist::HierarchyRuntime runtime(model, {1.0}, {0, 1, 2, 3, 4, 5});
+  runtime.set_device_failed(0, true);
+  runtime.run(ds.test());
+  EXPECT_EQ(runtime.metrics().device_bytes[0], 0);
+  runtime.set_device_failed(0, false);
+  runtime.reset_metrics();
+  runtime.run(ds.test());
+  EXPECT_GT(runtime.metrics().device_bytes[0], 0);
+}
+
+}  // namespace
+}  // namespace ddnn

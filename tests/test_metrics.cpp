@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::core {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add_all({0, 0, 1, 2, 2, 2}, {0, 1, 1, 2, 2, 0});
+  EXPECT_EQ(cm.total(), 6);
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(2, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionMatrix, PrecisionAndRecall) {
+  ConfusionMatrix cm(3);
+  // truth 0 predicted as {0, 0, 1}; truth 1 predicted as {1}; truth 2 as {1}.
+  cm.add_all({0, 0, 0, 1, 2}, {0, 0, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), (2.0 / 3.0 + 1.0 + 0.0) / 3.0);
+}
+
+TEST(ConfusionMatrix, EmptyIsZeroNotNan) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+}
+
+TEST(ConfusionMatrix, ValidatesInputs) {
+  ConfusionMatrix cm(3);
+  EXPECT_THROW(cm.add(3, 0), Error);
+  EXPECT_THROW(cm.add(0, -1), Error);
+  EXPECT_THROW(cm.add_all({0}, {0, 1}), Error);
+  EXPECT_THROW(ConfusionMatrix(1), Error);
+}
+
+TEST(ConfusionMatrix, TableRendersNamesAndTotals) {
+  ConfusionMatrix cm(3);
+  cm.add_all({0, 1, 2, 2}, {0, 1, 2, 1});
+  const Table t = cm.to_table({"car", "bus", "person"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("car"), std::string::npos);
+  EXPECT_NE(s.find("person"), std::string::npos);
+  EXPECT_NE(s.find("precision"), std::string::npos);
+  EXPECT_NE(s.find("75.0% acc"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, MacroRecallIsImbalanceRobust) {
+  // 90 samples of class 0 all right, 10 of class 1 all wrong: plain accuracy
+  // is 0.9 but macro recall exposes the failing minority class.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 90; ++i) cm.add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 0.5);
+}
+
+}  // namespace
+}  // namespace ddnn::core

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "autograd/grad_mode.hpp"
+#include "core/model.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::core {
+namespace {
+
+using autograd::Variable;
+
+std::vector<Variable> dummy_views(int n, std::int64_t batch = 2,
+                                  std::uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<Variable> views;
+  for (int i = 0; i < n; ++i) {
+    views.emplace_back(Tensor::rand_uniform(Shape{batch, 3, 32, 32}, rng,
+                                            0.0f, 1.0f));
+  }
+  return views;
+}
+
+TEST(DdnnModel, ConfigCForwardShapes) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.exit_logits.size(), 2u);
+  EXPECT_EQ(out.exit_logits[0].shape(), Shape({2, 3}));
+  EXPECT_EQ(out.exit_logits[1].shape(), Shape({2, 3}));
+  ASSERT_EQ(out.device_features.size(), 6u);
+  EXPECT_EQ(out.device_features[0].shape(), Shape({2, 4, 16, 16}));
+  ASSERT_EQ(out.device_logits.size(), 6u);
+  EXPECT_EQ(out.device_logits[3].shape(), Shape({2, 3}));
+  EXPECT_EQ(model.exit_names(), (std::vector<std::string>{"local", "cloud"}));
+}
+
+TEST(DdnnModel, DeviceFeaturesAreBinary) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  for (const auto& f : out.device_features) {
+    for (std::int64_t i = 0; i < f.numel(); ++i) {
+      EXPECT_TRUE(f.value()[i] == 1.0f || f.value()[i] == -1.0f);
+    }
+  }
+}
+
+TEST(DdnnModel, ConfigAForwardsCloudExitOnly) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kCloudOnly));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.exit_logits.size(), 1u);
+  EXPECT_TRUE(out.device_logits.empty());
+  EXPECT_EQ(model.exit_names(), (std::vector<std::string>{"cloud"}));
+  // Devices run no NN blocks: features are the raw views.
+  EXPECT_EQ(out.device_features[0].shape(), Shape({2, 3, 32, 32}));
+}
+
+TEST(DdnnModel, ConfigBSingleDevice) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDeviceCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(1));
+  ASSERT_EQ(out.exit_logits.size(), 2u);
+}
+
+TEST(DdnnModel, ConfigEEdgeTierShapes) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesEdgeCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.exit_logits.size(), 3u);
+  ASSERT_EQ(out.edge_features.size(), 1u);
+  EXPECT_EQ(out.edge_features[0].shape(), Shape({2, 16, 8, 8}));
+  EXPECT_EQ(model.exit_names(),
+            (std::vector<std::string>{"local", "edge", "cloud"}));
+}
+
+TEST(DdnnModel, ConfigFTwoEdgeGroups) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesEdgesCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.edge_features.size(), 2u);
+  ASSERT_EQ(out.exit_logits.size(), 3u);
+}
+
+TEST(DdnnModel, FailedDeviceChangesButDoesNotBreakForward) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto views = dummy_views(6);
+  const auto healthy = model.forward(views);
+  std::vector<bool> active(6, true);
+  active[5] = false;
+  const auto degraded = model.forward(views, active);
+  EXPECT_EQ(degraded.exit_logits[0].shape(), Shape({2, 3}));
+  // Failure must actually change the fused outputs.
+  EXPECT_FALSE(degraded.exit_logits[1].value().allclose(
+      healthy.exit_logits[1].value(), 1e-6f));
+}
+
+TEST(DdnnModel, AllDevicesFailedThrows) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  autograd::NoGradGuard no_grad;
+  EXPECT_THROW(model.forward(dummy_views(6), std::vector<bool>(6, false)),
+               Error);
+}
+
+TEST(DdnnModel, RejectsWrongViewCountOrShape) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  autograd::NoGradGuard no_grad;
+  EXPECT_THROW(model.forward(dummy_views(5)), Error);
+  Rng rng(1);
+  std::vector<Variable> bad(6,
+                            Variable(Tensor::zeros(Shape{2, 3, 16, 16})));
+  EXPECT_THROW(model.forward(bad), Error);
+}
+
+TEST(DdnnModel, DeterministicConstructionAndForward) {
+  DdnnConfig cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  DdnnModel a(cfg), b(cfg);
+  a.set_training(false);
+  b.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto views = dummy_views(6);
+  const auto oa = a.forward(views);
+  const auto ob = b.forward(views);
+  EXPECT_TRUE(oa.exit_logits[1].value().allclose(ob.exit_logits[1].value(),
+                                                 0.0f));
+}
+
+TEST(DdnnModel, InitSeedChangesWeights) {
+  DdnnConfig cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  cfg.init_seed = 2;
+  DdnnModel a(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  DdnnModel b(cfg);
+  EXPECT_FALSE(a.parameters()[0].var.value().allclose(
+      b.parameters()[0].var.value(), 1e-6f));
+}
+
+TEST(DdnnModel, DeviceMemoryUnder2KbForPaperFilterRange) {
+  // Paper Section IV-F: device NN layers fit in under 2 KB for all
+  // evaluated filter counts.
+  for (int f : {2, 4, 8, 12}) {
+    DdnnModel model(
+        DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 6, f));
+    EXPECT_LT(model.device_memory_bytes(), 2048) << "f=" << f;
+    EXPECT_GT(model.device_memory_bytes(), 0);
+  }
+}
+
+TEST(DdnnModel, SectionApiMatchesMonolithicForward) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto views = dummy_views(6);
+  const auto out = model.forward(views);
+
+  std::vector<Variable> feats, logits;
+  for (int d = 0; d < 6; ++d) {
+    feats.push_back(model.device_section_features(d, views[d]));
+    logits.push_back(model.device_section_logits(d, feats.back()));
+  }
+  const std::vector<bool> active(6, true);
+  EXPECT_TRUE(model.local_aggregate(logits, active)
+                  .value()
+                  .allclose(out.exit_logits[0].value(), 0.0f));
+  EXPECT_TRUE(model.cloud_section(feats, active)
+                  .value()
+                  .allclose(out.exit_logits[1].value(), 0.0f));
+}
+
+TEST(IndividualModel, ShapeAndMemory) {
+  IndividualModel model(3, 32, 4, 3, 11);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  Rng rng(2);
+  Variable y = model.forward(
+      Variable(Tensor::rand_uniform(Shape{5, 3, 32, 32}, rng, 0.0f, 1.0f)));
+  EXPECT_EQ(y.shape(), Shape({5, 3}));
+  EXPECT_LT(model.memory_bytes(), 2048);
+}
+
+TEST(DdnnModel, FloatCloudForwardAndCacheKey) {
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  cfg.float_cloud = true;
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.exit_logits.size(), 2u);
+  EXPECT_EQ(out.exit_logits[1].shape(), Shape({2, 3}));
+  // Device tier stays binary even with a float cloud.
+  for (std::int64_t i = 0; i < out.device_features[0].numel(); ++i) {
+    const float v = out.device_features[0].value()[i];
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+  EXPECT_NE(cfg.cache_key(),
+            DdnnConfig::preset(HierarchyPreset::kDevicesCloud).cache_key());
+}
+
+TEST(DdnnModel, FloatDevicesForwardProducesFloatFeatures) {
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  cfg.float_devices = true;
+  cfg.float_cloud = true;
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  ASSERT_EQ(out.exit_logits.size(), 2u);
+  bool any_fractional = false;
+  for (std::int64_t i = 0; i < out.device_features[0].numel(); ++i) {
+    const float v = out.device_features[0].value()[i];
+    any_fractional = any_fractional || (v != 1.0f && v != -1.0f);
+  }
+  EXPECT_TRUE(any_fractional);
+  EXPECT_NE(cfg.cache_key(),
+            DdnnConfig::preset(HierarchyPreset::kDevicesCloud).cache_key());
+}
+
+TEST(DdnnModel, GatedLocalAggregationForward) {
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud);
+  cfg.local_agg = AggKind::kGatedAvg;
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(dummy_views(6));
+  EXPECT_EQ(out.exit_logits[0].shape(), Shape({2, 3}));
+  // GA must also survive a device failure (gates renormalize).
+  std::vector<bool> active(6, true);
+  active[0] = false;
+  EXPECT_NO_THROW(model.forward(dummy_views(6), active));
+}
+
+TEST(DdnnModel, TrainingModeBuildsTape) {
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(true);
+  const auto out = model.forward(dummy_views(6));
+  EXPECT_TRUE(out.exit_logits[0].requires_grad());
+  EXPECT_TRUE(out.exit_logits[1].requires_grad());
+}
+
+}  // namespace
+}  // namespace ddnn::core

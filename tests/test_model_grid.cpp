@@ -1,0 +1,176 @@
+// Configuration-grid property tests: every buildable DdnnConfig must
+// produce a model whose forward pass satisfies the structural invariants
+// (exit count/shapes, binary features where required, masked-failure
+// robustness, section-API consistency), across presets, aggregation
+// schemes, filter counts and precision modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include <filesystem>
+
+#include "autograd/grad_mode.hpp"
+#include "core/model.hpp"
+#include "nn/serialize.hpp"
+
+namespace ddnn::core {
+namespace {
+
+using autograd::Variable;
+
+std::vector<Variable> grid_views(int n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<Variable> views;
+  for (int i = 0; i < n; ++i) {
+    views.emplace_back(
+        Tensor::rand_uniform(Shape{2, 3, 32, 32}, rng, 0.0f, 1.0f));
+  }
+  return views;
+}
+
+// ------------------------------------------------------------ preset grid
+
+class PresetGrid : public ::testing::TestWithParam<HierarchyPreset> {};
+
+TEST_P(PresetGrid, ForwardSatisfiesStructuralInvariants) {
+  const auto cfg = DdnnConfig::preset(GetParam());
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(grid_views(cfg.num_devices));
+
+  ASSERT_EQ(static_cast<int>(out.exit_logits.size()), cfg.num_exits());
+  for (const auto& logits : out.exit_logits) {
+    ASSERT_TRUE(logits.defined());
+    EXPECT_EQ(logits.shape(), Shape({2, cfg.num_classes}));
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(logits.value()[i]));
+    }
+  }
+  EXPECT_EQ(out.device_features.size(),
+            static_cast<std::size_t>(cfg.num_devices));
+  EXPECT_EQ(out.edge_features.size(), cfg.edge_groups.size());
+  EXPECT_EQ(model.exit_names().size(),
+            static_cast<std::size_t>(cfg.num_exits()));
+}
+
+TEST_P(PresetGrid, SingleFailureIsSurvivableWhenMultiDevice) {
+  const auto cfg = DdnnConfig::preset(GetParam());
+  if (cfg.num_devices < 2) GTEST_SKIP() << "single-device preset";
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto views = grid_views(cfg.num_devices);
+  for (int failed = 0; failed < cfg.num_devices; ++failed) {
+    std::vector<bool> active(static_cast<std::size_t>(cfg.num_devices), true);
+    active[static_cast<std::size_t>(failed)] = false;
+    const auto out = model.forward(views, active);
+    EXPECT_EQ(static_cast<int>(out.exit_logits.size()), cfg.num_exits())
+        << "failed device " << failed;
+  }
+}
+
+TEST_P(PresetGrid, StateRoundTripPreservesForward) {
+  const auto cfg = DdnnConfig::preset(GetParam());
+  DdnnModel original(cfg);
+  original.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto views = grid_views(cfg.num_devices);
+  const auto before = original.forward(views);
+
+  const std::string path = ::testing::TempDir() + "/ddnn_grid_state.bin";
+  nn::save_state(original, path);
+  DdnnConfig other_init = cfg;
+  other_init.init_seed = cfg.init_seed + 17;
+  DdnnModel restored(other_init);
+  nn::load_state(restored, path);
+  restored.set_training(false);
+  const auto after = restored.forward(views);
+  for (std::size_t e = 0; e < before.exit_logits.size(); ++e) {
+    EXPECT_TRUE(before.exit_logits[e].value().allclose(
+        after.exit_logits[e].value(), 0.0f));
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, PresetGrid,
+    ::testing::Values(HierarchyPreset::kCloudOnly,
+                      HierarchyPreset::kDeviceCloud,
+                      HierarchyPreset::kDevicesCloud,
+                      HierarchyPreset::kDeviceEdgeCloud,
+                      HierarchyPreset::kDevicesEdgeCloud,
+                      HierarchyPreset::kDevicesEdgesCloud));
+
+// ------------------------------------------- aggregation x precision grid
+
+using AggPrecisionParam = std::tuple<AggKind, AggKind, bool, bool>;
+
+class AggPrecisionGrid : public ::testing::TestWithParam<AggPrecisionParam> {};
+
+TEST_P(AggPrecisionGrid, BuildsTrainsATapeAndEvaluates) {
+  const auto [local, cloud, float_cloud, float_devices] = GetParam();
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 3);
+  cfg.local_agg = local;
+  cfg.cloud_agg = cloud;
+  cfg.float_cloud = float_cloud;
+  cfg.float_devices = float_devices;
+  DdnnModel model(cfg);
+
+  // Training mode: tape must reach both exits.
+  model.set_training(true);
+  const auto views = grid_views(3);
+  const auto out = model.forward(views);
+  EXPECT_TRUE(out.exit_logits[0].requires_grad());
+  EXPECT_TRUE(out.exit_logits[1].requires_grad());
+
+  // Eval mode without a tape.
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto eval_out = model.forward(views);
+  EXPECT_FALSE(eval_out.exit_logits[1].requires_grad());
+  // Device features are binary iff devices are binary.
+  bool all_binary = true;
+  for (std::int64_t i = 0; i < eval_out.device_features[0].numel(); ++i) {
+    const float v = eval_out.device_features[0].value()[i];
+    all_binary = all_binary && (v == 1.0f || v == -1.0f);
+  }
+  EXPECT_EQ(all_binary, !float_devices);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AggPrecisionGrid,
+    ::testing::Combine(::testing::Values(AggKind::kMaxPool, AggKind::kAvgPool,
+                                         AggKind::kConcat, AggKind::kGatedAvg),
+                       ::testing::Values(AggKind::kMaxPool, AggKind::kConcat,
+                                         AggKind::kGatedAvg),
+                       ::testing::Bool(), ::testing::Bool()));
+
+// ---------------------------------------------------------- filter sweep
+
+class FilterGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterGrid, GeometryAndMemoryScaleWithFilters) {
+  const int f = GetParam();
+  const auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 6, f);
+  DdnnModel model(cfg);
+  model.set_training(false);
+  autograd::NoGradGuard no_grad;
+  const auto out = model.forward(grid_views(6));
+  EXPECT_EQ(out.device_features[0].shape(), Shape({2, f, 16, 16}));
+  EXPECT_EQ(cfg.comm_params().filters, f);
+  EXPECT_LT(model.device_memory_bytes(), 2048);
+  if (f >= 4) {
+    const auto smaller =
+        DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 6, f / 2);
+    DdnnModel small_model(smaller);
+    EXPECT_GT(model.device_memory_bytes(), small_model.device_memory_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Filters, FilterGrid,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace ddnn::core

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gradcheck.hpp"
+#include "nn/blocks.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::nn {
+namespace {
+
+using autograd::Variable;
+
+TEST(Module, ParameterRegistryIsRecursiveAndStable) {
+  Rng rng(1);
+  Sequential seq;
+  seq.emplace<Linear>(4, 3, rng);
+  seq.emplace<BatchNorm>(3);
+  const auto params = seq.named_parameters();
+  ASSERT_EQ(params.size(), 4u);  // weight, bias, gamma, beta
+  EXPECT_EQ(params[0].name, "stage0.weight");
+  EXPECT_EQ(params[1].name, "stage0.bias");
+  EXPECT_EQ(params[2].name, "stage1.gamma");
+  EXPECT_EQ(params[3].name, "stage1.beta");
+}
+
+TEST(Module, BuffersAreRegistered) {
+  BatchNorm bn(5);
+  const auto buffers = bn.named_buffers();
+  ASSERT_EQ(buffers.size(), 2u);
+  EXPECT_EQ(buffers[0].first, "running_mean");
+  EXPECT_EQ(buffers[1].first, "running_var");
+}
+
+TEST(Module, TrainingFlagPropagates) {
+  Rng rng(1);
+  Sequential seq;
+  auto& bn = seq.emplace<BatchNorm>(2);
+  EXPECT_TRUE(bn.training());
+  seq.set_training(false);
+  EXPECT_FALSE(bn.training());
+}
+
+TEST(Module, ParameterCount) {
+  Rng rng(1);
+  Linear lin(10, 4, rng);
+  EXPECT_EQ(lin.parameter_count(), 10 * 4 + 4);
+}
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  Variable y = lin.forward(Variable(Tensor::zeros(Shape{5, 3})));
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+  // Zero input -> output equals the (zero-initialized) bias.
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y.value()[i], 0.0f);
+}
+
+TEST(Linear, GradCheckThroughLayer) {
+  Rng rng(3);
+  Linear lin(3, 2, rng);
+  Variable x = Variable::parameter(Tensor::randn(Shape{4, 3}, rng));
+  auto leaves = std::vector<Variable>{x};
+  for (auto& p : lin.parameters()) leaves.push_back(p.var);
+  ddnn::testing::expect_gradients_match(
+      [&] {
+        Variable y = lin.forward(x);
+        Variable flat = autograd::reshape(y, Shape{1, y.numel()});
+        return autograd::matmul(flat,
+                                Variable(Tensor::ones(Shape{y.numel(), 1})));
+      },
+      leaves);
+}
+
+TEST(BinaryLinear, WeightsAreBinarizedInForward) {
+  Rng rng(4);
+  BinaryLinear lin(8, 4, rng);
+  // With an all-ones input, each output is sum of binarized weights, which
+  // must be an integer with the same parity as the input width.
+  Variable y = lin.forward(Variable(Tensor::ones(Shape{2, 8})));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.value()[i];
+    EXPECT_FLOAT_EQ(v, std::round(v));
+    EXPECT_EQ(static_cast<int>(std::fabs(v)) % 2, 0);  // 8 odd terms of +-1
+    EXPECT_LE(std::fabs(v), 8.0f);
+  }
+}
+
+TEST(BinaryLinear, ClampFlagIsSet) {
+  Rng rng(5);
+  BinaryLinear lin(4, 2, rng);
+  const auto params = lin.parameters();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_TRUE(params[0].clamp_to_unit);
+}
+
+TEST(Conv2d, PreservesSpatialSizeWith3x3S1P1) {
+  Rng rng(6);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  Variable y = conv.forward(Variable(Tensor::zeros(Shape{2, 3, 16, 16})));
+  EXPECT_EQ(y.shape(), Shape({2, 8, 16, 16}));
+}
+
+TEST(Conv2d, MatchesDirectConvolutionOnKnownInput) {
+  // 1 input channel, 1 filter of all ones, no padding edge effects checked
+  // at the centre: output = sum of the 3x3 neighbourhood.
+  Rng rng(7);
+  Conv2d conv(1, 1, 3, 1, 1, rng, /*bias=*/false);
+  conv.parameters()[0].var.value().fill(1.0f);
+  Tensor img(Shape{1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) img[i] = static_cast<float>(i + 1);
+  Variable y = conv.forward(Variable(img));
+  EXPECT_FLOAT_EQ(y.value().at(0, 0, 1, 1), 45.0f);  // sum 1..9
+  EXPECT_FLOAT_EQ(y.value().at(0, 0, 0, 0), 1 + 2 + 4 + 5);
+}
+
+TEST(BinaryConv2d, OutputsHaveIntegerValues) {
+  Rng rng(8);
+  BinaryConv2d conv(2, 3, 3, 1, 1, rng);
+  Variable x(Tensor::ones(Shape{1, 2, 4, 4}));
+  Variable y = conv.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], std::round(y.value()[i]));
+  }
+}
+
+TEST(MaxPool2d, ConvPGeometryHalves) {
+  MaxPool2d pool(3, 2, 1);
+  Variable y = pool.forward(Variable(Tensor::zeros(Shape{1, 4, 32, 32})));
+  EXPECT_EQ(y.shape(), Shape({1, 4, 16, 16}));
+}
+
+TEST(BatchNorm, NormalizesBatchInTrainingMode) {
+  Rng rng(9);
+  BatchNorm bn(3);
+  Variable x(Tensor::randn(Shape{64, 3}, rng, 5.0f, 2.0f));
+  Variable y = bn.forward(x);
+  // Output per feature: ~zero mean, ~unit variance.
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double mean = 0, var = 0;
+    for (std::int64_t i = 0; i < 64; ++i) mean += y.value().at(i, c);
+    mean /= 64;
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const double d = y.value().at(i, c) - mean;
+      var += d * d;
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToBatchStats) {
+  Rng rng(10);
+  BatchNorm bn(2);
+  const Tensor x = Tensor::randn(Shape{256, 2}, rng, 3.0f, 1.5f);
+  for (int i = 0; i < 200; ++i) bn.forward(Variable(x));
+  const auto buffers = bn.named_buffers();
+  EXPECT_NEAR(buffers[0].second[0], 3.0f, 0.2f);
+  EXPECT_NEAR(std::sqrt(buffers[1].second[0]), 1.5f, 0.2f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  Rng rng(11);
+  BatchNorm bn(2);
+  // Train on one distribution, then eval on a constant input: output must
+  // reflect the *running* statistics, not the (degenerate) batch ones.
+  const Tensor x = Tensor::randn(Shape{128, 2}, rng, 1.0f, 1.0f);
+  for (int i = 0; i < 100; ++i) bn.forward(Variable(x));
+  bn.set_training(false);
+  Variable y = bn.forward(Variable(Tensor::full(Shape{4, 2}, 1.0f)));
+  // Input equals the population mean; the running mean is within a few
+  // standard errors of it, so the normalized output is near 0 — while batch
+  // statistics of this constant input would be degenerate (variance 0).
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.value()[i], 0.0f, 0.3f);
+  }
+}
+
+TEST(FCBlock, ExitHeadVariantEmitsFloats) {
+  Rng rng(12);
+  FCBlock head(16, 3, rng, /*binary_output=*/false);
+  Variable x(Tensor::randn(Shape{8, 16}, rng));
+  Variable y = head.forward(x);
+  EXPECT_EQ(y.shape(), Shape({8, 3}));
+  bool any_nonbinary = false;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y.value()[i] != 1.0f && y.value()[i] != -1.0f) any_nonbinary = true;
+  }
+  EXPECT_TRUE(any_nonbinary);
+}
+
+TEST(FCBlock, BinaryVariantEmitsSigns) {
+  Rng rng(13);
+  FCBlock block(16, 8, rng, /*binary_output=*/true);
+  Variable x(Tensor::randn(Shape{4, 16}, rng));
+  Variable y = block.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y.value()[i] == 1.0f || y.value()[i] == -1.0f);
+  }
+}
+
+TEST(ConvPBlock, ShapeAndBinaryOutput) {
+  Rng rng(14);
+  ConvPBlock block(3, 4, rng);
+  Variable x(Tensor::randn(Shape{2, 3, 32, 32}, rng));
+  Variable y = block.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 16, 16}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y.value()[i] == 1.0f || y.value()[i] == -1.0f);
+  }
+}
+
+TEST(ConvPBlock, MemoryFootprintMatchesPaperScale) {
+  Rng rng(15);
+  // Paper Section IV-F: device NN layers fit in under 2 KB. One ConvP block
+  // with f=4 on RGB input: 4*3*9 = 108 weight bits -> 14 B + 64 B of BN.
+  ConvPBlock block(3, 4, rng);
+  EXPECT_EQ(block.inference_memory_bytes(), (4 * 3 * 9 + 7) / 8 + 4 * 4 * 4);
+  EXPECT_LT(block.inference_memory_bytes(), 2048);
+}
+
+TEST(FloatConvPBlock, ShapeAndNonNegativeOutput) {
+  Rng rng(31);
+  FloatConvPBlock block(3, 8, rng);
+  Variable y = block.forward(Variable(Tensor::randn(Shape{2, 3, 32, 32}, rng)));
+  EXPECT_EQ(y.shape(), Shape({2, 8, 16, 16}));
+  bool any_fractional = false;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.value()[i], 0.0f);  // ReLU output
+    any_fractional = any_fractional ||
+                     (y.value()[i] != 0.0f && y.value()[i] != 1.0f &&
+                      y.value()[i] != -1.0f);
+  }
+  EXPECT_TRUE(any_fractional);  // genuinely float, not binarized
+}
+
+TEST(FloatFCBlock, HeadVariantEmitsSignedScores) {
+  Rng rng(32);
+  FloatFCBlock head(8, 3, rng, /*relu_output=*/false);
+  Variable y = head.forward(Variable(Tensor::randn(Shape{16, 8}, rng)));
+  EXPECT_EQ(y.shape(), Shape({16, 3}));
+  bool any_negative = false;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    any_negative = any_negative || y.value()[i] < 0.0f;
+  }
+  EXPECT_TRUE(any_negative);  // no ReLU on the exit head
+}
+
+TEST(FloatFCBlock, ReluVariantClampsBelowZero) {
+  Rng rng(33);
+  FloatFCBlock block(8, 4, rng, /*relu_output=*/true);
+  Variable y = block.forward(Variable(Tensor::randn(Shape{16, 8}, rng)));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.value()[i], 0.0f);
+  }
+}
+
+TEST(Sequential, ChainsForward) {
+  Rng rng(16);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng);
+  seq.emplace<BatchNorm>(8);
+  seq.emplace<Flatten>();
+  Variable y = seq.forward(Variable(Tensor::randn(Shape{3, 4}, rng)));
+  EXPECT_EQ(y.shape(), Shape({3, 8}));
+  EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(Serialize, RoundTripRestoresParametersAndBuffers) {
+  Rng rng(17);
+  const std::string path = ::testing::TempDir() + "/ddnn_state_test.bin";
+
+  Sequential original;
+  original.emplace<Linear>(4, 3, rng);
+  original.emplace<BatchNorm>(3);
+  // Mutate running stats so buffers differ from init.
+  original.forward(Variable(Tensor::randn(Shape{16, 4}, rng)));
+  save_state(original, path);
+
+  Rng rng2(99);  // different init
+  Sequential restored;
+  restored.emplace<Linear>(4, 3, rng2);
+  restored.emplace<BatchNorm>(3);
+  load_state(restored, path);
+
+  const auto pa = original.named_parameters();
+  const auto pb = restored.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].var.value().allclose(pb[i].var.value(), 0.0f))
+        << pa[i].name;
+  }
+  const auto ba = original.named_buffers();
+  const auto bb = restored.named_buffers();
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_TRUE(ba[i].second.allclose(bb[i].second, 0.0f)) << ba[i].first;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, LoadRejectsMismatchedArchitecture) {
+  Rng rng(18);
+  const std::string path = ::testing::TempDir() + "/ddnn_state_mismatch.bin";
+  Linear small(2, 2, rng);
+  save_state(small, path);
+  Linear big(4, 4, rng);
+  EXPECT_THROW(load_state(big, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Rng rng(20);
+  const std::string path = ::testing::TempDir() + "/ddnn_state_trunc.bin";
+  Linear lin(8, 8, rng);
+  save_state(lin, path);
+  // Truncate the payload.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  Linear target(8, 8, rng);
+  EXPECT_THROW(load_state(target, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/ddnn_state_magic.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTDDNN1" << std::string(64, '\0');
+  }
+  Rng rng(21);
+  Linear lin(2, 2, rng);
+  EXPECT_THROW(load_state(lin, path), Error);
+  EXPECT_FALSE(is_state_file(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, IsStateFileDetection) {
+  Rng rng(19);
+  const std::string path = ::testing::TempDir() + "/ddnn_state_probe.bin";
+  EXPECT_FALSE(is_state_file(path));
+  Linear lin(2, 2, rng);
+  save_state(lin, path);
+  EXPECT_TRUE(is_state_file(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Init, GlorotBoundFormula) {
+  EXPECT_NEAR(glorot_bound(6, 6), std::sqrt(6.0f / 12.0f), 1e-6f);
+  EXPECT_GT(glorot_bound(2, 2), glorot_bound(100, 100));
+}
+
+}  // namespace
+}  // namespace ddnn::nn

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "nn/layers.hpp"
+#include "opt/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::opt {
+namespace {
+
+using autograd::Variable;
+using nn::Parameter;
+
+Parameter make_param(Tensor value, bool clamp = false) {
+  return {"p", Variable::parameter(std::move(value)), clamp};
+}
+
+/// One optimization step on f(x) = 0.5 * ||x - target||^2.
+void quadratic_step(Optimizer& opt, Parameter& p, const Tensor& target) {
+  opt.zero_grad();
+  Tensor grad(p.var.value().shape());
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = p.var.value()[i] - target[i];
+  }
+  p.var.accumulate_grad(grad);
+  opt.step();
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Parameter p = make_param(Tensor::full(Shape{3}, 4.0f));
+  const Tensor target = Tensor::from_vector(Shape{3}, {1.0f, -2.0f, 0.5f});
+  Adam adam({p}, {.lr = 0.05f});
+  for (int i = 0; i < 500; ++i) quadratic_step(adam, p, target);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p.var.value()[i], target[i], 1e-2f);
+  }
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // Adam's bias-corrected first step is exactly lr * sign(grad) (up to eps).
+  Parameter p = make_param(Tensor::zeros(Shape{2}));
+  Adam adam({p}, {.lr = 0.001f});
+  adam.zero_grad();
+  p.var.accumulate_grad(Tensor::from_vector(Shape{2}, {0.5f, -3.0f}));
+  adam.step();
+  EXPECT_NEAR(p.var.value()[0], -0.001f, 1e-5f);
+  EXPECT_NEAR(p.var.value()[1], 0.001f, 1e-5f);
+}
+
+TEST(Adam, SkipsParametersWithoutGradients) {
+  Parameter a = make_param(Tensor::full(Shape{1}, 1.0f));
+  Parameter b = make_param(Tensor::full(Shape{1}, 1.0f));
+  Adam adam({a, b});
+  a.var.accumulate_grad(Tensor::ones(Shape{1}));
+  adam.step();
+  EXPECT_NE(a.var.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.var.value()[0], 1.0f);
+}
+
+TEST(Adam, MatchesReferenceImplementationForTwoSteps) {
+  // Hand-computed Adam with lr=0.1, b1=0.9, b2=0.999, eps=1e-8, grad = 1
+  // then 2, starting from 0.
+  Parameter p = make_param(Tensor::zeros(Shape{1}));
+  Adam adam({p}, {.lr = 0.1f});
+  adam.zero_grad();
+  p.var.accumulate_grad(Tensor::ones(Shape{1}));
+  adam.step();
+  // Step 1: mhat = 1, vhat = 1 -> x = -0.1.
+  EXPECT_NEAR(p.var.value()[0], -0.1f, 1e-5f);
+  adam.zero_grad();
+  p.var.accumulate_grad(Tensor::full(Shape{1}, 2.0f));
+  adam.step();
+  // Step 2: m = 0.9*0.1+0.1*2 = 0.29, mhat = 0.29/0.19 = 1.526316;
+  //         v = 0.999*0.001+0.001*4 = 0.004999, vhat = 0.004999/0.001999
+  //           = 2.50075; x -= 0.1 * 1.526316 / sqrt(2.50075).
+  EXPECT_NEAR(p.var.value()[0], -0.1f - 0.1f * 1.526316f / std::sqrt(2.50075f),
+              1e-4f);
+}
+
+TEST(Sgd, PlainGradientDescent) {
+  Parameter p = make_param(Tensor::full(Shape{1}, 1.0f));
+  Sgd sgd({p}, 0.5f);
+  sgd.zero_grad();
+  p.var.accumulate_grad(Tensor::full(Shape{1}, 2.0f));
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.var.value()[0], 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Parameter p = make_param(Tensor::zeros(Shape{1}));
+  Sgd sgd({p}, 0.1f, 0.9f);
+  for (int i = 0; i < 2; ++i) {
+    sgd.zero_grad();
+    p.var.accumulate_grad(Tensor::ones(Shape{1}));
+    sgd.step();
+  }
+  // v1 = -0.1; x1 = -0.1. v2 = 0.9*(-0.1) - 0.1 = -0.19; x2 = -0.29.
+  EXPECT_NEAR(p.var.value()[0], -0.29f, 1e-6f);
+}
+
+TEST(Optimizer, ClampsLatentBinaryWeights) {
+  Parameter p = make_param(Tensor::full(Shape{2}, 0.95f), /*clamp=*/true);
+  Sgd sgd({p}, 1.0f);
+  sgd.zero_grad();
+  p.var.accumulate_grad(Tensor::from_vector(Shape{2}, {-1.0f, 3.0f}));
+  sgd.step();
+  // Unclamped values would be 1.95 and -2.05.
+  EXPECT_FLOAT_EQ(p.var.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.var.value()[1], -1.0f);
+}
+
+TEST(Optimizer, DoesNotClampRegularWeights) {
+  Parameter p = make_param(Tensor::full(Shape{1}, 0.0f), /*clamp=*/false);
+  Sgd sgd({p}, 1.0f);
+  sgd.zero_grad();
+  p.var.accumulate_grad(Tensor::full(Shape{1}, -5.0f));
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.var.value()[0], 5.0f);
+}
+
+TEST(Optimizer, RejectsEmptyParameterList) {
+  EXPECT_THROW(Adam adam({}), Error);
+}
+
+TEST(Optimizer, ZeroGradClearsAllGradients) {
+  Parameter p = make_param(Tensor::zeros(Shape{2}));
+  Adam adam({p});
+  p.var.accumulate_grad(Tensor::ones(Shape{2}));
+  adam.zero_grad();
+  EXPECT_FLOAT_EQ(p.var.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.var.grad()[1], 0.0f);
+}
+
+TEST(Optimizer, GradientClipRescalesGlobalNorm) {
+  Parameter a = make_param(Tensor::zeros(Shape{1}));
+  Parameter b = make_param(Tensor::zeros(Shape{1}));
+  Sgd sgd({a, b}, 1.0f);
+  sgd.set_gradient_clip(5.0f);
+  sgd.zero_grad();
+  a.var.accumulate_grad(Tensor::full(Shape{1}, 3.0f));
+  b.var.accumulate_grad(Tensor::full(Shape{1}, 4.0f));  // ||g|| = 5: no clip
+  sgd.step();
+  EXPECT_NEAR(a.var.value()[0], -3.0f, 1e-5f);
+  sgd.zero_grad();
+  a.var.value().fill(0.0f);
+  b.var.value().fill(0.0f);
+  a.var.accumulate_grad(Tensor::full(Shape{1}, 6.0f));
+  b.var.accumulate_grad(Tensor::full(Shape{1}, 8.0f));  // ||g|| = 10 -> x0.5
+  sgd.step();
+  EXPECT_NEAR(a.var.value()[0], -3.0f, 1e-5f);
+  EXPECT_NEAR(b.var.value()[0], -4.0f, 1e-5f);
+}
+
+TEST(Optimizer, GradientClipValidates) {
+  Parameter p = make_param(Tensor::zeros(Shape{1}));
+  Sgd sgd({p}, 1.0f);
+  EXPECT_THROW(sgd.set_gradient_clip(-1.0f), Error);
+}
+
+TEST(Optimizer, LearningRateOverride) {
+  Parameter p = make_param(Tensor::zeros(Shape{1}));
+  Sgd sgd({p}, 0.5f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.5f);
+  sgd.set_learning_rate(0.25f);
+  sgd.zero_grad();
+  p.var.accumulate_grad(Tensor::full(Shape{1}, 4.0f));
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.var.value()[0], -1.0f);
+
+  Parameter q = make_param(Tensor::zeros(Shape{1}));
+  Adam adam({q}, {.lr = 0.1f});
+  adam.set_learning_rate(0.001f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.001f);
+}
+
+TEST(Adam, TrainsATinyNetworkToFitXor) {
+  // End-to-end sanity: a small float MLP fits XOR with Adam.
+  Rng rng(123);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(2, 8, rng);
+  auto& hidden_bn = net.emplace<nn::BatchNorm>(8);
+  (void)hidden_bn;
+  nn::Linear out(8, 2, rng);
+
+  const Tensor x = Tensor::from_vector(Shape{4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<std::int64_t> y{0, 1, 1, 0};
+
+  std::vector<nn::Parameter> params = net.parameters();
+  for (auto& p : out.parameters()) params.push_back(p);
+  Adam adam(params, {.lr = 0.02f});
+  float final_loss = 1e9f;
+  for (int i = 0; i < 300; ++i) {
+    Variable h = autograd::relu(net.forward(Variable(x)));
+    Variable loss = autograd::softmax_cross_entropy(out.forward(h), y);
+    adam.zero_grad();
+    loss.backward();
+    adam.step();
+    final_loss = loss.value()[0];
+  }
+  EXPECT_LT(final_loss, 0.1f);
+}
+
+}  // namespace
+}  // namespace ddnn::opt

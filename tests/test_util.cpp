@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/logging.hpp"
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ddnn {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    DDNN_CHECK(1 == 2, "one is not " << 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckWithoutMessage) {
+  EXPECT_THROW(DDNN_CHECK(false), Error);
+  EXPECT_NO_THROW(DDNN_CHECK(true));
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(31), b(31);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Parent streams stay in sync with each other too.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Env, StringFallback) {
+  unsetenv("DDNN_TEST_STR");
+  EXPECT_EQ(env_string("DDNN_TEST_STR", "dflt"), "dflt");
+  setenv("DDNN_TEST_STR", "value", 1);
+  EXPECT_EQ(env_string("DDNN_TEST_STR", "dflt"), "value");
+  unsetenv("DDNN_TEST_STR");
+}
+
+TEST(Env, IntParsesAndValidates) {
+  setenv("DDNN_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("DDNN_TEST_INT", 0), 42);
+  setenv("DDNN_TEST_INT", "-7", 1);
+  EXPECT_EQ(env_int("DDNN_TEST_INT", 0), -7);
+  setenv("DDNN_TEST_INT", "4x", 1);
+  EXPECT_THROW(env_int("DDNN_TEST_INT", 0), Error);
+  unsetenv("DDNN_TEST_INT");
+  EXPECT_EQ(env_int("DDNN_TEST_INT", 9), 9);
+}
+
+TEST(Env, DoubleParsesAndValidates) {
+  setenv("DDNN_TEST_DBL", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("DDNN_TEST_DBL", 0.0), 0.75);
+  setenv("DDNN_TEST_DBL", "abc", 1);
+  EXPECT_THROW(env_double("DDNN_TEST_DBL", 0.0), Error);
+  unsetenv("DDNN_TEST_DBL");
+}
+
+TEST(Env, BoolAcceptsCommonSpellings) {
+  for (const char* t : {"1", "true", "YES", "On"}) {
+    setenv("DDNN_TEST_BOOL", t, 1);
+    EXPECT_TRUE(env_bool("DDNN_TEST_BOOL", false)) << t;
+  }
+  for (const char* f : {"0", "False", "no", "OFF"}) {
+    setenv("DDNN_TEST_BOOL", f, 1);
+    EXPECT_FALSE(env_bool("DDNN_TEST_BOOL", true)) << f;
+  }
+  setenv("DDNN_TEST_BOOL", "maybe", 1);
+  EXPECT_THROW(env_bool("DDNN_TEST_BOOL", false), Error);
+  unsetenv("DDNN_TEST_BOOL");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, WriteCsvProducesFile) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  const std::string path = ::testing::TempDir() + "/ddnn_table.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,\"x,y\"");
+  std::filesystem::remove(path);
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);  // safe default
+}
+
+TEST(Logging, SetLevelSuppressesBelow) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // The macro must not evaluate its stream when suppressed.
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  DDNN_DEBUG("never " << count());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace ddnn

@@ -1,0 +1,247 @@
+// ddnn — command-line interface to the DDNN library.
+//
+//   ddnn train    --preset c --filters 4 --epochs 40 --out model.ddnn
+//   ddnn eval     --model model.ddnn --preset c --filters 4 --threshold 0.8
+//   ddnn simulate --model model.ddnn --preset c --filters 4 --threshold 0.8 \
+//                 --fail 1,6
+//   ddnn dataset  --out-dir views --samples 2
+//
+// The architecture is reconstructed from the flags, so eval/simulate must be
+// invoked with the same --preset/--filters/--devices/--agg used at training
+// time (a mismatch fails loudly at weight-load time).
+#include <cstdio>
+#include <string>
+
+#include "core/inference.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "data/ppm.hpp"
+#include "dist/runtime.hpp"
+#include "nn/serialize.hpp"
+#include "util/args.hpp"
+
+using namespace ddnn;
+
+namespace {
+
+core::HierarchyPreset parse_preset(const std::string& name) {
+  if (name == "a") return core::HierarchyPreset::kCloudOnly;
+  if (name == "b") return core::HierarchyPreset::kDeviceCloud;
+  if (name == "c") return core::HierarchyPreset::kDevicesCloud;
+  if (name == "d") return core::HierarchyPreset::kDeviceEdgeCloud;
+  if (name == "e") return core::HierarchyPreset::kDevicesEdgeCloud;
+  if (name == "f") return core::HierarchyPreset::kDevicesEdgesCloud;
+  DDNN_CHECK(false, "unknown preset '" << name << "' (expected a..f)");
+  return core::HierarchyPreset::kDevicesCloud;
+}
+
+/// Architecture/data flags shared by every subcommand.
+void add_model_options(ArgParser& args) {
+  args.add_option("preset", "hierarchy configuration a..f (paper Fig. 2)", "c")
+      .add_option("devices", "number of end devices", "6")
+      .add_option("filters", "device ConvP filters f", "4")
+      .add_option("local-agg", "local aggregation scheme MP|AP|CC|GA", "MP")
+      .add_option("cloud-agg", "cloud aggregation scheme MP|AP|CC|GA", "CC")
+      .add_flag("float-cloud", "use float32 NN blocks in the cloud section")
+      .add_option("seed", "dataset + init seed", "42");
+}
+
+core::DdnnConfig config_from(const ArgParser& args) {
+  auto cfg = core::DdnnConfig::preset(
+      parse_preset(args.get("preset")),
+      static_cast<int>(args.get_int("devices")),
+      static_cast<int>(args.get_int("filters")));
+  cfg.local_agg = core::parse_agg_kind(args.get("local-agg"));
+  cfg.cloud_agg = core::parse_agg_kind(args.get("cloud-agg"));
+  cfg.float_cloud = args.has_flag("float-cloud");
+  if (!cfg.has_local_exit) cfg.local_agg = core::AggKind::kMaxPool;
+  cfg.validate();
+  return cfg;
+}
+
+data::MvmcDataset dataset_from(const ArgParser& args) {
+  data::MvmcConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int devices = static_cast<int>(args.get_int("devices"));
+  cfg.num_devices = std::max(devices, 6);  // profiles cycle beyond 6
+  return data::MvmcDataset::generate(cfg);
+}
+
+std::vector<int> device_map_from(const core::DdnnConfig& cfg) {
+  std::vector<int> devices;
+  for (int d = 0; d < cfg.num_devices; ++d) devices.push_back(d);
+  return devices;
+}
+
+int cmd_train(int argc, const char* const* argv) {
+  ArgParser args("ddnn train", "Jointly train a DDNN and save its weights.");
+  add_model_options(args);
+  args.add_option("epochs", "training epochs", "40")
+      .add_option("batch", "mini-batch size", "32")
+      .add_option("out", "output weight file", "model.ddnn")
+      .add_flag("verbose", "log per-epoch loss");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto cfg = config_from(args);
+  const auto dataset = dataset_from(args);
+  core::DdnnModel model(cfg);
+
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = static_cast<int>(args.get_int("epochs"));
+  train_cfg.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  train_cfg.verbose = args.has_flag("verbose");
+  std::printf("training %s for %d epochs...\n", cfg.cache_key().c_str(),
+              train_cfg.epochs);
+  const auto history = core::train_ddnn(model, dataset.train(),
+                                        device_map_from(cfg), train_cfg);
+  std::printf("final loss %.4f after %.1f s\n", history.final_loss(),
+              history.total_seconds);
+  nn::save_state(model, args.get("out"));
+  std::printf("saved weights to %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_eval(int argc, const char* const* argv) {
+  ArgParser args("ddnn eval",
+                 "Evaluate a trained DDNN: per-exit accuracy, staged policy, "
+                 "confusion matrix.");
+  add_model_options(args);
+  args.add_option("model", "weight file from `ddnn train`", "model.ddnn")
+      .add_option("threshold", "local exit threshold T (-1 = grid search)",
+                  "0.8");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto cfg = config_from(args);
+  const auto dataset = dataset_from(args);
+  core::DdnnModel model(cfg);
+  nn::load_state(model, args.get("model"));
+
+  const auto devices = device_map_from(cfg);
+  const auto eval = core::evaluate_exits(model, dataset.test(), devices);
+  for (std::size_t e = 0; e < eval.num_exits(); ++e) {
+    std::printf("%-5s accuracy (100%% exit there): %.1f%%\n",
+                eval.exit_names[e].c_str(),
+                100.0 * core::exit_accuracy(eval, e));
+  }
+  if (cfg.num_exits() == 1) return 0;
+
+  std::vector<double> thresholds;
+  const double t = args.get_double("threshold");
+  if (t < 0.0) {
+    thresholds = core::search_thresholds_best_overall(eval, 0.1);
+    std::printf("grid-searched thresholds:");
+    for (const double x : thresholds) std::printf(" %.2f", x);
+    std::printf("\n");
+  } else {
+    thresholds.assign(static_cast<std::size_t>(cfg.num_exits()) - 1, t);
+  }
+  const auto policy = core::apply_policy(eval, thresholds);
+  std::printf("overall accuracy %.1f%%; exit split:",
+              100.0 * policy.overall_accuracy);
+  for (const double f : policy.exit_fraction) std::printf(" %.1f%%", 100.0 * f);
+  std::printf("\n\n");
+
+  core::ConfusionMatrix confusion(cfg.num_classes);
+  for (std::size_t i = 0; i < policy.decisions.size(); ++i) {
+    confusion.add(eval.labels[i], policy.decisions[i].prediction);
+  }
+  std::printf("%s", confusion.to_table({"car", "bus", "person"})
+                        .to_string()
+                        .c_str());
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  ArgParser args("ddnn simulate",
+                 "Run a trained DDNN on the simulated distributed hierarchy "
+                 "with byte/latency accounting and optional failures.");
+  add_model_options(args);
+  args.add_option("model", "weight file from `ddnn train`", "model.ddnn")
+      .add_option("threshold", "exit threshold for every non-final exit",
+                  "0.8")
+      .add_option("fail", "comma-separated 1-based devices to fail", "");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto cfg = config_from(args);
+  const auto dataset = dataset_from(args);
+  core::DdnnModel model(cfg);
+  nn::load_state(model, args.get("model"));
+
+  const auto devices = device_map_from(cfg);
+  const std::vector<double> thresholds(
+      static_cast<std::size_t>(cfg.num_exits()) - 1,
+      args.get_double("threshold"));
+  dist::HierarchyRuntime runtime(model, thresholds, devices);
+  for (const int failed : parse_int_list(args.get("fail"))) {
+    DDNN_CHECK(failed >= 1 && failed <= cfg.num_devices,
+               "--fail device " << failed << " out of range");
+    runtime.set_device_failed(failed - 1, true);
+    std::printf("device %d marked failed\n", failed);
+  }
+  const auto metrics = runtime.run(dataset.test());
+  std::printf("accuracy %.1f%% over %lld samples\n", 100.0 * metrics.accuracy(),
+              static_cast<long long>(metrics.samples));
+  std::printf("exit counts:");
+  for (const auto c : metrics.exit_counts) {
+    std::printf(" %lld", static_cast<long long>(c));
+  }
+  std::printf("\nmean latency %.2f ms, %.1f B/sample/device, total %lld B\n",
+              1e3 * metrics.mean_latency_s(),
+              metrics.device_bytes_per_sample(0),
+              static_cast<long long>(metrics.total_bytes));
+  return 0;
+}
+
+int cmd_dataset(int argc, const char* const* argv) {
+  ArgParser args("ddnn dataset",
+                 "Inspect SynthMVMC: distribution table and PPM exports.");
+  args.add_option("seed", "dataset seed", "42")
+      .add_option("out-dir", "directory for PPM exports (empty = none)", "")
+      .add_option("samples", "number of samples to export", "2");
+  if (!args.parse(argc, argv)) return 0;
+
+  data::MvmcConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto dataset = data::MvmcDataset::generate(cfg);
+  std::printf("%s", dataset.distribution_table().to_string().c_str());
+
+  const std::string out_dir = args.get("out-dir");
+  if (!out_dir.empty()) {
+    const auto n = std::min<std::size_t>(
+        static_cast<std::size_t>(args.get_int("samples")),
+        dataset.test().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& sample = dataset.test()[i];
+      const std::string prefix = out_dir + "/sample" + std::to_string(i) +
+                                 "_" + data::class_name(sample.label);
+      data::write_sample_views(sample, prefix);
+      std::printf("wrote %s_dev[1-%zu].ppm\n", prefix.c_str(),
+                  sample.views.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: ddnn <train|eval|simulate|dataset> [options]\n"
+      "run `ddnn <command> --help` for command options\n";
+  if (argc < 2) {
+    std::printf("%s", usage.c_str());
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") return cmd_train(argc - 1, argv + 1);
+    if (command == "eval") return cmd_eval(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "dataset") return cmd_dataset(argc - 1, argv + 1);
+    std::printf("unknown command '%s'\n%s", command.c_str(), usage.c_str());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
