@@ -14,6 +14,7 @@
 #include "tensor/bitpack.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -31,6 +32,24 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulThreads(benchmark::State& state) {
+  // Threaded-vs-serial GEMM: Arg is the pool size. On an N-core runner
+  // the 256^3 case should show ~min(N, 4)x throughput at Arg(4) vs Arg(1)
+  // with bit-identical outputs (see test_thread_pool).
+  ThreadPool::set_size(static_cast<int>(state.range(0)));
+  const std::int64_t n = 256;
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::set_size(0);  // restore the DDNN_THREADS / hardware default
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Im2col(benchmark::State& state) {
   Rng rng(2);
@@ -53,6 +72,21 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  // Threaded-vs-serial conv forward (im2col + GEMM): Arg is the pool size.
+  ThreadPool::set_size(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  autograd::NoGradGuard no_grad;
+  const Variable x(Tensor::randn(Shape{32, 3, 32, 32}, rng));
+  const Variable w(Tensor::randn(Shape{32, 3, 3, 3}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::conv2d(x, w, Variable(), 1, 1));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  ThreadPool::set_size(0);
+}
+BENCHMARK(BM_Conv2dForwardThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Conv2dTrainStep(benchmark::State& state) {
   // Forward + backward through one ConvP-sized convolution.

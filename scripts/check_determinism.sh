@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Determinism check: run a gtest binary under DDNN_THREADS=1 and
+# DDNN_THREADS=4 and require both to pass. The kernels' determinism
+# contract (see docs/ARCHITECTURE.md) says results must be bit-identical
+# for any thread count, so the same suite must be green under both.
+#
+# Usage: check_determinism.sh <gtest-binary> [gtest-filter]
+set -euo pipefail
+
+bin="${1:?usage: check_determinism.sh <gtest-binary> [gtest-filter]}"
+filter="${2:-*}"
+
+for threads in 1 4; do
+  echo "== DDNN_THREADS=${threads} ${bin} --gtest_filter=${filter}"
+  DDNN_THREADS="${threads}" "${bin}" --gtest_filter="${filter}" \
+    --gtest_brief=1
+done
+echo "determinism check passed for DDNN_THREADS=1 and 4"

@@ -1,13 +1,34 @@
 #include "core/cache.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 
 #include "nn/serialize.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace ddnn::core {
+
+namespace {
+
+/// 64-bit FNV-1a of the raw key. Sanitizing alone maps distinct keys like
+/// "mp/3dev" and "mp:3dev" onto the same stem; the hash suffix keeps their
+/// cache files distinct.
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+}  // namespace
 
 std::string cache_dir() {
   const std::string dir = env_string("DDNN_CACHE_DIR", ".ddnn_cache");
@@ -15,13 +36,17 @@ std::string cache_dir() {
 }
 
 std::string cache_path(const std::string& key) {
+  const std::string dir = cache_dir();
+  DDNN_CHECK(!dir.empty(),
+             "cache_path: caching is disabled (DDNN_CACHE_DIR=off); check "
+             "cache_dir() before asking for a path");
   std::string safe;
   safe.reserve(key.size());
   for (const char ch : key) {
     const auto c = static_cast<unsigned char>(ch);
     safe += (std::isalnum(c) || ch == '.' || ch == '-' || ch == '_') ? ch : '_';
   }
-  return cache_dir() + "/" + safe + ".ddnn";
+  return dir + "/" + safe + "-" + fnv1a_hex(key) + ".ddnn";
 }
 
 bool train_or_load(nn::Module& model, const std::string& key,

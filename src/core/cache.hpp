@@ -18,7 +18,9 @@ namespace ddnn::core {
 /// Resolved cache directory ("" when caching is disabled).
 std::string cache_dir();
 
-/// Filesystem path for a cache key (key is sanitized for the filesystem).
+/// Filesystem path for a cache key: sanitized stem plus an FNV-1a hash of
+/// the raw key, so keys differing only in sanitized characters never
+/// collide. Throws when caching is disabled (cache_dir() empty).
 std::string cache_path(const std::string& key);
 
 /// If a cached state exists for `key`, load it into `model` and return true.

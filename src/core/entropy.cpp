@@ -7,15 +7,33 @@
 
 namespace ddnn::core {
 
-double normalized_entropy(std::span<const float> probs) {
+namespace {
+
+/// Shannon entropy in nats, unclamped.
+double entropy_nats(std::span<const float> probs) {
   DDNN_CHECK(probs.size() >= 2, "entropy needs at least two classes");
   double h = 0.0;
   for (const float p : probs) {
     DDNN_CHECK(p >= -1e-6f, "negative probability " << p);
     if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
   }
+  return h;
+}
+
+}  // namespace
+
+double normalized_entropy(std::span<const float> probs) {
+  const double h = entropy_nats(probs);
   const double norm = std::log(static_cast<double>(probs.size()));
   return std::clamp(h / norm, 0.0, 1.0);
+}
+
+double unnormalized_entropy(std::span<const float> probs) {
+  // Raw entropy, clamped only to its own range [0, log C]. Deriving it as
+  // normalized_entropy * log C would round-trip through a divide/multiply
+  // and clamp in normalized units, distorting values near the boundaries.
+  const double h = entropy_nats(probs);
+  return std::clamp(h, 0.0, std::log(static_cast<double>(probs.size())));
 }
 
 double normalized_entropy_row(const Tensor& probs, std::int64_t row) {
@@ -41,8 +59,7 @@ double confidence_score(std::span<const float> probs,
     case ConfidenceCriterion::kNormalizedEntropy:
       return normalized_entropy(probs);
     case ConfidenceCriterion::kUnnormalizedEntropy:
-      return normalized_entropy(probs) *
-             std::log(static_cast<double>(probs.size()));
+      return unnormalized_entropy(probs);
     case ConfidenceCriterion::kMaxProbability: {
       DDNN_CHECK(!probs.empty(), "empty probability vector");
       float mx = probs[0];

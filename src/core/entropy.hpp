@@ -24,6 +24,12 @@ double normalized_entropy(std::span<const float> probs);
 /// Normalized entropy of row `row` of a [N, C] probability matrix.
 double normalized_entropy_row(const Tensor& probs, std::int64_t row);
 
+/// Raw (BranchyNet-style) entropy in nats, computed directly and clamped
+/// only to its own range [0, log C] — not derived from normalized_entropy,
+/// whose [0, 1] clamp and divide/multiply round-trip distort values near
+/// the boundaries.
+double unnormalized_entropy(std::span<const float> probs);
+
 /// Exit decision: confident enough to classify here?
 inline bool should_exit(double eta, double threshold) {
   return eta <= threshold;

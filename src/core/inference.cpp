@@ -7,6 +7,7 @@
 #include "data/loader.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ddnn::core {
 
@@ -30,29 +31,49 @@ ExitEval evaluate_exits(DdnnModel& model,
     eval.exit_probs.emplace_back(Shape{n, c});
   }
 
+  const auto batches =
+      data::chunk_batches(data::all_indices(samples.size()), batch_size);
+  std::vector<std::int64_t> row_start(batches.size(), 0);
   std::int64_t row = 0;
-  for (const auto& batch_idx :
-       data::chunk_batches(data::all_indices(samples.size()), batch_size)) {
-    const data::Batch batch = data::make_batch(samples, batch_idx, devices);
-    std::vector<Variable> views;
-    views.reserve(batch.views.size());
-    for (const auto& v : batch.views) views.emplace_back(v);
-
-    DdnnOutputs out = model.forward(views, active);
-    for (int e = 0; e < num_exits; ++e) {
-      const Tensor probs =
-          ops::softmax_rows(out.exit_logits[static_cast<std::size_t>(e)].value());
-      for (std::int64_t b = 0; b < batch.size(); ++b) {
-        for (std::int64_t j = 0; j < c; ++j) {
-          eval.exit_probs[static_cast<std::size_t>(e)].at(row + b, j) =
-              probs.at(b, j);
-        }
-      }
-    }
-    for (const auto label : batch.labels) eval.labels.push_back(label);
-    row += batch.size();
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    row_start[i] = row;
+    row += static_cast<std::int64_t>(batches[i].size());
   }
   DDNN_ASSERT(row == n);
+  eval.labels.assign(samples.size(), 0);
+
+  // Batches write disjoint row blocks of each exit's probability matrix, so
+  // they evaluate in parallel; eval-mode forward only reads model state.
+  parallel_for(
+      0, static_cast<std::int64_t>(batches.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        autograd::NoGradGuard worker_no_grad;  // grad mode is thread-local
+        for (std::int64_t bi = lo; bi < hi; ++bi) {
+          const auto& batch_idx = batches[static_cast<std::size_t>(bi)];
+          const data::Batch batch =
+              data::make_batch(samples, batch_idx, devices);
+          std::vector<Variable> views;
+          views.reserve(batch.views.size());
+          for (const auto& v : batch.views) views.emplace_back(v);
+
+          DdnnOutputs out = model.forward(views, active);
+          const std::int64_t base = row_start[static_cast<std::size_t>(bi)];
+          for (int e = 0; e < num_exits; ++e) {
+            const Tensor probs = ops::softmax_rows(
+                out.exit_logits[static_cast<std::size_t>(e)].value());
+            for (std::int64_t b = 0; b < batch.size(); ++b) {
+              for (std::int64_t j = 0; j < c; ++j) {
+                eval.exit_probs[static_cast<std::size_t>(e)].at(base + b, j) =
+                    probs.at(b, j);
+              }
+            }
+          }
+          for (std::int64_t b = 0; b < batch.size(); ++b) {
+            eval.labels[static_cast<std::size_t>(base + b)] =
+                batch.labels[static_cast<std::size_t>(b)];
+          }
+        }
+      });
   return eval;
 }
 
@@ -86,35 +107,46 @@ PolicyResult apply_policy(const ExitEval& eval,
 
   PolicyResult result;
   result.exit_fraction.assign(eval.num_exits(), 0.0);
-  result.decisions.reserve(static_cast<std::size_t>(eval.sample_count()));
+  result.decisions.assign(static_cast<std::size_t>(eval.sample_count()),
+                          SampleDecision{});
+
+  // Per-sample decisions are independent; each chunk writes its own slice
+  // of `decisions`. The counting reduction stays serial (exact integer
+  // counts), so results are identical for every thread count.
+  parallel_for(0, eval.sample_count(), 256,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   SampleDecision d;
+                   d.exit_taken = static_cast<int>(eval.num_exits()) - 1;
+                   for (std::size_t e = 0; e < thresholds.size(); ++e) {
+                     const double eta =
+                         confidence_score_row(eval.exit_probs[e], i, criterion);
+                     if (should_exit(eta, thresholds[e])) {
+                       d.exit_taken = static_cast<int>(e);
+                       d.entropy = eta;
+                       break;
+                     }
+                   }
+                   const Tensor& probs =
+                       eval.exit_probs[static_cast<std::size_t>(d.exit_taken)];
+                   if (d.exit_taken == static_cast<int>(eval.num_exits()) - 1) {
+                     d.entropy = confidence_score_row(probs, i, criterion);
+                   }
+                   const std::int64_t c = probs.dim(1);
+                   std::int64_t best = 0;
+                   for (std::int64_t j = 1; j < c; ++j) {
+                     if (probs.at(i, j) > probs.at(i, best)) best = j;
+                   }
+                   d.prediction = best;
+                   result.decisions[static_cast<std::size_t>(i)] = d;
+                 }
+               });
 
   std::int64_t correct = 0;
   for (std::int64_t i = 0; i < eval.sample_count(); ++i) {
-    SampleDecision d;
-    d.exit_taken = static_cast<int>(eval.num_exits()) - 1;
-    for (std::size_t e = 0; e < thresholds.size(); ++e) {
-      const double eta =
-          confidence_score_row(eval.exit_probs[e], i, criterion);
-      if (should_exit(eta, thresholds[e])) {
-        d.exit_taken = static_cast<int>(e);
-        d.entropy = eta;
-        break;
-      }
-    }
-    const Tensor& probs =
-        eval.exit_probs[static_cast<std::size_t>(d.exit_taken)];
-    if (d.exit_taken == static_cast<int>(eval.num_exits()) - 1) {
-      d.entropy = confidence_score_row(probs, i, criterion);
-    }
-    const std::int64_t c = probs.dim(1);
-    std::int64_t best = 0;
-    for (std::int64_t j = 1; j < c; ++j) {
-      if (probs.at(i, j) > probs.at(i, best)) best = j;
-    }
-    d.prediction = best;
+    const SampleDecision& d = result.decisions[static_cast<std::size_t>(i)];
     if (d.prediction == eval.labels[static_cast<std::size_t>(i)]) ++correct;
     result.exit_fraction[static_cast<std::size_t>(d.exit_taken)] += 1.0;
-    result.decisions.push_back(d);
   }
   for (auto& f : result.exit_fraction) {
     f /= static_cast<double>(eval.sample_count());
@@ -164,30 +196,49 @@ std::vector<double> search_thresholds_best_overall(const ExitEval& eval,
   std::vector<double> grid;
   for (double t = 0.0; t <= 1.0 + 1e-9; t += step) grid.push_back(t);
 
-  std::vector<double> best(knobs, 0.0);
+  // Enumerate the odometer as flat combo indices (digit k of the base-|grid|
+  // expansion is knob k, least significant first — the original iteration
+  // order). Grid points are scored in parallel into preallocated slots, then
+  // reduced serially in the original order so tie-breaking is unchanged.
+  std::int64_t total = 1;
+  for (std::size_t k = 0; k < knobs; ++k) {
+    total *= static_cast<std::int64_t>(grid.size());
+    DDNN_CHECK(total <= (std::int64_t{1} << 32),
+               "threshold grid too large: " << grid.size() << "^" << knobs);
+  }
+  auto combo_thresholds = [&](std::int64_t combo) {
+    std::vector<double> thresholds(knobs);
+    for (std::size_t k = 0; k < knobs; ++k) {
+      thresholds[k] =
+          grid[static_cast<std::size_t>(combo) % grid.size()];
+      combo /= static_cast<std::int64_t>(grid.size());
+    }
+    return thresholds;
+  };
+
+  std::vector<double> accs(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> depths(static_cast<std::size_t>(total), 0.0);
+  parallel_for(0, total, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t combo = lo; combo < hi; ++combo) {
+      const auto r = apply_policy(eval, combo_thresholds(combo));
+      accs[static_cast<std::size_t>(combo)] = r.overall_accuracy;
+      depths[static_cast<std::size_t>(combo)] = mean_exit_depth(r);
+    }
+  });
+
+  std::int64_t best_combo = 0;
   double best_acc = -1.0;
   double best_depth = 1e18;
-  std::vector<std::size_t> idx(knobs, 0);
-  while (true) {
-    std::vector<double> thresholds(knobs);
-    for (std::size_t k = 0; k < knobs; ++k) thresholds[k] = grid[idx[k]];
-    const auto r = apply_policy(eval, thresholds);
-    const double depth = mean_exit_depth(r);
-    if (r.overall_accuracy > best_acc + 1e-12 ||
-        (r.overall_accuracy > best_acc - 1e-12 && depth < best_depth)) {
-      best_acc = r.overall_accuracy;
+  for (std::int64_t combo = 0; combo < total; ++combo) {
+    const double acc = accs[static_cast<std::size_t>(combo)];
+    const double depth = depths[static_cast<std::size_t>(combo)];
+    if (acc > best_acc + 1e-12 || (acc > best_acc - 1e-12 && depth < best_depth)) {
+      best_acc = acc;
       best_depth = depth;
-      best = thresholds;
+      best_combo = combo;
     }
-    // Odometer increment over the grid.
-    std::size_t k = 0;
-    while (k < knobs && ++idx[k] == grid.size()) {
-      idx[k] = 0;
-      ++k;
-    }
-    if (k == knobs) break;
   }
-  return best;
+  return combo_thresholds(best_combo);
 }
 
 double search_threshold_for_local_fraction(const ExitEval& eval,

@@ -72,8 +72,21 @@ TrainHistory train_ddnn(DdnnModel& model,
                     static_cast<double>(batch.size());
       seen += batch.size();
     }
-    history.epoch_loss.push_back(
-        static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    if (seen == 0) {
+      // Every batch was skipped by the single-element batch-norm guard
+      // (tiny dataset and/or batch_size 1): record 0, not 0/0 = NaN.
+      static bool warned = false;
+      if (!warned) {
+        DDNN_WARN("train_ddnn: every batch in an epoch was skipped by the "
+                  "batch-norm size guard; recording 0 loss (use batch_size "
+                  ">= 2 or more samples)");
+        warned = true;
+      }
+      history.epoch_loss.push_back(0.0f);
+    } else {
+      history.epoch_loss.push_back(
+          static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    }
     if (config.verbose) {
       DDNN_INFO("epoch " << (epoch + 1) << "/" << config.epochs << " loss "
                          << history.epoch_loss.back());
@@ -125,8 +138,19 @@ TrainHistory train_individual(IndividualModel& model,
                     static_cast<double>(batch.size());
       seen += batch.size();
     }
-    history.epoch_loss.push_back(
-        static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    if (seen == 0) {
+      static bool warned = false;
+      if (!warned) {
+        DDNN_WARN("train_individual: every batch in an epoch was skipped by "
+                  "the batch-norm size guard; recording 0 loss (use "
+                  "batch_size >= 2 or more samples)");
+        warned = true;
+      }
+      history.epoch_loss.push_back(0.0f);
+    } else {
+      history.epoch_loss.push_back(
+          static_cast<float>(epoch_loss / static_cast<double>(seen)));
+    }
     if (config.verbose) {
       DDNN_INFO("individual device " << device << " epoch " << (epoch + 1)
                                      << "/" << config.epochs << " loss "

@@ -7,6 +7,17 @@
 
 namespace ddnn::dist {
 
+double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
+                               double q) {
+  DDNN_CHECK(!sorted_ascending.empty(), "percentile of an empty sample");
+  DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
+  const auto n = static_cast<double>(sorted_ascending.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;  // guard against q*n rounding to 0
+  rank = std::min(rank, sorted_ascending.size());
+  return sorted_ascending[rank - 1];
+}
+
 QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
                               const QueueingConfig& config,
                               std::int64_t stream_length) {
@@ -52,8 +63,8 @@ QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
   double sum = 0.0;
   for (const double l : latencies) sum += l;
   stats.mean_latency_s = sum / static_cast<double>(latencies.size());
-  stats.p50_latency_s = latencies[latencies.size() / 2];
-  stats.p95_latency_s = latencies[(latencies.size() * 95) / 100];
+  stats.p50_latency_s = percentile_nearest_rank(latencies, 0.50);
+  stats.p95_latency_s = percentile_nearest_rank(latencies, 0.95);
   stats.max_latency_s = latencies.back();
   const double horizon = std::max(now, cloud_free_at);
   stats.cloud_utilization = horizon > 0.0 ? cloud_busy_total / horizon : 0.0;

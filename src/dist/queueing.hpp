@@ -40,6 +40,12 @@ struct QueueingStats {
   double cloud_utilization = 0.0;
 };
 
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// index ceil(q * n) - 1 (1-based rank ceil(q * n)). q must be in (0, 1].
+/// Example: n=100, q=0.95 -> index 94 (the 95th value), not 95.
+double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
+                               double q);
+
 /// Simulate a Poisson sample stream over per-sample inference traces
 /// (cycled if the stream is longer than the trace). Every trace's
 /// `latency_s` is the network+compute latency without contention; samples

@@ -1,5 +1,7 @@
 #include "tensor/im2col.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace ddnn {
 
 namespace {
@@ -27,27 +29,31 @@ Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
   float* pc = cols.data();
   const float* px = x.data();
   const std::int64_t chw = g.in_channels * g.in_h * g.in_w;
-  for (std::int64_t b = 0; b < n; ++b) {
-    const float* img = px + b * chw;
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* row = pc + ((b * oh + oy) * ow + ox) * patch;
-        std::int64_t idx = 0;
-        for (std::int64_t c = 0; c < g.in_channels; ++c) {
-          const float* chan = img + c * g.in_h * g.in_w;
-          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
-            const std::int64_t iy = oy * g.stride - g.pad + ky;
-            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
-              const std::int64_t ix = ox * g.stride - g.pad + kx;
-              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
-                row[idx] = chan[iy * g.in_w + ix];
+  // Each image writes a disjoint block of `cols` rows, so the batch loop
+  // parallelizes without any cross-thread accumulation.
+  parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* img = px + b * chw;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float* row = pc + ((b * oh + oy) * ow + ox) * patch;
+          std::int64_t idx = 0;
+          for (std::int64_t c = 0; c < g.in_channels; ++c) {
+            const float* chan = img + c * g.in_h * g.in_w;
+            for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+              const std::int64_t iy = oy * g.stride - g.pad + ky;
+              for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+                const std::int64_t ix = ox * g.stride - g.pad + kx;
+                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                  row[idx] = chan[iy * g.in_w + ix];
+                }
               }
             }
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -62,27 +68,31 @@ Tensor col2im(const Tensor& cols, const Conv2dGeometry& g, std::int64_t batch) {
   float* px = x.data();
   const float* pc = cols.data();
   const std::int64_t chw = g.in_channels * g.in_h * g.in_w;
-  for (std::int64_t b = 0; b < batch; ++b) {
-    float* img = px + b * chw;
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* row = pc + ((b * oh + oy) * ow + ox) * patch;
-        std::int64_t idx = 0;
-        for (std::int64_t c = 0; c < g.in_channels; ++c) {
-          float* chan = img + c * g.in_h * g.in_w;
-          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
-            const std::int64_t iy = oy * g.stride - g.pad + ky;
-            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
-              const std::int64_t ix = ox * g.stride - g.pad + kx;
-              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
-                chan[iy * g.in_w + ix] += row[idx];
+  // Scatter-adds stay within image b's slab, so chunking over the batch
+  // keeps the per-pixel accumulation order identical to the serial loop.
+  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      float* img = px + b * chw;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* row = pc + ((b * oh + oy) * ow + ox) * patch;
+          std::int64_t idx = 0;
+          for (std::int64_t c = 0; c < g.in_channels; ++c) {
+            float* chan = img + c * g.in_h * g.in_w;
+            for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+              const std::int64_t iy = oy * g.stride - g.pad + ky;
+              for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+                const std::int64_t ix = ox * g.stride - g.pad + kx;
+                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                  chan[iy * g.in_w + ix] += row[idx];
+                }
               }
             }
           }
         }
       }
     }
-  }
+  });
   return x;
 }
 

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace ddnn::ops {
 
 namespace {
+
+/// Elementwise ops only fan out to the pool above this element count; the
+/// per-element work is tiny, so small tensors stay on the calling thread.
+constexpr std::int64_t kElementwiseGrain = 1 << 15;
+
+/// Row grain for GEMM-shaped kernels: target at least ~64k multiply-adds
+/// per chunk so chunk dispatch never dominates.
+std::int64_t row_grain(std::int64_t work_per_row) {
+  return std::max<std::int64_t>(1, (1 << 16) / std::max<std::int64_t>(
+                                                  1, work_per_row));
+}
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   DDNN_CHECK(a.shape() == b.shape(), op << ": shape mismatch "
@@ -20,8 +33,10 @@ Tensor map2(const Tensor& a, const Tensor& b, const char* op, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  parallel_for(0, a.numel(), kElementwiseGrain,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+               });
   return out;
 }
 
@@ -30,8 +45,10 @@ Tensor map1(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  parallel_for(0, a.numel(), kElementwiseGrain,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+               });
   return out;
 }
 
@@ -101,16 +118,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Row-blocked: each chunk owns a contiguous block of output rows, so
+  // writes are disjoint and per-element accumulation order is unchanged.
+  parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -122,16 +143,21 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Chunks own output-row blocks; the kk loop stays outermost within each
+  // block so every c[i][j] accumulates in the same order as the serial
+  // kernel (kk ascending) regardless of thread count.
+  parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = pa + kk * m;
+      const float* brow = pb + kk * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -143,16 +169,18 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
+  parallel_for(0, m, row_grain(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -203,19 +231,21 @@ Tensor softmax_rows(const Tensor& a) {
   DDNN_CHECK(a.ndim() == 2, "softmax_rows needs a 2-D tensor");
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    float mx = a.at(i, 0);
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float e = std::exp(a.at(i, j) - mx);
-      out.at(i, j) = e;
-      denom += e;
+  parallel_for(0, m, row_grain(n * 8), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float mx = a.at(i, 0);
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, a.at(i, j));
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float e = std::exp(a.at(i, j) - mx);
+        out.at(i, j) = e;
+        denom += e;
+      }
+      for (std::int64_t j = 0; j < n; ++j) {
+        out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
+      }
     }
-    for (std::int64_t j = 0; j < n; ++j) {
-      out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
-    }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,186 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace ddnn {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread: parallel_for() calls
+/// made from a worker run inline so nested parallelism cannot deadlock the
+/// fixed-size pool.
+thread_local bool t_in_pool_worker = false;
+
+int default_pool_size() {
+  const std::int64_t requested = env_int("DDNN_THREADS", 0);
+  if (requested > 0) {
+    return static_cast<int>(std::min<std::int64_t>(requested, 256));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_instance_mutex;
+std::unique_ptr<ThreadPool> g_instance;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  impl_ = new Impl;
+  // The calling thread is one of the `size_` compute threads, so only
+  // size_-1 helpers are spawned; size 1 means fully inline execution.
+  for (int i = 0; i < size_ - 1; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->cv.wait(lock,
+                     [this] { return impl_->stop || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) {
+        if (impl_->stop) return;
+        continue;
+      }
+      task = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+ThreadPool& ThreadPool::instance() {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  if (!g_instance) {
+    g_instance.reset(new ThreadPool(default_pool_size()));
+  }
+  return *g_instance;
+}
+
+void ThreadPool::set_size(int threads) {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  g_instance.reset();  // join the old pool before replacing it
+  g_instance.reset(
+      new ThreadPool(threads > 0 ? threads : default_pool_size()));
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (t_in_pool_worker || size_ <= 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  // Chunk count is capped at a small multiple of the pool size for load
+  // balance; chunks are contiguous and disjoint, so which thread runs which
+  // chunk never affects results.
+  const std::int64_t by_grain = (range + grain - 1) / grain;
+  const std::int64_t nchunks =
+      std::min<std::int64_t>(static_cast<std::int64_t>(size_) * 4, by_grain);
+  const std::int64_t chunk = (range + nchunks - 1) / nchunks;
+
+  struct CallState {
+    std::atomic<std::int64_t> next{0};
+    std::int64_t begin = 0, end = 0, chunk = 0, nchunks = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int helpers_left = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<CallState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->nchunks = nchunks;
+  state->fn = &fn;
+
+  auto drain = [](CallState& s) {
+    while (true) {
+      const std::int64_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.nchunks) break;
+      const std::int64_t lo = s.begin + c * s.chunk;
+      const std::int64_t hi = std::min(s.end, lo + s.chunk);
+      try {
+        (*s.fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
+      }
+    }
+  };
+
+  const int helpers = static_cast<int>(
+      std::min<std::int64_t>(size_ - 1, nchunks - 1));
+  state->helpers_left = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    enqueue([state, drain] {
+      drain(*state);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->helpers_left;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+
+  drain(*state);  // the caller is a compute thread too
+
+  // Wait for every helper to exit before returning: helpers hold a pointer
+  // to `fn`, which lives on this frame.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->helpers_left == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace ddnn

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/aggregator.hpp"
@@ -82,6 +83,47 @@ TEST(Criterion, ScoresAndRanges) {
   EXPECT_DOUBLE_EQ(max_confidence_score(3, C::kUnnormalizedEntropy),
                    std::log(3.0));
   EXPECT_DOUBLE_EQ(max_confidence_score(3, C::kMaxProbability), 2.0 / 3.0);
+}
+
+TEST(Criterion, UnnormalizedEntropyIsExactlyRawEntropy) {
+  // Regression: the unnormalized score used to be derived as
+  // normalized_entropy(probs) * log C, which round-trips the raw entropy
+  // through a divide/multiply and the [0, 1] clamp — distorting values near
+  // the boundaries. It must equal the directly computed entropy bit-for-bit.
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> p(3);
+    float sum = 0.0f;
+    for (auto& v : p) {
+      v = static_cast<float>(rng.uniform(0.01, 1.0));
+      sum += v;
+    }
+    for (auto& v : p) v /= sum;
+
+    double h = 0.0;
+    for (const float v : p) {
+      if (v > 0.0f) {
+        h -= static_cast<double>(v) * std::log(static_cast<double>(v));
+      }
+    }
+    const double expected = std::clamp(h, 0.0, std::log(3.0));
+    EXPECT_EQ(confidence_score(p, ConfidenceCriterion::kUnnormalizedEntropy),
+              expected)
+        << "trial " << trial;
+    EXPECT_EQ(unnormalized_entropy(p), expected) << "trial " << trial;
+  }
+}
+
+TEST(Criterion, UnnormalizedEntropyClampsToItsOwnRange) {
+  // Slightly super-uniform "probabilities" (sum > 1) push raw entropy past
+  // log C; the score clamps to exactly log C, never beyond.
+  const std::vector<float> over{0.34f, 0.34f, 0.34f};
+  EXPECT_EQ(confidence_score(over, ConfidenceCriterion::kUnnormalizedEntropy),
+            std::log(3.0));
+  const std::vector<float> one_hot{1.0f, 0.0f, 0.0f};
+  EXPECT_EQ(
+      confidence_score(one_hot, ConfidenceCriterion::kUnnormalizedEntropy),
+      0.0);
 }
 
 TEST(Criterion, NamesAreDistinct) {

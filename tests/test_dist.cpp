@@ -344,6 +344,38 @@ TEST(Queueing, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
 }
 
+TEST(Queueing, NearestRankPercentilePinsExactIndices) {
+  // Regression: p95 used to read latencies[(n * 95) / 100], one past the
+  // nearest-rank index ceil(0.95 n) - 1 — for n=100 that is the 96th value
+  // instead of the 95th.
+  std::vector<double> v100(100);
+  for (std::size_t i = 0; i < v100.size(); ++i) {
+    v100[i] = static_cast<double>(i + 1);  // 1..100
+  }
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v100, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v100, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v100, 1.00), 100.0);
+
+  std::vector<double> v20(20);
+  for (std::size_t i = 0; i < v20.size(); ++i) {
+    v20[i] = static_cast<double>(i + 1);  // 1..20
+  }
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v20, 0.95), 19.0);  // ceil(19)-1
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v20, 0.50), 10.0);  // ceil(10)-1
+
+  const std::vector<double> tiny{42.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(tiny, 0.50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(tiny, 0.95), 42.0);
+
+  const std::vector<double> pair{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(pair, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(pair, 0.95), 2.0);
+
+  EXPECT_THROW(percentile_nearest_rank({}, 0.5), Error);
+  EXPECT_THROW(percentile_nearest_rank(pair, 0.0), Error);
+  EXPECT_THROW(percentile_nearest_rank(pair, 1.5), Error);
+}
+
 TEST(Queueing, ValidatesInputs) {
   EXPECT_THROW(simulate_stream({}, QueueingConfig{}, 10), Error);
   const auto traces = synthetic_traces(0.5);

@@ -179,6 +179,66 @@ TEST(Cache, TrainOrLoadRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Cache, SanitizedKeysKeepDistinctFiles) {
+  // Regression: "mp/3dev" and "mp:3dev" both sanitize to "mp_3dev"; without
+  // the raw-key hash suffix they shared a .ddnn file and loaded each
+  // other's weights.
+  const std::string dir = ::testing::TempDir() + "/ddnn_cache_collision";
+  std::filesystem::remove_all(dir);
+  setenv("DDNN_CACHE_DIR", dir.c_str(), 1);
+
+  EXPECT_NE(core::cache_path("mp/3dev"), core::cache_path("mp:3dev"));
+
+  Rng rng(3);
+  nn::Linear a(4, 2, rng);
+  core::train_or_load(a, "mp/3dev", [&] {
+    a.parameters()[0].var.value().fill(1.0f);
+  });
+  Rng rng2(5);
+  nn::Linear b(4, 2, rng2);
+  int trained = 0;
+  core::train_or_load(b, "mp:3dev", [&] {
+    ++trained;
+    b.parameters()[0].var.value().fill(2.0f);
+  });
+  EXPECT_EQ(trained, 1);  // a cache hit here would mean a key collision
+  EXPECT_FLOAT_EQ(b.parameters()[0].var.value()[0], 2.0f);
+
+  unsetenv("DDNN_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, PathRequiresCachingEnabled) {
+  setenv("DDNN_CACHE_DIR", "off", 1);
+  EXPECT_THROW(core::cache_path("any-key"), Error);
+  unsetenv("DDNN_CACHE_DIR");
+}
+
+TEST(Training, AllSkippedBatchesRecordZeroLossNotNaN) {
+  // Regression: with batch_size 1 every batch trips the batch-norm size
+  // guard, so no batch contributes loss; epoch_loss recorded 0/0 = NaN.
+  data::MvmcConfig data_cfg;
+  data_cfg.train_samples = 4;
+  data_cfg.test_samples = 4;
+  const auto ds = data::MvmcDataset::generate(data_cfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 1;
+  const auto history =
+      core::train_ddnn(model, ds.train(), {0, 1, 2, 3, 4, 5}, cfg);
+  ASSERT_EQ(history.epoch_loss.size(), 2u);
+  for (const float l : history.epoch_loss) {
+    EXPECT_FALSE(std::isnan(l));
+    EXPECT_EQ(l, 0.0f);
+  }
+
+  core::IndividualModel individual(3, 32, 4, 3, 5);
+  const auto ihistory = core::train_individual(individual, ds.train(), 5, cfg);
+  for (const float l : ihistory.epoch_loss) EXPECT_FALSE(std::isnan(l));
+}
+
 TEST(Training, ExitWeightsAreValidated) {
   data::MvmcConfig data_cfg;
   data_cfg.train_samples = 8;
