@@ -1,0 +1,97 @@
+// Failure sweep: the paper's Section IV-G fault-tolerance claim, extended
+// with the fault-injection layer — lossy links, flapping devices and
+// permanent device failures, all seeded and reproducible.
+//
+// Two sweeps over the trained 6-device configuration (c):
+//   1. link drop probability x permanently failed devices: accuracy under
+//      an increasingly hostile network, with drop/retry/timeout accounting;
+//   2. progressive permanent failures at a fixed 10% drop rate — the
+//      "accuracy degrades gracefully" curve, down to every device dead
+//      (dead samples are counted, not crashed on).
+//
+//   $ ./build/examples/fault_sweep
+#include <cstdio>
+
+#include "core/cache.hpp"
+#include "core/trainer.hpp"
+#include "dist/runtime.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace ddnn;
+
+namespace {
+
+dist::FaultPlan make_plan(std::uint64_t seed, double drop, int failed) {
+  dist::FaultPlan plan;
+  plan.seed = seed;
+  plan.link_drop_prob = drop;
+  for (int d = 0; d < failed; ++d) {
+    plan.devices.push_back({.permanent_fail_at = 0});
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  const int epochs = static_cast<int>(env_int("DDNN_EPOCHS", 30));
+  const auto seed = static_cast<std::uint64_t>(env_int("DDNN_SEED", 42));
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  data::MvmcConfig data_cfg;
+  data_cfg.seed = seed;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+
+  const auto cfg =
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud);
+  core::DdnnModel model(cfg);
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  core::train_or_load(model, "example_fault_sweep_ep" + std::to_string(epochs),
+                      [&] {
+                        std::printf("training %d epochs...\n", epochs);
+                        core::train_ddnn(model, dataset.train(), devices,
+                                         train_cfg);
+                      });
+  model.set_training(false);
+
+  Table grid({"Drop p", "#Failed", "Overall (%)", "Local exit (%)", "Drops",
+              "Retries", "Timeouts", "Degraded", "Mean latency (ms)"});
+  for (const double drop : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    for (const int failed : {0, 1, 2}) {
+      dist::HierarchyRuntime runtime(model, {0.8}, devices);
+      runtime.set_fault_plan(make_plan(1234, drop, failed));
+      const auto m = runtime.run(dataset.test());
+      const auto& r = m.reliability;
+      grid.add_row(
+          {Table::num(drop, 2), std::to_string(failed),
+           Table::num(100.0 * m.accuracy(), 1),
+           Table::num(100.0 * static_cast<double>(m.exit_counts[0]) /
+                          static_cast<double>(m.samples),
+                      1),
+           std::to_string(r.drops), std::to_string(r.retries),
+           std::to_string(r.timeouts), std::to_string(r.degraded_exits),
+           Table::num(1e3 * m.mean_latency_s(), 1)});
+    }
+  }
+  std::printf("\n%s", grid.to_string().c_str());
+
+  Table progressive({"#Failed", "Overall (%)", "Dead samples"});
+  for (int failed = 0; failed <= 6; ++failed) {
+    dist::HierarchyRuntime runtime(model, {0.8}, devices);
+    runtime.set_fault_plan(make_plan(1234, 0.1, failed));
+    const auto m = runtime.run(dataset.test());
+    progressive.add_row({std::to_string(failed),
+                         Table::num(100.0 * m.accuracy(), 1),
+                         std::to_string(m.reliability.dead_samples)});
+  }
+  std::printf("\nprogressive failures at 10%% link drop:\n%s",
+              progressive.to_string().c_str());
+  std::printf(
+      "\nAccuracy falls gradually as links get lossier and devices die; "
+      "even with\nevery device permanently dead the run completes (dead "
+      "samples are flagged\nand counted). Same seed => identical numbers, "
+      "any DDNN_THREADS.\n");
+  return 0;
+}

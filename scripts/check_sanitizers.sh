@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer smoke: configure an ASan+UBSan build (-DDDNN_SANITIZE=ON) in a
+# nested build directory, build the distributed-runtime test binaries and run
+# them with halt-on-error semantics. Catches memory errors and UB that the
+# optimized tier-1 build would silently tolerate — especially in the
+# fault-injection paths, which exercise drop/retry/degraded routes the happy
+# path never takes.
+#
+# Usage: check_sanitizers.sh <source-dir> [build-dir]
+set -euo pipefail
+
+src="${1:?usage: check_sanitizers.sh <source-dir> [build-dir]}"
+build="${2:-${src}/build-asan}"
+
+cmake -S "${src}" -B "${build}" -DDDNN_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${build}" -j --target test_fault test_dist >/dev/null
+
+# Leak checking needs ptrace, which containers often deny; the point here is
+# heap/stack corruption and UB, so keep leaks off and halt on everything else.
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+for bin in test_fault test_dist; do
+  echo "== sanitizers: ${bin}"
+  "${build}/tests/${bin}" --gtest_brief=1
+done
+echo "sanitizer smoke passed (ASan+UBSan clean)"

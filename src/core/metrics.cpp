@@ -4,6 +4,24 @@
 
 namespace ddnn::core {
 
+ReliabilityCounters& ReliabilityCounters::operator+=(
+    const ReliabilityCounters& other) {
+  drops += other.drops;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  degraded_exits += other.degraded_exits;
+  dead_samples += other.dead_samples;
+  return *this;
+}
+
+Table ReliabilityCounters::to_table() const {
+  Table table({"Drops", "Retries", "Timeouts", "Degraded", "Dead"});
+  table.add_row({std::to_string(drops), std::to_string(retries),
+                 std::to_string(timeouts), std::to_string(degraded_exits),
+                 std::to_string(dead_samples)});
+  return table;
+}
+
 ConfusionMatrix::ConfusionMatrix(int num_classes)
     : num_classes_(num_classes),
       counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {

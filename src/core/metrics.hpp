@@ -11,6 +11,27 @@
 
 namespace ddnn::core {
 
+/// Counters for the reliability layer (fault injection, retries, graceful
+/// degradation). Aggregated per run by dist::HierarchyRuntime and printable
+/// wherever a run summary is shown.
+struct ReliabilityCounters {
+  std::int64_t drops = 0;      ///< transmission attempts lost in flight
+  std::int64_t retries = 0;    ///< re-transmissions after a timed-out attempt
+  std::int64_t timeouts = 0;   ///< sends abandoned after exhausting retries
+  std::int64_t degraded_exits = 0;  ///< samples classified via a fallback route
+  std::int64_t dead_samples = 0;    ///< samples no tier could classify
+
+  bool any() const {
+    return drops != 0 || retries != 0 || timeouts != 0 ||
+           degraded_exits != 0 || dead_samples != 0;
+  }
+
+  ReliabilityCounters& operator+=(const ReliabilityCounters& other);
+
+  /// One-row table: Drops | Retries | Timeouts | Degraded | Dead.
+  Table to_table() const;
+};
+
 class ConfusionMatrix {
  public:
   explicit ConfusionMatrix(int num_classes);

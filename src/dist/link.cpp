@@ -11,9 +11,16 @@ Link::Link(std::string name, LinkConfig config)
 }
 
 double Link::transmit(const Message& msg) {
+  ++stats_.attempts;
   ++stats_.messages;
   stats_.bytes += msg.payload_bytes();
   return latency_for(msg.payload_bytes());
+}
+
+void Link::record_drop(const Message& msg) {
+  ++stats_.attempts;
+  ++stats_.dropped;
+  stats_.bytes_dropped += msg.payload_bytes();
 }
 
 double Link::latency_for(std::int64_t bytes) const {

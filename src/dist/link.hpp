@@ -15,8 +15,16 @@
 namespace ddnn::dist {
 
 struct LinkStats {
+  // Delivered traffic. `messages`/`bytes` keep their original meaning so
+  // the paper's byte-accounting invariants (Eq. 1) stay expressed in terms
+  // of what actually crossed the link.
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
+  // Delivery semantics under fault injection: every transmission attempt is
+  // either delivered (counted above) or dropped in flight.
+  std::int64_t attempts = 0;
+  std::int64_t dropped = 0;
+  std::int64_t bytes_dropped = 0;
 };
 
 /// Default link parameters: a constrained wireless uplink (the paper's
@@ -32,6 +40,10 @@ class Link {
 
   /// Account for one message crossing this link; returns its latency.
   double transmit(const Message& msg);
+
+  /// Account for an attempted transmission that was lost in flight (fault
+  /// injection). The sender still spent airtime; the payload never arrived.
+  void record_drop(const Message& msg);
 
   /// Latency a message of `bytes` would incur (no accounting).
   double latency_for(std::int64_t bytes) const;

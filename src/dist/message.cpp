@@ -19,6 +19,9 @@ const char* to_string(MessageKind kind) {
 
 Message encode_class_scores(const Tensor& scores) {
   DDNN_CHECK(scores.defined(), "encoding undefined tensor");
+  DDNN_CHECK(scores.ndim() == 1 || (scores.ndim() == 2 && scores.dim(0) == 1),
+             "class scores must be [C] or [1, C], got "
+                 << scores.shape().to_string());
   Message msg;
   msg.kind = MessageKind::kClassScores;
   msg.payload.resize(static_cast<std::size_t>(scores.numel()) * sizeof(float));
@@ -83,6 +86,13 @@ Tensor decode_raw_image(const Message& msg, Shape shape) {
            255.0f;
   }
   return t;
+}
+
+Tensor decode_features(const Message& msg, const Shape& shape) {
+  if (msg.kind == MessageKind::kRawImage) {
+    return decode_raw_image(msg, shape);
+  }
+  return decode_binary_feature_map(msg, shape);
 }
 
 }  // namespace ddnn::dist

@@ -49,8 +49,15 @@ Message encode_binary_feature_map(const Tensor& features);
 Tensor decode_binary_feature_map(const Message& msg, Shape shape);
 
 /// [0,1] float image -> 1 byte per value (quantized; the baseline the paper
-/// charges 3072 B per 32x32 RGB frame for).
+/// charges 3072 B per 32x32 RGB frame for). Out-of-range values clamp to
+/// [0, 1] before quantization.
 Message encode_raw_image(const Tensor& image);
 Tensor decode_raw_image(const Message& msg, Shape shape);
+
+/// Decode a device/edge feature message of known shape, dispatching on the
+/// payload kind: raw images are the config-(a) device payload (and the
+/// graceful-degradation raw-offload fallback); everything else is
+/// bit-packed binary.
+Tensor decode_features(const Message& msg, const Shape& shape);
 
 }  // namespace ddnn::dist

@@ -24,21 +24,22 @@ Shape edge_feature_shape(const DdnnConfig& cfg) {
   return Shape{1, cfg.edge_filters, s, s};
 }
 
-/// Decode a device/edge feature message of known shape. Raw images are the
-/// config-(a) device payload; everything else is bit-packed binary.
-Tensor decode_features(const Message& msg, const Shape& shape) {
-  if (msg.kind == MessageKind::kRawImage) {
-    return decode_raw_image(msg, shape);
-  }
-  return decode_binary_feature_map(msg, shape);
-}
-
 }  // namespace
 
 DeviceNode::DeviceNode(int id, core::DdnnModel& model, int branch)
     : id_(id), model_(model), branch_(branch) {
   DDNN_CHECK(branch >= 0 && branch < model.config().num_devices,
              "branch out of range");
+}
+
+void DeviceNode::set_failed(bool failed) {
+  failed_ = failed;
+  if (failed_) {
+    // Drop cached state so a later recovery cannot serve pre-failure data:
+    // the accessors DDNN_CHECK on undefined tensors until the next sense().
+    view_ = Tensor();
+    features_ = Variable();
+  }
 }
 
 void DeviceNode::sense(const Tensor& view) {
@@ -72,6 +73,12 @@ Message DeviceNode::feature_message() const {
   return encode_binary_feature_map(features_.value());
 }
 
+Message DeviceNode::raw_image_message() const {
+  DDNN_CHECK(!failed_, "failed device asked for its raw view");
+  DDNN_CHECK(view_.defined(), "raw_image_message before sense()");
+  return encode_raw_image(view_);
+}
+
 Shape DeviceNode::feature_shape() const {
   return device_feature_shape(model_.config());
 }
@@ -87,15 +94,20 @@ Tensor GatewayNode::aggregate(
   const std::int64_t c = model_.config().num_classes;
   std::vector<Variable> logits;
   std::vector<bool> active;
+  bool any = false;
   for (const auto& msg : scores) {
     if (msg.has_value()) {
       logits.emplace_back(decode_class_scores(*msg, c));
       active.push_back(true);
+      any = true;
     } else {
       logits.emplace_back(Tensor::zeros(Shape{1, c}));
       active.push_back(false);
     }
   }
+  // A gateway that heard from zero devices has nothing to fuse; the runtime
+  // must escalate instead of asking for a decision from silence.
+  DDNN_CHECK(any, "gateway aggregation with zero delivered score messages");
   return model_.local_aggregate(logits, active).value();
 }
 

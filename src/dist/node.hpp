@@ -22,7 +22,11 @@ class DeviceNode {
 
   int id() const { return id_; }
   bool failed() const { return failed_; }
-  void set_failed(bool failed) { failed_ = failed; }
+
+  /// Marking a device failed clears its cached view and features: a device
+  /// that comes back must sense() again before it can serve messages, so a
+  /// failure can never silently serve pre-failure state.
+  void set_failed(bool failed);
 
   /// Run the device NN section on a sensed view ([3, S, S]); caches the
   /// features for a later escalation. No-op when failed.
@@ -35,6 +39,11 @@ class DeviceNode {
   /// Feature message for the tier above: bit-packed binary features, or the
   /// quantized raw image when the device runs no NN blocks (config (a)).
   Message feature_message() const;
+
+  /// Quantized raw view for the graceful-degradation fallback: when no
+  /// higher tier can be fed features, alive devices offload their raw
+  /// images and the cloud runs the whole network (traditional offloading).
+  Message raw_image_message() const;
 
   /// Shape of the feature tensor this device forwards upward.
   Shape feature_shape() const;

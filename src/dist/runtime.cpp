@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autograd/grad_mode.hpp"
 #include "core/entropy.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
@@ -40,6 +41,7 @@ HierarchyRuntime::HierarchyRuntime(core::DdnnModel& model,
              "need one threshold per non-final exit");
   DDNN_CHECK(static_cast<int>(device_map_.size()) == cfg.num_devices,
              "device map size mismatch");
+  config_.reliability.validate();
 
   for (int b = 0; b < cfg.num_devices; ++b) {
     devices_.emplace_back(b, model_, b);
@@ -48,6 +50,14 @@ HierarchyRuntime::HierarchyRuntime(core::DdnnModel& model,
     const std::string up_target = cfg.has_edge() ? "edge" : "cloud";
     dev_uplink_links_.emplace_back(
         "device" + std::to_string(b) + "->" + up_target, config_.device_link);
+    if (cfg.has_edge()) {
+      // Degraded-routing path: when the edge tier is unreachable, devices
+      // escalate straight to the cloud over these links. (Without an edge
+      // tier the normal uplink already terminates at the cloud.)
+      dev_cloud_links_.emplace_back(
+          "device" + std::to_string(b) + "->cloud(fallback)",
+          config_.device_link);
+    }
   }
   if (cfg.has_local_exit) gateway_.emplace(model_);
   if (cfg.has_edge()) {
@@ -69,6 +79,23 @@ void HierarchyRuntime::set_device_failed(int branch, bool failed) {
   devices_[static_cast<std::size_t>(branch)].set_failed(failed);
 }
 
+void HierarchyRuntime::set_fault_plan(FaultPlan plan) {
+  plan.validate();
+  DDNN_CHECK(plan.devices.size() <= devices_.size(),
+             "fault plan schedules " << plan.devices.size()
+                                     << " devices but the runtime has "
+                                     << devices_.size());
+  const int n_groups = static_cast<int>(model_.config().edge_groups.size());
+  for (const auto& o : plan.edge_outages) {
+    DDNN_CHECK(n_groups > 0,
+               "edge outage in the plan but this hierarchy has no edge tier");
+    DDNN_CHECK(o.group < n_groups, "edge outage group out of range");
+  }
+  injector_.emplace(std::move(plan));
+}
+
+void HierarchyRuntime::clear_fault_plan() { injector_.reset(); }
+
 void HierarchyRuntime::reset_metrics() {
   metrics_ = {};
   metrics_.exit_counts.assign(
@@ -78,6 +105,8 @@ void HierarchyRuntime::reset_metrics() {
   for (auto& l : dev_uplink_links_) l.reset_stats();
   for (auto& l : edge_coord_links_) l.reset_stats();
   for (auto& l : edge_cloud_links_) l.reset_stats();
+  for (auto& l : dev_cloud_links_) l.reset_stats();
+  sample_index_ = 0;
 }
 
 int HierarchyRuntime::group_of(int branch) const {
@@ -91,101 +120,233 @@ int HierarchyRuntime::group_of(int branch) const {
 }
 
 Table HierarchyRuntime::link_report() const {
-  Table table({"Link", "Messages", "Bytes", "Bytes/sample"});
-  const double n = std::max<double>(1.0, static_cast<double>(metrics_.samples));
+  Table table({"Link", "Messages", "Dropped", "Bytes", "Bytes/sample"});
+  const std::int64_t n = metrics_.samples;
   auto emit = [&](const std::vector<Link>& links) {
     for (const auto& link : links) {
+      // An empty metrics window has no meaningful per-sample rate; emit "-"
+      // instead of mistaking the byte total for a rate.
+      const std::string per_sample =
+          n == 0 ? "-"
+                 : Table::num(static_cast<double>(link.stats().bytes) /
+                                  static_cast<double>(n),
+                              1);
       table.add_row({link.name(), std::to_string(link.stats().messages),
-                     std::to_string(link.stats().bytes),
-                     Table::num(static_cast<double>(link.stats().bytes) / n,
-                                1)});
+                     std::to_string(link.stats().dropped),
+                     std::to_string(link.stats().bytes), per_sample});
     }
   };
   emit(dev_gateway_links_);
   emit(dev_uplink_links_);
   emit(edge_coord_links_);
   emit(edge_cloud_links_);
+  emit(dev_cloud_links_);
   return table;
+}
+
+std::optional<Message> HierarchyRuntime::edge_features_at_cloud(
+    std::size_t g, const std::vector<std::optional<Message>>& features) {
+  const auto& cfg = model_.config();
+  autograd::NoGradGuard no_grad;
+  const Shape shape = devices_.front().feature_shape();
+  std::vector<core::Variable> members;
+  std::vector<bool> active;
+  bool any = false;
+  for (int d : cfg.edge_groups[g]) {
+    const auto& msg = features[static_cast<std::size_t>(d)];
+    if (msg.has_value()) {
+      members.emplace_back(decode_features(*msg, shape));
+      active.push_back(true);
+      any = true;
+    } else {
+      members.emplace_back(Tensor::zeros(shape));
+      active.push_back(false);
+    }
+  }
+  if (!any) return std::nullopt;
+  const auto result = model_.edge_section(g, members, active);
+  return encode_binary_feature_map(result.features.value());
+}
+
+Tensor HierarchyRuntime::cloud_forward_from_raw(
+    const std::vector<std::optional<Message>>& raws) {
+  const auto& cfg = model_.config();
+  autograd::NoGradGuard no_grad;
+  const Shape view_shape{1, cfg.input_channels, cfg.input_size,
+                         cfg.input_size};
+  const Shape feature_shape = devices_.front().feature_shape();
+  std::vector<core::Variable> feats;
+  std::vector<bool> active;
+  for (std::size_t b = 0; b < raws.size(); ++b) {
+    if (raws[b].has_value()) {
+      const core::Variable input(decode_raw_image(*raws[b], view_shape));
+      feats.emplace_back(cfg.device_conv_blocks == 0
+                             ? input
+                             : model_.device_section_features(
+                                   static_cast<int>(b), input));
+      active.push_back(true);
+    } else {
+      feats.emplace_back(Tensor::zeros(feature_shape));
+      active.push_back(false);
+    }
+  }
+  if (!cfg.has_edge()) return model_.cloud_section(feats, active).value();
+
+  const Shape edge_shape = edges_.front().feature_shape();
+  std::vector<core::Variable> branches;
+  std::vector<bool> branch_active;
+  for (std::size_t g = 0; g < cfg.edge_groups.size(); ++g) {
+    std::vector<core::Variable> members;
+    std::vector<bool> member_active;
+    bool any = false;
+    for (int d : cfg.edge_groups[g]) {
+      members.push_back(feats[static_cast<std::size_t>(d)]);
+      member_active.push_back(active[static_cast<std::size_t>(d)]);
+      any = any || active[static_cast<std::size_t>(d)];
+    }
+    if (any) {
+      branches.push_back(model_.edge_section(g, members, member_active)
+                             .features);
+      branch_active.push_back(true);
+    } else {
+      branches.emplace_back(Tensor::zeros(edge_shape));
+      branch_active.push_back(false);
+    }
+  }
+  return model_.cloud_section(branches, branch_active).value();
 }
 
 InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
   const auto& cfg = model_.config();
   const auto n_dev = devices_.size();
+  const std::int64_t sidx = sample_index_++;
+  const FaultInjector* inj = fault_injector();
   InferenceTrace trace;
   int exit_index = 0;
+  const int cloud_exit = cfg.num_exits() - 1;
 
-  auto account = [&](Link& link, const Message& msg, int branch) -> double {
-    trace.bytes_sent += msg.payload_bytes();
-    if (branch >= 0) {
-      metrics_.device_bytes[static_cast<std::size_t>(branch)] +=
-          msg.payload_bytes();
+  // Book a finished trace into the run metrics; every return goes through
+  // here exactly once.
+  auto commit = [&](int exit_taken, std::int64_t prediction,
+                    double entropy) -> InferenceTrace& {
+    trace.exit_taken = exit_taken;
+    trace.prediction = prediction;
+    trace.entropy = entropy;
+    if (exit_taken >= 0) {
+      ++metrics_.exit_counts[static_cast<std::size_t>(exit_taken)];
     }
-    return link.transmit(msg);
+    ++metrics_.samples;
+    metrics_.total_bytes += trace.bytes_sent;
+    metrics_.total_latency_s += trace.latency_s;
+    if (trace.degraded) ++metrics_.reliability.degraded_exits;
+    if (trace.dead) ++metrics_.reliability.dead_samples;
+    if (trace.prediction == sample.label) ++metrics_.correct;
+    return trace;
   };
 
-  // --- Stage 0: every healthy device runs its NN section on its view.
-  bool any_active = false;
+  // Reliable send: retries/timeouts are accounted here; delivered bytes are
+  // charged to the trace and (for device senders) the per-device counters.
+  // The elapsed time joins the stage's parallel-sender critical path.
+  auto send = [&](Link& link, const Message& msg, int branch,
+                  double& stage_latency) -> bool {
+    ReliableChannel channel(link, inj, config_.reliability);
+    const SendResult res = channel.send(msg, sidx);
+    metrics_.reliability.drops += res.dropped_attempts;
+    metrics_.reliability.retries += res.attempts - 1;
+    trace.retries += res.attempts - 1;
+    if (res.delivered) {
+      trace.bytes_sent += msg.payload_bytes();
+      if (branch >= 0) {
+        metrics_.device_bytes[static_cast<std::size_t>(branch)] +=
+            msg.payload_bytes();
+      }
+    } else {
+      ++metrics_.reliability.timeouts;
+    }
+    stage_latency = std::max(stage_latency, res.latency_s);
+    return res.delivered;
+  };
+
+  // --- Stage 0: every reachable device runs its NN section on its view.
+  std::vector<bool> alive(n_dev, false);
+  bool any_alive = false;
   for (std::size_t b = 0; b < n_dev; ++b) {
     if (devices_[b].failed()) continue;
+    if (inj && inj->device_down(static_cast<int>(b), sidx)) continue;
     const auto dev_id = static_cast<std::size_t>(device_map_[b]);
     devices_[b].sense(sample.views.at(dev_id));
-    any_active = true;
+    alive[b] = true;
+    any_alive = true;
   }
-  DDNN_CHECK(any_active, "classify with every device failed");
+  if (!any_alive) {
+    // Every device is down: nothing sensed, nothing to classify. Count the
+    // sample as a flagged dead trace instead of aborting the run — accuracy
+    // degrades, the system keeps serving.
+    trace.degraded = trace.dead = true;
+    return commit(-1, -1, 1.0);
+  }
   trace.latency_s += config_.device_compute_s;
 
   // --- Stage 1: local exit.
   if (cfg.has_local_exit) {
     std::vector<std::optional<Message>> scores(n_dev);
     double stage_latency = 0.0;
+    int delivered = 0;
     for (std::size_t b = 0; b < n_dev; ++b) {
-      if (devices_[b].failed()) continue;
+      if (!alive[b]) continue;
       Message msg = devices_[b].scores_message();
-      stage_latency = std::max(
-          stage_latency, account(dev_gateway_links_[b], msg,
-                                 static_cast<int>(b)));
-      scores[b] = std::move(msg);
+      if (send(dev_gateway_links_[b], msg, static_cast<int>(b),
+               stage_latency)) {
+        scores[b] = std::move(msg);
+        ++delivered;
+      }
     }
     trace.latency_s += stage_latency;
-    const Tensor fused = gateway_->aggregate(scores);
-    const Decision d = decide(fused);
-    if (core::should_exit(d.entropy, thresholds_[0])) {
-      trace.exit_taken = 0;
-      trace.prediction = d.prediction;
-      trace.entropy = d.entropy;
-      ++metrics_.exit_counts[0];
-      ++metrics_.samples;
-      metrics_.total_bytes += trace.bytes_sent;
-      metrics_.total_latency_s += trace.latency_s;
-      if (trace.prediction == sample.label) ++metrics_.correct;
-      return trace;
+    if (delivered > 0) {
+      const Tensor fused = gateway_->aggregate(scores);
+      const Decision d = decide(fused);
+      if (core::should_exit(d.entropy, thresholds_[0])) {
+        return commit(0, d.prediction, d.entropy);
+      }
+    } else {
+      // The gateway heard from zero devices: it cannot make a local
+      // decision, so the sample escalates without one.
+      trace.degraded = true;
     }
     exit_index = 1;
   }
 
-  // --- Stage 2: devices escalate their features upward.
+  // --- Stage 2: devices escalate their features upward. A device whose
+  // edge group is inside an outage window routes straight to the cloud.
   std::vector<std::optional<Message>> features(n_dev);
   {
     double stage_latency = 0.0;
     for (std::size_t b = 0; b < n_dev; ++b) {
-      if (devices_[b].failed()) continue;
+      if (!alive[b]) continue;
+      const int g = cfg.has_edge() ? group_of(static_cast<int>(b)) : -1;
+      const bool edge_up = g < 0 || !(inj && inj->edge_down(g, sidx));
+      if (!edge_up) trace.degraded = true;
+      Link& uplink = edge_up ? dev_uplink_links_[b] : dev_cloud_links_[b];
       Message msg = devices_[b].feature_message();
-      stage_latency = std::max(
-          stage_latency,
-          account(dev_uplink_links_[b], msg, static_cast<int>(b)));
-      features[b] = std::move(msg);
+      if (send(uplink, msg, static_cast<int>(b), stage_latency)) {
+        features[b] = std::move(msg);
+      }
     }
     trace.latency_s += stage_latency;
   }
 
   std::vector<std::optional<Message>> cloud_branches;
   if (cfg.has_edge()) {
-    // --- Stage 3: edges process their member devices.
+    // --- Stage 3: reachable edges process their member devices.
     const auto n_groups = cfg.edge_groups.size();
     std::vector<std::optional<Message>> edge_scores(n_groups);
     std::vector<bool> group_active(n_groups, false);
+    std::vector<bool> edge_up(n_groups, true);
     double stage_latency = 0.0;
+    bool any_edge_ran = false;
     for (std::size_t g = 0; g < n_groups; ++g) {
+      edge_up[g] = !(inj && inj->edge_down(static_cast<int>(g), sidx));
+      if (!edge_up[g]) continue;
       std::vector<std::optional<Message>> members;
       bool any = false;
       for (int d : cfg.edge_groups[g]) {
@@ -195,51 +356,59 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       group_active[g] = any;
       if (!any) continue;
       Message msg = edges_[g].process(members, 1);
-      stage_latency =
-          std::max(stage_latency, account(edge_coord_links_[g], msg, -1));
-      edge_scores[g] = std::move(msg);
-    }
-    trace.latency_s += config_.edge_compute_s + stage_latency;
-
-    // --- Stage 4: fused edge exit decision.
-    std::vector<core::Variable> edge_logits;
-    std::vector<bool> active;
-    for (std::size_t g = 0; g < n_groups; ++g) {
-      if (edge_scores[g].has_value()) {
-        edge_logits.emplace_back(
-            decode_class_scores(*edge_scores[g], cfg.num_classes));
-        active.push_back(true);
-      } else {
-        edge_logits.emplace_back(Tensor::zeros(Shape{1, cfg.num_classes}));
-        active.push_back(false);
+      any_edge_ran = true;
+      if (send(edge_coord_links_[g], msg, -1, stage_latency)) {
+        edge_scores[g] = std::move(msg);
       }
     }
-    const Tensor fused =
-        model_.edge_exit_aggregate(edge_logits, active).value();
-    const Decision d = decide(fused);
-    if (core::should_exit(d.entropy,
-                          thresholds_[static_cast<std::size_t>(exit_index)])) {
-      trace.exit_taken = exit_index;
-      trace.prediction = d.prediction;
-      trace.entropy = d.entropy;
-      ++metrics_.exit_counts[static_cast<std::size_t>(exit_index)];
-      ++metrics_.samples;
-      metrics_.total_bytes += trace.bytes_sent;
-      metrics_.total_latency_s += trace.latency_s;
-      if (trace.prediction == sample.label) ++metrics_.correct;
-      return trace;
+    if (any_edge_ran) trace.latency_s += config_.edge_compute_s;
+    trace.latency_s += stage_latency;
+
+    // --- Stage 4: fused edge exit decision (skipped when the coordinator
+    // heard from zero edges — the sample escalates straight to the cloud).
+    const bool any_score =
+        std::any_of(edge_scores.begin(), edge_scores.end(),
+                    [](const auto& s) { return s.has_value(); });
+    if (any_score) {
+      std::vector<core::Variable> edge_logits;
+      std::vector<bool> active;
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        if (edge_scores[g].has_value()) {
+          edge_logits.emplace_back(
+              decode_class_scores(*edge_scores[g], cfg.num_classes));
+          active.push_back(true);
+        } else {
+          edge_logits.emplace_back(Tensor::zeros(Shape{1, cfg.num_classes}));
+          active.push_back(false);
+        }
+      }
+      const Tensor fused =
+          model_.edge_exit_aggregate(edge_logits, active).value();
+      const Decision d = decide(fused);
+      if (core::should_exit(
+              d.entropy, thresholds_[static_cast<std::size_t>(exit_index)])) {
+        return commit(exit_index, d.prediction, d.entropy);
+      }
+    } else {
+      trace.degraded = true;
     }
     ++exit_index;
 
-    // --- Stage 5: edges forward their features to the cloud.
+    // --- Stage 5: edges forward their features to the cloud; groups whose
+    // edge is dark have their edge section computed by the cloud itself on
+    // the member features that arrived over the fallback links.
     double cloud_latency = 0.0;
     cloud_branches.resize(n_groups);
     for (std::size_t g = 0; g < n_groups; ++g) {
+      if (!edge_up[g]) {
+        cloud_branches[g] = edge_features_at_cloud(g, features);
+        continue;
+      }
       if (!group_active[g]) continue;
       Message msg = edges_[g].feature_message();
-      cloud_latency =
-          std::max(cloud_latency, account(edge_cloud_links_[g], msg, -1));
-      cloud_branches[g] = std::move(msg);
+      if (send(edge_cloud_links_[g], msg, -1, cloud_latency)) {
+        cloud_branches[g] = std::move(msg);
+      }
     }
     trace.latency_s += cloud_latency;
   } else {
@@ -247,18 +416,40 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
   }
 
   // --- Stage 6: the cloud always classifies.
+  const bool any_branch =
+      std::any_of(cloud_branches.begin(), cloud_branches.end(),
+                  [](const auto& b) { return b.has_value(); });
+  if (!any_branch) {
+    // Last-resort raw offload: no feature reached the cloud, so alive
+    // devices retransmit their quantized raw views and the cloud runs the
+    // whole network itself (the paper's traditional-offloading path).
+    trace.degraded = true;
+    std::vector<std::optional<Message>> raws(n_dev);
+    double stage_latency = 0.0;
+    int delivered = 0;
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      if (!alive[b]) continue;
+      Message msg = devices_[b].raw_image_message();
+      Link& to_cloud =
+          cfg.has_edge() ? dev_cloud_links_[b] : dev_uplink_links_[b];
+      if (send(to_cloud, msg, static_cast<int>(b), stage_latency)) {
+        raws[b] = std::move(msg);
+        ++delivered;
+      }
+    }
+    trace.latency_s += stage_latency;
+    if (delivered == 0) {
+      trace.dead = true;
+      return commit(-1, -1, 1.0);
+    }
+    const Decision d = decide(cloud_forward_from_raw(raws));
+    trace.latency_s += config_.cloud_compute_s;
+    return commit(cloud_exit, d.prediction, d.entropy);
+  }
   const Tensor logits = cloud_.process(cloud_branches, 1);
   const Decision d = decide(logits);
   trace.latency_s += config_.cloud_compute_s;
-  trace.exit_taken = exit_index;
-  trace.prediction = d.prediction;
-  trace.entropy = d.entropy;
-  ++metrics_.exit_counts[static_cast<std::size_t>(exit_index)];
-  ++metrics_.samples;
-  metrics_.total_bytes += trace.bytes_sent;
-  metrics_.total_latency_s += trace.latency_s;
-  if (trace.prediction == sample.label) ++metrics_.correct;
-  return trace;
+  return commit(cloud_exit, d.prediction, d.entropy);
 }
 
 RuntimeMetrics HierarchyRuntime::run(

@@ -16,13 +16,29 @@
 // Every message crosses a Link, so byte counts and simulated latency are
 // measured, not modeled; tests assert the measured per-device bytes match
 // the paper's Eq. 1.
+//
+// With a FaultPlan installed (set_fault_plan), every send goes through a
+// ReliableChannel (timeout + bounded retry + backoff) and the runtime
+// degrades gracefully instead of aborting:
+//   * a gateway that hears from zero devices escalates without a local
+//     decision;
+//   * a sample whose edge tier is in an outage window routes device
+//     features straight to the cloud, which runs the edge section itself;
+//   * when no feature reaches the cloud at all, alive devices fall back to
+//     raw-image offload (the paper's traditional-offloading baseline);
+//   * a sample no tier can classify yields a flagged dead trace
+//     (exit_taken = -1) — counted, never crashed on.
+// All fault randomness is counter-mode seeded (see dist/fault.hpp), so runs
+// are bit-identical across repetitions and DDNN_THREADS settings.
 #pragma once
 
 #include <optional>
 
 #include "core/inference.hpp"
+#include "core/metrics.hpp"
 #include "core/model.hpp"
 #include "data/mvmc.hpp"
+#include "dist/fault.hpp"
 #include "dist/link.hpp"
 #include "dist/node.hpp"
 #include "util/table.hpp"
@@ -38,25 +54,32 @@ struct RuntimeConfig {
   double device_compute_s = 2e-3;
   double edge_compute_s = 1e-3;
   double cloud_compute_s = 0.5e-3;
+  /// Timeout/retry/backoff policy applied to every send. With no fault plan
+  /// installed nothing is ever dropped, so this is inert for healthy runs.
+  ReliabilityConfig reliability{};
 };
 
 /// Outcome of classifying one sample on the simulated hierarchy.
 struct InferenceTrace {
-  int exit_taken = 0;            // index into exit_names()
-  std::int64_t prediction = 0;
+  int exit_taken = 0;            // index into exit_names(); -1 = dead sample
+  std::int64_t prediction = 0;   // -1 when no tier could classify
   double entropy = 0.0;          // normalized entropy at the taken exit
   double latency_s = 0.0;        // simulated network + compute latency
-  std::int64_t bytes_sent = 0;   // total bytes across all links
+  std::int64_t bytes_sent = 0;   // total delivered bytes across all links
+  bool degraded = false;         // took a graceful-degradation route
+  bool dead = false;             // nothing reached any classifier
+  int retries = 0;               // re-transmissions spent on this sample
 };
 
 /// Aggregate statistics over a run.
 struct RuntimeMetrics {
   std::int64_t samples = 0;
-  std::vector<std::int64_t> exit_counts;   // per exit
+  std::vector<std::int64_t> exit_counts;   // per exit; dead samples excluded
   std::vector<std::int64_t> device_bytes;  // per device, all uplinks
   std::int64_t total_bytes = 0;
   double total_latency_s = 0.0;
   std::int64_t correct = 0;
+  core::ReliabilityCounters reliability;
 
   double accuracy() const {
     return samples == 0 ? 0.0
@@ -88,13 +111,31 @@ class HierarchyRuntime {
   /// Mark a device (by model branch index) failed/healthy.
   void set_device_failed(int branch, bool failed);
 
-  /// Classify one multi-view sample; updates metrics.
+  /// Install a fault plan: from now on link drops, device schedules and
+  /// edge outages are drawn deterministically from the plan's seed, keyed
+  /// by sample index (see reset_metrics() for the timeline).
+  void set_fault_plan(FaultPlan plan);
+
+  /// Remove the fault plan; subsequent runs are fault-free.
+  void clear_fault_plan();
+
+  const FaultInjector* fault_injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
+  /// Classify one multi-view sample; updates metrics. Never throws for
+  /// fault-induced conditions: a sample that no tier can classify yields a
+  /// flagged dead trace (exit_taken = -1, prediction = -1) instead.
   InferenceTrace classify(const data::MvmcSample& sample);
 
   /// Classify a whole sample set (convenience; updates metrics).
   RuntimeMetrics run(const std::vector<data::MvmcSample>& samples);
 
   const RuntimeMetrics& metrics() const { return metrics_; }
+
+  /// Clear metrics and link stats, and rewind the fault timeline to sample
+  /// index 0 — so repeated runs of the same sample set under the same plan
+  /// are bit-identical.
   void reset_metrics();
 
   /// Per-link traffic table (link, messages, bytes, bytes/sample) over the
@@ -112,6 +153,11 @@ class HierarchyRuntime {
   }
   const std::vector<Link>& edge_cloud_links() const {
     return edge_cloud_links_;
+  }
+  /// Direct device->cloud fallback links (edge configurations only): used
+  /// when a device's edge tier is unreachable and for raw-image offload.
+  const std::vector<Link>& device_cloud_fallback_links() const {
+    return dev_cloud_links_;
   }
 
  private:
@@ -131,11 +177,27 @@ class HierarchyRuntime {
   // Edge -> edge-exit coordinator (scores) and edge -> cloud (features).
   std::vector<Link> edge_coord_links_;
   std::vector<Link> edge_cloud_links_;
+  // Device -> cloud fallback links (edge configurations only).
+  std::vector<Link> dev_cloud_links_;
 
   RuntimeMetrics metrics_;
+  std::optional<FaultInjector> injector_;
+  std::int64_t sample_index_ = 0;  // fault-timeline clock
 
   /// Edge group index for a model branch (-1 when no edge tier).
   int group_of(int branch) const;
+
+  /// Edge outage fallback: the cloud runs edge group `g`'s section itself
+  /// on whatever member features arrived over the fallback links. Returns
+  /// the edge feature message the cloud would have received, or nullopt
+  /// when no member delivered.
+  std::optional<Message> edge_features_at_cloud(
+      std::size_t g, const std::vector<std::optional<Message>>& features);
+
+  /// Raw-offload fallback: run the full network in the cloud on delivered
+  /// raw views. Returns the final [1, C] scores.
+  Tensor cloud_forward_from_raw(
+      const std::vector<std::optional<Message>>& raws);
 };
 
 }  // namespace ddnn::dist

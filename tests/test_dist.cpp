@@ -212,13 +212,31 @@ TEST_F(RuntimeFixture, FailedDeviceSendsNothingAndSystemStillWorks) {
   EXPECT_DOUBLE_EQ(metrics.accuracy(), central.overall_accuracy);
 }
 
-TEST_F(RuntimeFixture, AllDevicesFailedThrows) {
+TEST_F(RuntimeFixture, AllDevicesFailedDegradesToDeadTraces) {
+  // Regression: this used to hard-abort via DDNN_CHECK mid-run. A sample no
+  // tier can classify must be counted as a flagged dead trace instead.
   core::DdnnModel model(
       core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
   model.set_training(false);
   HierarchyRuntime runtime(model, {0.5}, devices);
   for (int d = 0; d < 6; ++d) runtime.set_device_failed(d, true);
-  EXPECT_THROW(runtime.classify(dataset->test()[0]), Error);
+  const auto trace = runtime.classify(dataset->test()[0]);
+  EXPECT_TRUE(trace.dead);
+  EXPECT_TRUE(trace.degraded);
+  EXPECT_EQ(trace.exit_taken, -1);
+  EXPECT_EQ(trace.prediction, -1);
+  EXPECT_DOUBLE_EQ(trace.entropy, 1.0);
+  EXPECT_EQ(runtime.metrics().samples, 1);
+  EXPECT_EQ(runtime.metrics().reliability.dead_samples, 1);
+  EXPECT_EQ(runtime.metrics().correct, 0);
+
+  // A revived device must sense afresh (its cache was cleared on failure)
+  // and the system classifies normally again.
+  runtime.set_device_failed(0, false);
+  const auto healthy = runtime.classify(dataset->test()[0]);
+  EXPECT_FALSE(healthy.dead);
+  EXPECT_GE(healthy.exit_taken, 0);
+  EXPECT_GE(healthy.prediction, 0);
 }
 
 TEST_F(RuntimeFixture, LatencyGrowsWhenSamplesEscalate) {

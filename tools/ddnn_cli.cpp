@@ -159,7 +159,16 @@ int cmd_simulate(int argc, const char* const* argv) {
   args.add_option("model", "weight file from `ddnn train`", "model.ddnn")
       .add_option("threshold", "exit threshold for every non-final exit",
                   "0.8")
-      .add_option("fail", "comma-separated 1-based devices to fail", "");
+      .add_option("fail", "comma-separated 1-based devices to fail", "")
+      .add_option("drop", "per-attempt link drop probability", "0")
+      .add_option("intermittent",
+                  "per-sample probability each device is unreachable", "0")
+      .add_option("outage",
+                  "edge outage window start:end (sample indices, edge "
+                  "presets only)",
+                  "")
+      .add_option("retries", "retry budget per send", "2")
+      .add_option("fault-seed", "seed for all fault draws", "7");
   if (!args.parse(argc, argv)) return 0;
 
   const auto cfg = config_from(args);
@@ -171,13 +180,39 @@ int cmd_simulate(int argc, const char* const* argv) {
   const std::vector<double> thresholds(
       static_cast<std::size_t>(cfg.num_exits()) - 1,
       args.get_double("threshold"));
-  dist::HierarchyRuntime runtime(model, thresholds, devices);
+  dist::RuntimeConfig runtime_cfg;
+  runtime_cfg.reliability.max_retries =
+      static_cast<int>(args.get_int("retries"));
+  dist::HierarchyRuntime runtime(model, thresholds, devices, runtime_cfg);
   for (const int failed : parse_int_list(args.get("fail"))) {
     DDNN_CHECK(failed >= 1 && failed <= cfg.num_devices,
                "--fail device " << failed << " out of range");
     runtime.set_device_failed(failed - 1, true);
     std::printf("device %d marked failed\n", failed);
   }
+
+  dist::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  plan.link_drop_prob = args.get_double("drop");
+  const double intermittent = args.get_double("intermittent");
+  if (intermittent > 0.0) {
+    plan.devices.assign(static_cast<std::size_t>(cfg.num_devices),
+                        {.intermittent_down_prob = intermittent});
+  }
+  const std::string outage = args.get("outage");
+  if (!outage.empty()) {
+    const auto colon = outage.find(':');
+    DDNN_CHECK(colon != std::string::npos,
+               "--outage expects start:end, got '" << outage << "'");
+    plan.edge_outages.push_back(
+        {.group = -1,
+         .start_sample = std::stoll(outage.substr(0, colon)),
+         .end_sample = std::stoll(outage.substr(colon + 1))});
+  }
+  const bool faulty = plan.link_drop_prob > 0.0 || !plan.devices.empty() ||
+                      !plan.edge_outages.empty();
+  if (faulty) runtime.set_fault_plan(plan);
+
   const auto metrics = runtime.run(dataset.test());
   std::printf("accuracy %.1f%% over %lld samples\n", 100.0 * metrics.accuracy(),
               static_cast<long long>(metrics.samples));
@@ -189,6 +224,10 @@ int cmd_simulate(int argc, const char* const* argv) {
               1e3 * metrics.mean_latency_s(),
               metrics.device_bytes_per_sample(0),
               static_cast<long long>(metrics.total_bytes));
+  if (metrics.reliability.any()) {
+    std::printf("reliability:\n%s",
+                metrics.reliability.to_table().to_string().c_str());
+  }
   return 0;
 }
 
