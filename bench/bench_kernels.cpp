@@ -6,14 +6,22 @@
 // ablation from DESIGN.md §5: bit-packed vs float32 feature transport.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+
 #include "autograd/grad_mode.hpp"
 #include "autograd/ops.hpp"
 #include "core/entropy.hpp"
+#include "core/model.hpp"
 #include "dist/message.hpp"
+#include "infer/engine.hpp"
+#include "infer/workspace.hpp"
 #include "nn/blocks.hpp"
 #include "tensor/bitpack.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -155,6 +163,35 @@ void BM_DeviceConvPBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceConvPBlock);
 
+void BM_BinaryConv2dInfer(benchmark::State& state) {
+  // The engine path of a binarized conv on ±1 input: cached bit-packed
+  // weights + XNOR-popcount over a packed im2col. Compare BM_DeviceConvPBlock
+  // and the BENCH_engine.json comparison this binary writes on exit.
+  Rng rng(8);
+  nn::BinaryConv2d conv(4, 8, 3, 1, 1, rng);
+  conv.set_training(false);
+  const Tensor x = ops::sign(Tensor::randn(Shape{8, 4, 16, 16}, rng));
+  infer::Workspace ws;
+  for (auto _ : state) {
+    ws.reset();
+    benchmark::DoNotOptimize(conv.infer(x, ws).data());
+  }
+}
+BENCHMARK(BM_BinaryConv2dInfer);
+
+void BM_BinaryLinearInfer(benchmark::State& state) {
+  Rng rng(8);
+  nn::BinaryLinear fc(1024, 128, rng);
+  fc.set_training(false);
+  const Tensor x = ops::sign(Tensor::randn(Shape{8, 1024}, rng));
+  infer::Workspace ws;
+  for (auto _ : state) {
+    ws.reset();
+    benchmark::DoNotOptimize(fc.infer(x, ws).data());
+  }
+}
+BENCHMARK(BM_BinaryLinearInfer);
+
 void BM_PackSigns(benchmark::State& state) {
   Rng rng(9);
   const Tensor feats = ops::sign(Tensor::randn(Shape{4, 16, 16}, rng));
@@ -211,6 +248,122 @@ void BM_StackAggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_StackAggregation);
 
+// ------------------------------------------------- autograd vs engine JSON
+
+/// Best-of-N wall time of fn() in milliseconds (after warmup). Best-of
+/// rather than mean: the comparison machine may be a shared core, and the
+/// minimum is the least contaminated by scheduler noise.
+template <typename Fn>
+double min_time_ms(Fn&& fn, int warmup = 10, int reps = 120) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct EngineRow {
+  const char* name;
+  double autograd_ms;
+  double engine_ms;
+  double speedup() const { return autograd_ms / engine_ms; }
+};
+
+/// Times the autograd forward against the engine plan on the binarized
+/// primitives and a full device section, and writes BENCH_engine.json to
+/// $DDNN_RESULTS_DIR (or the working directory). The engine acceptance bar
+/// is the device-section row: >= 3x over the autograd path at batch 1.
+void write_engine_comparison() {
+  Rng rng(8);
+  autograd::NoGradGuard no_grad;
+  std::vector<EngineRow> rows;
+
+  {
+    nn::BinaryConv2d conv(4, 8, 3, 1, 1, rng);
+    conv.set_training(false);
+    const Tensor x = ops::sign(Tensor::randn(Shape{8, 4, 16, 16}, rng));
+    const Variable vx(x);
+    infer::Workspace ws;
+    rows.push_back(
+        {"binary_conv",
+         min_time_ms([&] { benchmark::DoNotOptimize(conv.forward(vx)); }),
+         min_time_ms([&] {
+           ws.reset();
+           benchmark::DoNotOptimize(conv.infer(x, ws).data());
+         })});
+  }
+  {
+    nn::BinaryLinear fc(1024, 128, rng);
+    fc.set_training(false);
+    const Tensor x = ops::sign(Tensor::randn(Shape{8, 1024}, rng));
+    const Variable vx(x);
+    infer::Workspace ws;
+    rows.push_back(
+        {"binary_fc",
+         min_time_ms([&] { benchmark::DoNotOptimize(fc.forward(vx)); }),
+         min_time_ms([&] {
+           ws.reset();
+           benchmark::DoNotOptimize(fc.infer(x, ws).data());
+         })});
+  }
+  {
+    // A full device section (trunk + local exit head) at batch 1: the
+    // per-sample work of one simulated end device, preset (c).
+    core::DdnnModel model(
+        core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+    model.set_training(false);
+    const Variable view(
+        Tensor::rand_uniform(Shape{1, 3, 32, 32}, rng, 0.0f, 1.0f));
+    auto run_section = [&] {
+      const Variable features = model.device_section_features(0, view);
+      benchmark::DoNotOptimize(model.device_section_logits(0, features));
+    };
+    infer::set_engine_kind(infer::EngineKind::kAutograd);
+    const double autograd_ms = min_time_ms(run_section);
+    infer::set_engine_kind(infer::EngineKind::kPlan);
+    const double engine_ms = min_time_ms(run_section);
+    infer::clear_engine_override();
+    rows.push_back({"device_section", autograd_ms, engine_ms});
+  }
+
+  const std::string dir = env_string("DDNN_RESULTS_DIR", ".");
+  const std::string path = dir + "/BENCH_engine.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"autograd_ms\": %.6f, "
+                 "\"engine_ms\": %.6f, \"speedup\": %.2f}%s\n",
+                 r.name, r.autograd_ms, r.engine_ms, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nautograd vs engine (best-of-120, written to %s):\n",
+              path.c_str());
+  for (const auto& r : rows) {
+    std::printf("  %-16s autograd %8.4f ms   engine %8.4f ms   %5.2fx\n",
+                r.name, r.autograd_ms, r.engine_ms, r.speedup());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_engine_comparison();
+  return 0;
+}

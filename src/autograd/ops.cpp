@@ -324,24 +324,14 @@ Variable batch_norm(const Variable& x, const Variable& gamma,
     var = running_var.clone();
   }
 
-  // Cache x_hat: it appears in both the output and the backward pass.
+  // Cache x_hat: it appears in both the output and the backward pass. The
+  // normalization itself runs through the shared ops::batch_norm_apply
+  // kernel — the same compiled code the inference engine calls.
   auto x_hat = std::make_shared<Tensor>(Shape(x.value().shape()));
   Tensor inv_std(Shape{l.channels});
-  for (std::int64_t c = 0; c < l.channels; ++c) {
-    inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
-  }
   Tensor out(x.value().shape());
-  for (std::int64_t b = 0; b < l.batch; ++b) {
-    for (std::int64_t c = 0; c < l.channels; ++c) {
-      const float m = mean[c], is = inv_std[c];
-      const float ga = gamma.value()[c], be = beta.value()[c];
-      for (std::int64_t s = 0; s < l.spatial; ++s) {
-        const float xh = (bn_at(x.value(), l, b, c, s) - m) * is;
-        bn_at(*x_hat, l, b, c, s) = xh;
-        bn_at(out, l, b, c, s) = ga * xh + be;
-      }
-    }
-  }
+  ops::batch_norm_apply(x.value(), gamma.value(), beta.value(), mean, var, eps,
+                        inv_std, *x_hat, out);
 
   return Variable::op_result(
       std::move(out), "batch_norm", {x, gamma, beta},

@@ -67,6 +67,16 @@ void Variable::zero_grad() {
   if (has_grad()) node_->grad.zero();
 }
 
+std::uint64_t Variable::version() const {
+  DDNN_CHECK(defined(), "version() of undefined Variable");
+  return node_->version;
+}
+
+void Variable::bump_version() {
+  DDNN_CHECK(defined(), "bump_version() of undefined Variable");
+  ++node_->version;
+}
+
 void Variable::accumulate_grad(const Tensor& g) {
   DDNN_CHECK(g.shape() == value().shape(),
              "gradient shape " << g.shape().to_string()

@@ -9,6 +9,7 @@
 // the cloud branch) "just work".
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +29,12 @@ struct Node {
   /// Reads `grad` of this node and accumulates into the parents' grads.
   std::function<void(Node&)> backward_fn;
   std::string op = "leaf";
+  /// Mutation counter for `value`, bumped on every in-place parameter
+  /// update (optimizer step, state load). Derived caches — e.g. the
+  /// bit-packed weights of binarized layers — compare against it to decide
+  /// whether they are stale. Any other code that mutates a parameter's
+  /// storage in place must call Variable::bump_version() itself.
+  std::uint64_t version = 0;
 };
 
 class Variable {
@@ -62,6 +69,11 @@ class Variable {
 
   /// Accumulate `g` into this node's gradient.
   void accumulate_grad(const Tensor& g);
+
+  /// Mutation counter of the underlying value (see Node::version).
+  std::uint64_t version() const;
+  /// Record an in-place mutation of the value, invalidating derived caches.
+  void bump_version();
 
   /// Run reverse-mode differentiation from this node. The node must be a
   /// scalar (numel == 1); its gradient is seeded with 1.

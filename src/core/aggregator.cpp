@@ -1,6 +1,11 @@
 #include "core/aggregator.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "autograd/ops.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
 namespace ddnn::core {
@@ -67,6 +72,159 @@ std::vector<bool> all_active(std::size_t n) {
   return std::vector<bool>(n, true);
 }
 
+// ---- Inference-engine counterparts -----------------------------------------
+// Each replicates the corresponding autograd forward bit-for-bit: same
+// accumulation order over the active subset, same single-precision
+// arithmetic, with outputs placed in workspace slots instead of fresh
+// Variables.
+
+int count_active(const std::vector<Tensor>& branches,
+                 const std::vector<bool>& active) {
+  DDNN_CHECK(branches.size() == active.size(),
+             "mask size " << active.size() << " vs " << branches.size()
+                          << " branches");
+  int n = 0;
+  for (bool a : active) n += a ? 1 : 0;
+  DDNN_CHECK(n > 0, "aggregation with every branch inactive");
+  return n;
+}
+
+/// autograd::stack_max over the active subset.
+Tensor infer_stack_max(const std::vector<Tensor>& branches,
+                       const std::vector<bool>& active, infer::Workspace& ws) {
+  count_active(branches, active);
+  Tensor out{};
+  bool first = true;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (!active[i]) continue;
+    if (first) {
+      out = ws.acquire(branches[i].shape());
+      std::copy_n(branches[i].data(), branches[i].numel(), out.data());
+      first = false;
+      continue;
+    }
+    const float* px = branches[i].data();
+    float* po = out.data();
+    const std::int64_t n = out.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (px[j] > po[j]) po[j] = px[j];
+    }
+  }
+  return out;
+}
+
+/// autograd::stack_mean over the active subset (1/k scaling per term, summed
+/// in active order, exactly like the compacted-branch autograd path).
+Tensor infer_stack_mean(const std::vector<Tensor>& branches,
+                        const std::vector<bool>& active,
+                        infer::Workspace& ws) {
+  const int k = count_active(branches, active);
+  const float inv = 1.0f / static_cast<float>(k);
+  Tensor out{};
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (!active[i]) continue;
+    if (!out.defined()) out = ws.acquire_zero(branches[i].shape());
+    ops::axpy_into(out, inv, branches[i]);
+  }
+  return out;
+}
+
+/// autograd::concat(zero_filled_branches(...), 1): inactive slots become
+/// zero blocks, so the learned projection sees one slot per branch.
+Tensor infer_concat_axis1(const std::vector<Tensor>& branches,
+                          const std::vector<bool>& active,
+                          infer::Workspace& ws) {
+  count_active(branches, active);
+  const Shape& s0 = branches[0].shape();
+  DDNN_CHECK(s0.ndim() >= 2, "concat aggregation needs rank >= 2");
+  const std::int64_t outer = s0[0];
+  std::int64_t inner = 1;
+  for (std::size_t d = 2; d < s0.ndim(); ++d) inner *= s0[d];
+  const std::int64_t ext = s0[1];
+  const std::int64_t total =
+      ext * static_cast<std::int64_t>(branches.size());
+  std::vector<std::int64_t> out_dims = s0.dims();
+  out_dims[1] = total;
+  Tensor out = ws.acquire(Shape(out_dims));
+  float* po = out.data();
+  std::int64_t offset = 0;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    DDNN_CHECK(branches[i].shape() == s0, "concat aggregation shape mismatch");
+    for (std::int64_t o = 0; o < outer; ++o) {
+      float* dst = po + (o * total + offset) * inner;
+      if (active[i]) {
+        std::copy_n(branches[i].data() + o * ext * inner, ext * inner, dst);
+      } else {
+        std::fill_n(dst, ext * inner, 0.0f);
+      }
+    }
+    offset += ext;
+  }
+  return out;
+}
+
+/// autograd::stack_gated_sum forward: softmax over the active gates only
+/// (float exp, double denominator, float weights), then weighted axpy in
+/// branch order over the active subset.
+Tensor infer_gated_sum(const std::vector<Tensor>& branches,
+                       const Tensor& gates, const std::vector<bool>& active,
+                       infer::Workspace& ws) {
+  count_active(branches, active);
+  const auto n = branches.size();
+  std::vector<float> weights(n, 0.0f);
+  float max_gate = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) {
+      max_gate = std::max(max_gate, gates[static_cast<std::int64_t>(i)]);
+    }
+  }
+  double denom = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    weights[i] =
+        std::exp(gates[static_cast<std::int64_t>(i)] - max_gate);
+    denom += weights[i];
+  }
+  for (auto& w : weights) w = static_cast<float>(w / denom);
+
+  Tensor out = ws.acquire_zero(branches[0].shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) ops::axpy_into(out, weights[i], branches[i]);
+  }
+  return out;
+}
+
+/// Shared MP/AP/CC/GA dispatch for both aggregator flavours; `Projection`
+/// is nn::Linear (vectors) or nn::Conv2d (feature maps).
+template <typename Projection>
+Tensor aggregate_infer(AggKind kind, int num_branches,
+                       const std::vector<Tensor>& branches,
+                       const std::vector<bool>& active, infer::Workspace& ws,
+                       Projection* projection, const nn::Variable& gates) {
+  DDNN_CHECK(static_cast<int>(branches.size()) == num_branches,
+             "expected " << num_branches << " branches, got "
+                         << branches.size());
+  DDNN_CHECK(branches.size() == active.size(),
+             "mask size " << active.size() << " vs " << branches.size()
+                          << " branches");
+  if (num_branches == 1) {
+    DDNN_CHECK(active[0], "single branch marked inactive");
+    return branches[0];
+  }
+  switch (kind) {
+    case AggKind::kMaxPool:
+      return infer_stack_max(branches, active, ws);
+    case AggKind::kAvgPool:
+      return infer_stack_mean(branches, active, ws);
+    case AggKind::kConcat:
+      return projection->infer(infer_concat_axis1(branches, active, ws), ws);
+    case AggKind::kGatedAvg:
+      return infer_gated_sum(branches, gates.value(), active, ws);
+  }
+  DDNN_CHECK(false, "unreachable");
+  return {};
+}
+
 }  // namespace
 
 VectorAggregator::VectorAggregator(AggKind kind, int num_branches,
@@ -110,6 +268,13 @@ Variable VectorAggregator::forward(const std::vector<Variable>& branches) {
   return forward(branches, all_active(branches.size()));
 }
 
+Tensor VectorAggregator::infer(const std::vector<Tensor>& branches,
+                               const std::vector<bool>& active,
+                               infer::Workspace& ws) {
+  return aggregate_infer(kind_, num_branches_, branches, active, ws,
+                         projection_.get(), gates_);
+}
+
 FeatureMapAggregator::FeatureMapAggregator(AggKind kind, int num_branches,
                                            std::int64_t channels, Rng& rng)
     : kind_(kind), num_branches_(num_branches), channels_(channels) {
@@ -150,6 +315,13 @@ Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches,
 
 Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches) {
   return forward(branches, all_active(branches.size()));
+}
+
+Tensor FeatureMapAggregator::infer(const std::vector<Tensor>& branches,
+                                   const std::vector<bool>& active,
+                                   infer::Workspace& ws) {
+  return aggregate_infer(kind_, num_branches_, branches, active, ws,
+                         projection_.get(), gates_);
 }
 
 }  // namespace ddnn::core

@@ -47,6 +47,10 @@ class VectorAggregator : public nn::Module {
   /// Convenience: all branches active.
   nn::Variable forward(const std::vector<nn::Variable>& branches);
 
+  /// Inference-engine path; bit-identical to forward().
+  Tensor infer(const std::vector<Tensor>& branches,
+               const std::vector<bool>& active, infer::Workspace& ws);
+
   AggKind kind() const { return kind_; }
 
  private:
@@ -66,6 +70,10 @@ class FeatureMapAggregator : public nn::Module {
   nn::Variable forward(const std::vector<nn::Variable>& branches,
                        const std::vector<bool>& active);
   nn::Variable forward(const std::vector<nn::Variable>& branches);
+
+  /// Inference-engine path; bit-identical to forward().
+  Tensor infer(const std::vector<Tensor>& branches,
+               const std::vector<bool>& active, infer::Workspace& ws);
 
   AggKind kind() const { return kind_; }
 

@@ -1,5 +1,6 @@
 #include "core/inference.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "autograd/grad_mode.hpp"
@@ -61,12 +62,12 @@ ExitEval evaluate_exits(DdnnModel& model,
           for (int e = 0; e < num_exits; ++e) {
             const Tensor probs = ops::softmax_rows(
                 out.exit_logits[static_cast<std::size_t>(e)].value());
-            for (std::int64_t b = 0; b < batch.size(); ++b) {
-              for (std::int64_t j = 0; j < c; ++j) {
-                eval.exit_probs[static_cast<std::size_t>(e)].at(base + b, j) =
-                    probs.at(b, j);
-              }
-            }
+            // The batch's rows are contiguous in the [n, c] matrix; copy the
+            // whole row block instead of bounds-checked element accesses.
+            DDNN_ASSERT(probs.dim(0) == batch.size() && probs.dim(1) == c);
+            std::copy_n(probs.data(), batch.size() * c,
+                        eval.exit_probs[static_cast<std::size_t>(e)].data() +
+                            base * c);
           }
           for (std::int64_t b = 0; b < batch.size(); ++b) {
             eval.labels[static_cast<std::size_t>(base + b)] =

@@ -1,9 +1,43 @@
 #include "core/model.hpp"
 
+#include "autograd/grad_mode.hpp"
 #include "autograd/ops.hpp"
+#include "infer/engine.hpp"
+#include "infer/workspace.hpp"
 #include "util/error.hpp"
 
 namespace ddnn::core {
+
+namespace {
+
+/// True when a section should run on the inference engine: the plan engine
+/// is selected, the module is in eval mode, and no caller expects a tape.
+/// Training or NoGradGuard-less callers always get the autograd path, so
+/// gradients can never silently vanish.
+bool plan_engine_active(const nn::Module& m) {
+  return infer::engine_kind() == infer::EngineKind::kPlan && !m.training() &&
+         !autograd::grad_enabled();
+}
+
+/// Wrap a workspace-backed tensor as a constant Variable. Workspace slots
+/// are recycled on the next section's reset(), so the value is deep-copied
+/// out of the arena.
+nn::Variable materialize(const Tensor& t) { return nn::Variable(t.clone()); }
+
+/// [N, ...] -> [N, prod] view (engine counterpart of autograd::flatten2d).
+Tensor flatten2d_view(const Tensor& t) {
+  const std::int64_t n = t.dim(0);
+  return t.reshape(Shape{n, t.numel() / n});
+}
+
+std::vector<Tensor> values_of(const std::vector<nn::Variable>& vars) {
+  std::vector<Tensor> out;
+  out.reserve(vars.size());
+  for (const auto& v : vars) out.push_back(v.value());
+  return out;
+}
+
+}  // namespace
 
 DdnnModel::DdnnModel(DdnnConfig config) : config_(std::move(config)) {
   config_.validate();
@@ -233,7 +267,13 @@ Variable DdnnModel::device_section_features(int device, const Variable& view) {
                  view.dim(3) == config_.input_size,
              "bad view shape for device " << device << ": "
                                           << view.shape().to_string());
-  return device_trunks_[static_cast<std::size_t>(device)]->forward(view);
+  auto& trunk = *device_trunks_[static_cast<std::size_t>(device)];
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    return materialize(trunk.infer(view.value(), ws));
+  }
+  return trunk.forward(view);
 }
 
 Variable DdnnModel::device_section_logits(int device,
@@ -241,13 +281,23 @@ Variable DdnnModel::device_section_logits(int device,
   DDNN_CHECK(config_.has_local_exit, "model has no local exit");
   DDNN_CHECK(device >= 0 && device < config_.num_devices,
              "device index out of range");
-  return device_heads_[static_cast<std::size_t>(device)]->forward(
-      autograd::flatten2d(features));
+  auto& head = *device_heads_[static_cast<std::size_t>(device)];
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    return materialize(head.infer(flatten2d_view(features.value()), ws));
+  }
+  return head.forward(autograd::flatten2d(features));
 }
 
 Variable DdnnModel::local_aggregate(const std::vector<Variable>& device_logits,
                                     const std::vector<bool>& active) {
   DDNN_CHECK(config_.has_local_exit, "model has no local exit");
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    return materialize(local_agg_->infer(values_of(device_logits), active, ws));
+  }
   return local_agg_->forward(device_logits, active);
 }
 
@@ -255,6 +305,17 @@ DdnnModel::EdgeResult DdnnModel::edge_section(
     std::size_t group, const std::vector<Variable>& member_features,
     const std::vector<bool>& member_active) {
   DDNN_CHECK(group < config_.edge_groups.size(), "edge group out of range");
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    const Tensor fused =
+        edge_in_aggs_[group]->infer(values_of(member_features), member_active,
+                                    ws);
+    const Tensor features = edge_trunks_[group]->infer(fused, ws);
+    const Tensor logits =
+        edge_heads_[group]->infer(flatten2d_view(features), ws);
+    return {materialize(features), materialize(logits)};
+  }
   const Variable fused =
       edge_in_aggs_[group]->forward(member_features, member_active);
   const Variable features = edge_trunks_[group]->forward(fused);
@@ -267,7 +328,15 @@ Variable DdnnModel::edge_exit_aggregate(
     const std::vector<Variable>& edge_logits,
     const std::vector<bool>& edge_active) {
   DDNN_CHECK(config_.has_edge(), "model has no edge tier");
-  if (edge_exit_agg_) return edge_exit_agg_->forward(edge_logits, edge_active);
+  if (edge_exit_agg_) {
+    if (plan_engine_active(*this)) {
+      auto& ws = infer::tls_workspace();
+      ws.reset();
+      return materialize(
+          edge_exit_agg_->infer(values_of(edge_logits), edge_active, ws));
+    }
+    return edge_exit_agg_->forward(edge_logits, edge_active);
+  }
   DDNN_CHECK(edge_logits.size() == 1 && edge_active[0],
              "single edge group entirely failed");
   return edge_logits[0];
@@ -275,6 +344,12 @@ Variable DdnnModel::edge_exit_aggregate(
 
 Variable DdnnModel::cloud_section(const std::vector<Variable>& branches,
                                   const std::vector<bool>& active) {
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    const Tensor fused = cloud_agg_->infer(values_of(branches), active, ws);
+    return materialize(cloud_trunk_->infer(fused, ws));
+  }
   return cloud_trunk_->forward(cloud_agg_->forward(branches, active));
 }
 
@@ -319,6 +394,12 @@ IndividualModel::IndividualModel(std::int64_t input_channels,
 }
 
 Variable IndividualModel::forward(const Variable& views) {
+  if (plan_engine_active(*this)) {
+    auto& ws = infer::tls_workspace();
+    ws.reset();
+    const Tensor features = conv_->infer(views.value(), ws);
+    return materialize(head_->infer(flatten2d_view(features), ws));
+  }
   return head_->forward(autograd::flatten2d(conv_->forward(views)));
 }
 

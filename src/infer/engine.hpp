@@ -1,0 +1,43 @@
+// Inference-engine selection.
+//
+// Two execution paths produce a model's eval-mode outputs:
+//   kAutograd — the original path: every forward goes through autograd ops
+//               and Variable graph nodes (NoGradGuard suppresses the tape
+//               but not the per-op allocations).
+//   kPlan     — the dedicated engine: each block lowers to a kernel plan
+//               over plain Tensors with a per-thread Workspace; binary
+//               conv/FC layers run on cached bit-packed weights via
+//               XNOR-popcount kernels (src/tensor/bitgemm.hpp).
+//
+// The two are bit-identical: XNOR-popcount over ±1 operands is exact
+// integer arithmetic, and every float kernel in the plan path either calls
+// the same compiled function as the autograd path or accumulates the same
+// terms in the same order. DDNN_ENGINE=autograd|plan (default plan) selects
+// the path; set_engine_kind() overrides the environment (CLI --engine,
+// tests, benchmarks).
+#pragma once
+
+#include <string>
+
+namespace ddnn::infer {
+
+enum class EngineKind { kAutograd, kPlan };
+
+/// "autograd" / "plan".
+std::string to_string(EngineKind kind);
+
+/// Parse "autograd" / "plan"; throws ddnn::Error otherwise.
+EngineKind parse_engine_kind(const std::string& name);
+
+/// Active engine: the explicit override when set, else DDNN_ENGINE (default
+/// "plan"). Note the caller still gates on eval mode — the plan engine never
+/// runs while training or while the tape is recording.
+EngineKind engine_kind();
+
+/// Override the environment selection (CLI / tests / benchmarks).
+void set_engine_kind(EngineKind kind);
+
+/// Drop the override and fall back to DDNN_ENGINE.
+void clear_engine_override();
+
+}  // namespace ddnn::infer

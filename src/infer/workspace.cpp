@@ -1,0 +1,27 @@
+#include "infer/workspace.hpp"
+
+#include "util/error.hpp"
+
+namespace ddnn::infer {
+
+Tensor Workspace::acquire(const Shape& shape) {
+  DDNN_CHECK(shape.numel() > 0, "workspace acquire of empty shape "
+                                    << shape.to_string());
+  if (cursor_ == slots_.size()) slots_.emplace_back(shape);
+  Tensor& slot = slots_[cursor_++];
+  if (slot.numel() != shape.numel()) slot = Tensor(shape);
+  return slot.reshape(shape);  // shares the slot's storage
+}
+
+Tensor Workspace::acquire_zero(const Shape& shape) {
+  Tensor t = acquire(shape);
+  t.zero();
+  return t;
+}
+
+Workspace& tls_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace ddnn::infer

@@ -1,0 +1,51 @@
+// Preallocated activation arena for the inference engine.
+//
+// The plan engine executes a model section as a chain of kernels over plain
+// Tensors; every intermediate activation is drawn from a Workspace instead
+// of being freshly allocated. A Workspace is a flat list of reusable slots
+// with a cursor: acquire() hands out the next slot (reusing its storage when
+// the element count matches, reallocating otherwise) and reset() rewinds the
+// cursor without freeing anything. After the first forward of a given batch
+// size the arena is warm and a section runs with zero heap allocations.
+//
+// Lifetime contract:
+//  - reset() is called once at section entry; every tensor handed out since
+//    the previous reset() is invalidated (its storage will be reused).
+//  - Anything that must outlive the section (exit logits, cached device
+//    features) must be clone()d out before the next reset().
+//  - Workspaces are per-thread (tls_workspace()); kernels inside a section
+//    may still fan out over the pool because they write disjoint ranges of
+//    tensors acquired by the *calling* thread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ddnn::infer {
+
+class Workspace {
+ public:
+  /// Next slot reshaped to `shape`; contents are unspecified (reused).
+  Tensor acquire(const Shape& shape);
+
+  /// Next slot reshaped to `shape` and zero-filled (for accumulators).
+  Tensor acquire_zero(const Shape& shape);
+
+  /// Rewind the cursor; storage is kept for reuse.
+  void reset() { cursor_ = 0; }
+
+  /// Number of distinct slots ever handed out (tests/diagnostics).
+  std::size_t slots() const { return slots_.size(); }
+
+ private:
+  std::vector<Tensor> slots_;
+  std::size_t cursor_ = 0;
+};
+
+/// The calling thread's workspace (one arena per thread, so batch-parallel
+/// evaluation workers never share slots).
+Workspace& tls_workspace();
+
+}  // namespace ddnn::infer

@@ -24,6 +24,11 @@ Variable FCBlock::forward(const Variable& x) {
   return binary_output_ ? autograd::binarize(h) : h;
 }
 
+Tensor FCBlock::infer(const Tensor& x, infer::Workspace& ws) {
+  Tensor h = bn_->infer(linear_->infer(x, ws), ws);
+  return binary_output_ ? sign_tensor(h, ws) : h;
+}
+
 std::int64_t FCBlock::inference_memory_bytes() const {
   return (linear_->weight_bits() + 7) / 8 + batch_norm_bytes(out_);
 }
@@ -45,6 +50,11 @@ Variable FloatConvPBlock::forward(const Variable& x) {
   return autograd::relu(bn_->forward(pool_->forward(conv_->forward(x))));
 }
 
+Tensor FloatConvPBlock::infer(const Tensor& x, infer::Workspace& ws) {
+  return relu_tensor(
+      bn_->infer(pool_->infer(conv_->infer(x, ws), ws), ws), ws);
+}
+
 FloatFCBlock::FloatFCBlock(std::int64_t in_features, std::int64_t out_features,
                            Rng& rng, bool relu_output)
     : relu_output_(relu_output),
@@ -58,6 +68,11 @@ FloatFCBlock::FloatFCBlock(std::int64_t in_features, std::int64_t out_features,
 Variable FloatFCBlock::forward(const Variable& x) {
   Variable h = bn_->forward(linear_->forward(x));
   return relu_output_ ? autograd::relu(h) : h;
+}
+
+Tensor FloatFCBlock::infer(const Tensor& x, infer::Workspace& ws) {
+  Tensor h = bn_->infer(linear_->infer(x, ws), ws);
+  return relu_output_ ? relu_tensor(h, ws) : h;
 }
 
 ConvPBlock::ConvPBlock(std::int64_t in_channels, std::int64_t filters,
@@ -74,6 +89,11 @@ ConvPBlock::ConvPBlock(std::int64_t in_channels, std::int64_t filters,
 
 Variable ConvPBlock::forward(const Variable& x) {
   return autograd::binarize(bn_->forward(pool_->forward(conv_->forward(x))));
+}
+
+Tensor ConvPBlock::infer(const Tensor& x, infer::Workspace& ws) {
+  return sign_tensor(
+      bn_->infer(pool_->infer(conv_->infer(x, ws), ws), ws), ws);
 }
 
 std::int64_t ConvPBlock::inference_memory_bytes() const {

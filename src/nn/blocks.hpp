@@ -23,6 +23,7 @@ class FCBlock : public Module {
   FCBlock(std::int64_t in_features, std::int64_t out_features, Rng& rng,
           bool binary_output = true);
   Variable forward(const Variable& x);
+  Tensor infer(const Tensor& x, infer::Workspace& ws);
 
   /// Inference memory in bytes (bit-packed weights + batch-norm floats).
   std::int64_t inference_memory_bytes() const;
@@ -44,6 +45,7 @@ class FloatConvPBlock : public Module {
  public:
   FloatConvPBlock(std::int64_t in_channels, std::int64_t filters, Rng& rng);
   Variable forward(const Variable& x);
+  Tensor infer(const Tensor& x, infer::Workspace& ws);
 
   std::int64_t filters() const { return filters_; }
 
@@ -62,6 +64,7 @@ class FloatFCBlock : public Module {
   FloatFCBlock(std::int64_t in_features, std::int64_t out_features, Rng& rng,
                bool relu_output = true);
   Variable forward(const Variable& x);
+  Tensor infer(const Tensor& x, infer::Workspace& ws);
 
  private:
   bool relu_output_;
@@ -74,6 +77,7 @@ class ConvPBlock : public Module {
  public:
   ConvPBlock(std::int64_t in_channels, std::int64_t filters, Rng& rng);
   Variable forward(const Variable& x);
+  Tensor infer(const Tensor& x, infer::Workspace& ws);
 
   std::int64_t inference_memory_bytes() const;
   std::int64_t filters() const { return filters_; }

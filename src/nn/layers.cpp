@@ -1,14 +1,78 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "tensor/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
 namespace ddnn::nn {
 
+namespace {
+
+/// Reorder [N*OH*OW, F] -> [N, F, OH, OW] into `out` (same layout move the
+/// autograd conv2d performs after its GEMM).
+void rows_to_nchw_into(const Tensor& mat, std::int64_t n, std::int64_t f,
+                       std::int64_t oh, std::int64_t ow, Tensor& out) {
+  const float* pm = mat.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float* row = pm + ((b * oh + y) * ow + x) * f;
+        for (std::int64_t c = 0; c < f; ++c) {
+          po[((b * f + c) * oh + y) * ow + x] = row[c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 float glorot_bound(std::int64_t fan_in, std::int64_t fan_out) {
   return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
 }
+
+Tensor sign_tensor(const Tensor& x, infer::Workspace& ws) {
+  Tensor out = ws.acquire(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = px[i] < 0.0f ? -1.0f : 1.0f;
+  return out;
+}
+
+Tensor relu_tensor(const Tensor& x, infer::Workspace& ws) {
+  Tensor out = ws.acquire(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < n; ++i) {
+    po[i] = std::min(inf, std::max(0.0f, px[i]));
+  }
+  return out;
+}
+
+namespace detail {
+
+const bitgemm::PackedSigns& PackedWeightCache::get(const autograd::Variable& w,
+                                                   std::int64_t rows,
+                                                   std::int64_t cols) {
+  const std::uint64_t want = w.version() + 1;
+  if (stamp.load(std::memory_order_acquire) != want) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stamp.load(std::memory_order_relaxed) != want) {
+      packed = bitgemm::pack_signs_matrix(w.value().data(), rows, cols);
+      stamp.store(want, std::memory_order_release);
+    }
+  }
+  return packed;
+}
+
+}  // namespace detail
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
                bool bias)
@@ -24,6 +88,14 @@ Variable Linear::forward(const Variable& x) {
   return autograd::linear(x, weight_, bias_);
 }
 
+Tensor Linear::infer(const Tensor& x, infer::Workspace&) {
+  // Full-precision path: call the exact kernels autograd::linear uses so
+  // the rounding (and therefore the bits) cannot diverge.
+  Tensor out = ops::matmul_nt(x, weight_.value());
+  if (bias_.defined()) out = ops::add_row_vector(out, bias_.value());
+  return out;
+}
+
 BinaryLinear::BinaryLinear(std::int64_t in_features, std::int64_t out_features,
                            Rng& rng)
     : in_(in_features), out_(out_features) {
@@ -36,6 +108,19 @@ BinaryLinear::BinaryLinear(std::int64_t in_features, std::int64_t out_features,
 
 Variable BinaryLinear::forward(const Variable& x) {
   return autograd::linear(x, autograd::binarize(weight_), Variable());
+}
+
+Tensor BinaryLinear::infer(const Tensor& x, infer::Workspace& ws) {
+  DDNN_CHECK(x.ndim() == 2 && x.dim(1) == in_,
+             "BinaryLinear::infer: bad input shape " << x.shape().to_string());
+  const bitgemm::PackedSigns& w = packed_.get(weight_, out_, in_);
+  Tensor out = ws.acquire(Shape{x.dim(0), out_});
+  if (bitgemm::all_pm1(x)) {
+    bitgemm::xnor_linear(x, w.bits, out);
+  } else {
+    bitgemm::sign_linear(x, w, out);
+  }
+  return out;
 }
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -56,6 +141,28 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 
 Variable Conv2d::forward(const Variable& x) {
   return autograd::conv2d(x, weight_, bias_, stride_, pad_);
+}
+
+Tensor Conv2d::infer(const Tensor& x, infer::Workspace& ws) {
+  const Tensor& wt = weight_.value();  // [F, C, KH, KW]
+  DDNN_CHECK(x.ndim() == 4 && x.dim(1) == wt.dim(1),
+             "Conv2d::infer: bad input shape " << x.shape().to_string());
+  Conv2dGeometry g{.in_channels = wt.dim(1),
+                   .in_h = x.dim(2),
+                   .in_w = x.dim(3),
+                   .kernel_h = wt.dim(2),
+                   .kernel_w = wt.dim(3),
+                   .stride = stride_,
+                   .pad = pad_};
+  const std::int64_t n = x.dim(0), f = wt.dim(0);
+  // Same lowering as autograd::conv2d: im2col, float GEMM, bias broadcast.
+  const Tensor cols = im2col(x, g);
+  const Tensor wmat = wt.reshape(Shape{f, g.patch_size()});
+  Tensor outmat = ops::matmul_nt(cols, wmat);
+  if (bias_.defined()) outmat = ops::add_row_vector(outmat, bias_.value());
+  Tensor out = ws.acquire(Shape{n, f, g.out_h(), g.out_w()});
+  rows_to_nchw_into(outmat, n, f, g.out_h(), g.out_w(), out);
+  return out;
 }
 
 BinaryConv2d::BinaryConv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -79,6 +186,28 @@ Variable BinaryConv2d::forward(const Variable& x) {
                           pad_);
 }
 
+Tensor BinaryConv2d::infer(const Tensor& x, infer::Workspace& ws) {
+  const Tensor& wt = weight_.value();  // [F, C, KH, KW]
+  DDNN_CHECK(x.ndim() == 4 && x.dim(1) == wt.dim(1),
+             "BinaryConv2d::infer: bad input shape " << x.shape().to_string());
+  Conv2dGeometry g{.in_channels = wt.dim(1),
+                   .in_h = x.dim(2),
+                   .in_w = x.dim(3),
+                   .kernel_h = wt.dim(2),
+                   .kernel_w = wt.dim(3),
+                   .stride = stride_,
+                   .pad = pad_};
+  const bitgemm::PackedSigns& w =
+      packed_.get(weight_, wt.dim(0), g.patch_size());
+  Tensor out = ws.acquire(Shape{x.dim(0), wt.dim(0), g.out_h(), g.out_w()});
+  if (bitgemm::all_pm1(x)) {
+    bitgemm::xnor_conv2d(x, g, w.bits, out);
+  } else {
+    bitgemm::sign_conv2d(x, g, w, out);
+  }
+  return out;
+}
+
 MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
     : kernel_(kernel), stride_(stride), pad_(pad) {
   DDNN_CHECK(kernel_ > 0 && stride_ > 0 && pad_ >= 0, "MaxPool2d: bad config");
@@ -86,6 +215,64 @@ MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
 
 Variable MaxPool2d::forward(const Variable& x) {
   return autograd::max_pool2d(x, kernel_, stride_, pad_);
+}
+
+Tensor MaxPool2d::infer(const Tensor& x, infer::Workspace& ws) {
+  DDNN_CHECK(x.ndim() == 4, "MaxPool2d::infer expects [N, C, H, W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  DDNN_CHECK(oh > 0 && ow > 0, "MaxPool2d::infer: empty output");
+  Tensor out = ws.acquire(Shape{n, c, oh, ow});
+  // Same window scan as autograd::max_pool2d, minus argmax bookkeeping;
+  // comparisons are exact, so the selected values match bit-for-bit.
+  const float* px = x.data();
+  float* po = out.data();
+  std::int64_t oidx = 0;
+  if (pad_ == 0) {
+    // Unpadded windows are always fully in bounds (oh/ow round down), so the
+    // scan needs no per-element checks.
+    for (std::int64_t p = 0; p < n * c; ++p) {
+      const float* plane = px + p * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          const float* win = plane + oy * stride_ * w + ox * stride_;
+          // Same -inf seed as autograd::max_pool2d so even NaN inputs agree.
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const float* row = win + ky * w;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              if (row[kx] > best) best = row[kx];
+            }
+          }
+          po[oidx] = best;
+        }
+      }
+    }
+    return out;
+  }
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const std::int64_t iy = oy * stride_ - pad_ + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t ix = ox * stride_ - pad_ + kx;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) best = v;
+            }
+          }
+          po[oidx] = best;
+        }
+      }
+    }
+  }
+  return out;
 }
 
 BatchNorm::BatchNorm(std::int64_t num_features, float momentum, float eps)
@@ -102,6 +289,16 @@ Variable BatchNorm::forward(const Variable& x) {
                               training(), momentum_, eps_);
 }
 
+Tensor BatchNorm::infer(const Tensor& x, infer::Workspace& ws) {
+  DDNN_CHECK(!training(), "BatchNorm::infer requires eval mode");
+  Tensor inv_std = ws.acquire(Shape{features_});
+  Tensor x_hat = ws.acquire(x.shape());
+  Tensor out = ws.acquire(x.shape());
+  ops::batch_norm_apply(x, gamma_.value(), beta_.value(), running_mean_,
+                        running_var_, eps_, inv_std, x_hat, out);
+  return out;
+}
+
 Variable Sequential::forward(const Variable& x) {
   Variable cur = x;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
@@ -110,11 +307,20 @@ Variable Sequential::forward(const Variable& x) {
   return cur;
 }
 
+Tensor Sequential::infer(const Tensor& x, infer::Workspace& ws) {
+  Tensor cur = x;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    cur = infers_[i](*stages_[i], cur, ws);
+  }
+  return cur;
+}
+
 void Sequential::add_stage_internal(std::unique_ptr<Module> stage,
-                                    ForwardFn fn) {
+                                    ForwardFn fn, InferFn infer_fn) {
   add_child("stage" + std::to_string(stages_.size()), stage.get());
   stages_.push_back(std::move(stage));
   forwards_.push_back(fn);
+  infers_.push_back(infer_fn);
 }
 
 }  // namespace ddnn::nn

@@ -90,6 +90,9 @@ void load_state(Module& module, const std::string& path) {
            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
     DDNN_CHECK(f.good(), "truncated state file");
   }
+  // The state map shares parameter storage, so the loop above mutated the
+  // parameters in place; bump versions to invalidate packed-weight caches.
+  for (auto& p : module.named_parameters()) p.var.bump_version();
 }
 
 bool is_state_file(const std::string& path) {

@@ -47,6 +47,7 @@ void Optimizer::step() {
         w[j] = std::min(1.0f, std::max(-1.0f, w[j]));
       }
     }
+    p.var.bump_version();  // invalidate packed-weight caches
   }
 }
 

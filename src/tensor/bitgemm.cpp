@@ -1,0 +1,432 @@
+#include "tensor/bitgemm.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ddnn::bitgemm {
+
+namespace {
+
+/// Chunk size keeping per-task work around 64k scalar operations. Small
+/// problems (under ~256k total operations) run as a single inline chunk —
+/// pool dispatch costs more than it buys at batch-1 section sizes.
+std::int64_t grain_for(std::int64_t work_per_index, std::int64_t total_indices) {
+  const std::int64_t per = std::max<std::int64_t>(1, work_per_index);
+  if (total_indices * per <= 262144) return std::max<std::int64_t>(1, total_indices);
+  return std::max<std::int64_t>(1, 65536 / per);
+}
+
+/// Valid kx subrange [lo, hi) of an ox row: the output positions whose input
+/// column ix = ox*stride - pad + kx is in bounds.
+void ox_range(std::int64_t kx, std::int64_t stride, std::int64_t pad,
+              std::int64_t in_w, std::int64_t ow, std::int64_t& lo,
+              std::int64_t& hi) {
+  const std::int64_t shift = pad - kx;  // ix = ox*stride - shift
+  lo = shift <= 0 ? 0 : (shift + stride - 1) / stride;
+  const std::int64_t last_num = in_w - 1 + shift;  // ox*stride <= last_num
+  hi = last_num < 0 ? 0 : std::min(ow, last_num / stride + 1);
+  lo = std::min(lo, hi);
+}
+
+/// Row loop of sign_conv2d. The output rows themselves are the accumulators,
+/// filled saxpy-style over contiguous input spans so the loop vectorizes.
+/// Each output's terms arrive in ascending patch-index order with
+/// out-of-bounds positions skipped, exactly like ops::im2col + matmul_nt;
+/// x * ±1.0f is exact, so fused multiply-adds cannot change the rounding.
+/// KW_T > 0 bakes that kernel width (and stride 1) into the instantiation.
+template <int KW_T>
+void sign_conv_rows(const float* px, const float* st, float* po,
+                    const Conv2dGeometry& g, std::int64_t f, std::int64_t oh,
+                    std::int64_t ow, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t kw = KW_T > 0 ? KW_T : g.kernel_w;
+  const std::int64_t stride = KW_T > 0 ? 1 : g.stride;
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const std::int64_t b = r / oh, oy = r % oh;
+    const float* img = px + b * g.in_channels * g.in_h * g.in_w;
+    float* orow = po + (b * f * oh + oy) * ow;
+    for (std::int64_t j = 0; j < f; ++j) {
+      std::fill_n(orow + j * oh * ow, ow, 0.0f);
+    }
+    std::int64_t idx = 0;
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+      const float* plane = img + c * g.in_h * g.in_w;
+      for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+        const std::int64_t iy = oy * stride - g.pad + ky;
+        if (iy < 0 || iy >= g.in_h) {
+          idx += kw;
+          continue;
+        }
+        const float* prow = plane + iy * g.in_w;
+        for (std::int64_t kx = 0; kx < kw; ++kx, ++idx) {
+          std::int64_t olo, ohi;
+          ox_range(kx, stride, g.pad, g.in_w, ow, olo, ohi);
+          const std::int64_t shift = kx - g.pad;
+          for (std::int64_t j = 0; j < f; ++j) {
+            const float sj = st[idx * f + j];
+            float* __restrict aj = orow + j * oh * ow;
+            if (stride == 1) {
+              const float* __restrict xr = prow + shift;
+              for (std::int64_t ox = olo; ox < ohi; ++ox) {
+                aj[ox] += xr[ox] * sj;
+              }
+            } else {
+              for (std::int64_t ox = olo; ox < ohi; ++ox) {
+                aj[ox] += prow[ox * stride + shift] * sj;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void pack_one_row(const float* src, std::int64_t cols, std::uint64_t* dst,
+                  std::int64_t words) {
+  for (std::int64_t w = 0; w < words; ++w) {
+    const std::int64_t base = w * 64;
+    const std::int64_t m = std::min<std::int64_t>(64, cols - base);
+    std::uint64_t bits = 0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      bits |= static_cast<std::uint64_t>(src[base + j] >= 0.0f) << j;
+    }
+    dst[w] = bits;
+  }
+}
+
+}  // namespace
+
+void pack_sign_rows(const float* data, std::int64_t rows, std::int64_t cols,
+                    PackedBits& out) {
+  DDNN_CHECK(rows > 0 && cols > 0, "pack_sign_rows: empty matrix");
+  // Dot products are reconstructed through float, exact only below 2^24.
+  DDNN_CHECK(cols < (std::int64_t{1} << 24), "pack_sign_rows: row too long");
+  out.rows = rows;
+  out.cols = cols;
+  out.words_per_row = (cols + 63) / 64;
+  out.bits.assign(static_cast<std::size_t>(rows * out.words_per_row), 0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    pack_one_row(data + r * cols, cols, out.bits.data() + r * out.words_per_row,
+                 out.words_per_row);
+  }
+}
+
+PackedSigns pack_signs_matrix(const float* data, std::int64_t rows,
+                              std::int64_t cols) {
+  PackedSigns out;
+  pack_sign_rows(data, rows, cols, out.bits);
+  out.signs_t.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < cols; ++k) {
+      out.signs_t[static_cast<std::size_t>(k * rows + r)] =
+          data[r * cols + k] >= 0.0f ? 1.0f : -1.0f;
+    }
+  }
+  return out;
+}
+
+bool all_pm1(const Tensor& t) {
+  const float* p = t.data();
+  const std::int64_t n = t.numel();
+  // Branchless blocks so the scan vectorizes; early exit once per block.
+  std::int64_t i = 0;
+  for (; i + 256 <= n; i += 256) {
+    bool bad = false;
+    for (std::int64_t j = 0; j < 256; ++j) {
+      bad |= (p[i + j] != 1.0f) & (p[i + j] != -1.0f);
+    }
+    if (bad) return false;
+  }
+  for (; i < n; ++i) {
+    if (p[i] != 1.0f && p[i] != -1.0f) return false;
+  }
+  return true;
+}
+
+void xnor_linear(const Tensor& x, const PackedBits& w, Tensor& out) {
+  DDNN_CHECK(x.ndim() == 2 && x.dim(1) == w.cols,
+             "xnor_linear: x shape " << x.shape().to_string() << " vs "
+                                     << w.cols << " packed columns");
+  DDNN_CHECK(out.ndim() == 2 && out.dim(0) == x.dim(0) && out.dim(1) == w.rows,
+             "xnor_linear: bad output shape");
+  const std::int64_t m = x.dim(0), k = w.cols, wpr = w.words_per_row;
+
+  // Per-thread packed-input scratch, reused across calls. Bound to a local
+  // reference so the chunk lambdas capture *this* thread's buffer — a lambda
+  // never captures a thread_local, and pool workers must not resolve it to
+  // their own (empty) instance.
+  static thread_local std::vector<std::uint64_t> xbits_tls;
+  std::vector<std::uint64_t>& xbits = xbits_tls;
+  xbits.assign(static_cast<std::size_t>(m * wpr), 0);
+  const float* px = x.data();
+  parallel_for(0, m, grain_for(k, m), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      pack_one_row(px + i * k, k, xbits.data() + i * wpr, wpr);
+    }
+  });
+
+  // Weight the chunking by word operations, not bit operations — a popcount
+  // covers 64 patch positions at once.
+  float* po = out.data();
+  parallel_for(0, m, grain_for(w.rows * wpr * 8, m),
+               [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::uint64_t* xr = xbits.data() + i * wpr;
+      float* orow = po + i * w.rows;
+      for (std::int64_t j = 0; j < w.rows; ++j) {
+        const std::uint64_t* wr = w.row(j);
+        std::int64_t disagree = 0;
+        for (std::int64_t t = 0; t < wpr; ++t) {
+          disagree += std::popcount(xr[t] ^ wr[t]);
+        }
+        // Trailing bits are zero in both packs, so they never disagree.
+        orow[j] = static_cast<float>(k - 2 * disagree);
+      }
+    }
+  });
+}
+
+void sign_linear(const Tensor& x, const PackedSigns& w, Tensor& out) {
+  const std::int64_t rows = w.bits.rows, k = w.bits.cols;
+  DDNN_CHECK(x.ndim() == 2 && x.dim(1) == k, "sign_linear: in-feature mismatch");
+  DDNN_CHECK(out.ndim() == 2 && out.dim(0) == x.dim(0) && out.dim(1) == rows,
+             "sign_linear: bad output shape");
+  const std::int64_t m = x.dim(0);
+  const float* px = x.data();
+  const float* st = w.signs_t.data();
+  float* po = out.data();
+  parallel_for(0, m, grain_for(k * rows, m),
+               [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(rows));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* xrow = px + i * k;
+      for (std::int64_t j = 0; j < rows; ++j) acc[static_cast<std::size_t>(j)] = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float xv = xrow[kk];
+        const float* s = st + kk * rows;
+        // Independent accumulator per output feature; each feature's terms
+        // arrive in kk order, matching ops::matmul_nt exactly (x * ±1.0f is
+        // exact, so fused multiply-adds cannot change the rounding).
+        for (std::int64_t j = 0; j < rows; ++j) {
+          acc[static_cast<std::size_t>(j)] += xv * s[j];
+        }
+      }
+      float* orow = po + i * rows;
+      for (std::int64_t j = 0; j < rows; ++j) orow[j] = acc[static_cast<std::size_t>(j)];
+    }
+  });
+}
+
+void xnor_conv2d(const Tensor& x, const Conv2dGeometry& g, const PackedBits& w,
+                 Tensor& out) {
+  const std::int64_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.patch_size(), f = w.rows;
+  DDNN_CHECK(x.ndim() == 4 && x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
+                 x.dim(3) == g.in_w,
+             "xnor_conv2d: input/geometry mismatch");
+  DDNN_CHECK(w.cols == patch, "xnor_conv2d: packed weight patch mismatch");
+  DDNN_CHECK(out.ndim() == 4 && out.dim(0) == n && out.dim(1) == f &&
+                 out.dim(2) == oh && out.dim(3) == ow,
+             "xnor_conv2d: bad output shape");
+
+  const std::int64_t wpr = w.words_per_row;
+  const std::int64_t rows = n * oh * ow;
+
+  // Packed im2col: per output pixel, the patch's sign bits plus a validity
+  // mask (bit = 1 for in-bounds positions). The mask depends only on output
+  // geometry — one row per pixel, shared across the batch. Per-thread
+  // scratch, reused; bound to local references so the chunk lambdas capture
+  // *this* thread's buffers (a lambda never captures a thread_local).
+  static thread_local std::vector<std::uint64_t> patch_bits_tls;
+  static thread_local std::vector<std::uint64_t> patch_mask_tls;
+  static thread_local std::vector<std::int32_t> valid_count_tls;
+  std::vector<std::uint64_t>& patch_bits = patch_bits_tls;
+  std::vector<std::uint64_t>& patch_mask = patch_mask_tls;
+  std::vector<std::int32_t>& valid_count = valid_count_tls;
+  patch_bits.assign(static_cast<std::size_t>(rows * wpr), 0);
+  patch_mask.assign(static_cast<std::size_t>(oh * ow * wpr), 0);
+  valid_count.assign(static_cast<std::size_t>(oh * ow), 0);
+
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    std::uint64_t* pm_row = patch_mask.data() + oy * ow * wpr;
+    std::int64_t idx = 0;
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+      for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+        const std::int64_t iy = oy * g.stride - g.pad + ky;
+        if (iy < 0 || iy >= g.in_h) {
+          idx += g.kernel_w;
+          continue;
+        }
+        for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+          std::int64_t olo, ohi;
+          ox_range(kx, g.stride, g.pad, g.in_w, ow, olo, ohi);
+          const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+          const std::int64_t word = idx >> 6;
+          for (std::int64_t ox = olo; ox < ohi; ++ox) {
+            pm_row[ox * wpr + word] |= bit;
+          }
+        }
+      }
+    }
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::int64_t valid = 0;
+      for (std::int64_t t = 0; t < wpr; ++t) {
+        valid += std::popcount(pm_row[ox * wpr + t]);
+      }
+      valid_count[static_cast<std::size_t>(oy * ow + ox)] =
+          static_cast<std::int32_t>(valid);
+    }
+  }
+
+  // Narrow images (the common case here) pack each input row into one
+  // bitmask first; a pixel's kernel_w-wide patch segment is then a shift of
+  // that mask instead of kernel_w separate bit inserts. Bits at out-of-bounds
+  // positions are arbitrary either way — the compute phase masks them out.
+  const float* px = x.data();
+  const bool narrow = g.in_w <= 64 && g.kernel_w <= 64 && g.pad < 64;
+  static thread_local std::vector<std::uint64_t> row_bits_tls;
+  std::vector<std::uint64_t>& row_bits = row_bits_tls;
+  if (narrow) {
+    row_bits.assign(static_cast<std::size_t>(n * g.in_channels * g.in_h), 0);
+    parallel_for(0, n, grain_for(g.in_channels * g.in_h * g.in_w, n),
+                 [&](std::int64_t blo, std::int64_t bhi) {
+      for (std::int64_t b = blo; b < bhi; ++b) {
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          const float* plane =
+              px + (b * g.in_channels + c) * g.in_h * g.in_w;
+          for (std::int64_t iy = 0; iy < g.in_h; ++iy) {
+            const float* prow = plane + iy * g.in_w;
+            std::uint64_t bits = 0;
+            for (std::int64_t j = 0; j < g.in_w; ++j) {
+              bits |= static_cast<std::uint64_t>(prow[j] >= 0.0f) << j;
+            }
+            row_bits[static_cast<std::size_t>((b * g.in_channels + c) *
+                                                  g.in_h +
+                                              iy)] = bits;
+          }
+        }
+      }
+    });
+  }
+
+  parallel_for(0, n * oh, grain_for(ow * patch, n * oh),
+               [&](std::int64_t rlo, std::int64_t rhi) {
+    for (std::int64_t r = rlo; r < rhi; ++r) {
+      const std::int64_t b = r / oh, oy = r % oh;
+      const float* img = px + b * g.in_channels * g.in_h * g.in_w;
+      std::uint64_t* pb_row = patch_bits.data() + r * ow * wpr;
+      std::int64_t idx = 0;
+      for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        const float* plane = img + c * g.in_h * g.in_w;
+        for (std::int64_t ky = 0; ky < g.kernel_h; ++ky, idx += g.kernel_w) {
+          const std::int64_t iy = oy * g.stride - g.pad + ky;
+          if (iy < 0 || iy >= g.in_h) continue;
+          if (narrow) {
+            const std::uint64_t rb =
+                row_bits[static_cast<std::size_t>((b * g.in_channels + c) *
+                                                      g.in_h +
+                                                  iy)];
+            const std::uint64_t kwmask =
+                g.kernel_w == 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << g.kernel_w) - 1;
+            const std::int64_t word = idx >> 6;
+            const std::int64_t off = idx & 63;
+            const bool cross = off + g.kernel_w > 64;
+            // Past this ox every segment bit is already shifted out (and the
+            // shift amount itself would be undefined behaviour).
+            const std::int64_t ox_hi =
+                std::min(ow, (63 + g.pad) / g.stride + 1);
+            for (std::int64_t ox = 0; ox < ox_hi; ++ox) {
+              const std::int64_t start = ox * g.stride - g.pad;
+              const std::uint64_t seg =
+                  (start >= 0 ? rb >> start : rb << -start) & kwmask;
+              pb_row[ox * wpr + word] |= seg << off;
+              if (cross) pb_row[ox * wpr + word + 1] |= seg >> (64 - off);
+            }
+          } else {
+            const float* prow = plane + iy * g.in_w;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::int64_t j = idx + kx;
+              std::int64_t olo, ohi;
+              ox_range(kx, g.stride, g.pad, g.in_w, ow, olo, ohi);
+              const std::int64_t shift = kx - g.pad;
+              const std::int64_t word = j >> 6;
+              const std::int64_t amount = j & 63;
+              for (std::int64_t ox = olo; ox < ohi; ++ox) {
+                const std::uint64_t set = prow[ox * g.stride + shift] >= 0.0f;
+                pb_row[ox * wpr + word] |= set << amount;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // Weight the chunking by word operations — a popcount covers 64 patch
+  // positions at once. Feature planes are written contiguously, pixel-major.
+  const std::int64_t pixels = oh * ow;
+  float* po = out.data();
+  parallel_for(0, n, grain_for(pixels * f * wpr * 8, n),
+               [&](std::int64_t blo, std::int64_t bhi) {
+    for (std::int64_t b = blo; b < bhi; ++b) {
+      const std::uint64_t* pbb = patch_bits.data() + b * pixels * wpr;
+      for (std::int64_t j = 0; j < f; ++j) {
+        const std::uint64_t* wr = w.row(j);
+        float* plane = po + (b * f + j) * pixels;
+        if (wpr == 1) {
+          const std::uint64_t w0 = wr[0];
+          for (std::int64_t pix = 0; pix < pixels; ++pix) {
+            const std::int64_t disagree =
+                std::popcount((pbb[pix] ^ w0) & patch_mask[static_cast<std::size_t>(pix)]);
+            plane[pix] = static_cast<float>(
+                valid_count[static_cast<std::size_t>(pix)] - 2 * disagree);
+          }
+        } else {
+          for (std::int64_t pix = 0; pix < pixels; ++pix) {
+            const std::uint64_t* pb = pbb + pix * wpr;
+            const std::uint64_t* pm = patch_mask.data() + pix * wpr;
+            std::int64_t disagree = 0;
+            for (std::int64_t t = 0; t < wpr; ++t) {
+              disagree += std::popcount((pb[t] ^ wr[t]) & pm[t]);
+            }
+            plane[pix] = static_cast<float>(
+                valid_count[static_cast<std::size_t>(pix)] - 2 * disagree);
+          }
+        }
+      }
+    }
+  });
+}
+
+void sign_conv2d(const Tensor& x, const Conv2dGeometry& g,
+                 const PackedSigns& w, Tensor& out) {
+  const std::int64_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.patch_size(), f = w.bits.rows;
+  DDNN_CHECK(x.ndim() == 4 && x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
+                 x.dim(3) == g.in_w,
+             "sign_conv2d: input/geometry mismatch");
+  DDNN_CHECK(w.bits.cols == patch, "sign_conv2d: packed weight patch mismatch");
+  DDNN_CHECK(out.ndim() == 4 && out.dim(0) == n && out.dim(1) == f &&
+                 out.dim(2) == oh && out.dim(3) == ow,
+             "sign_conv2d: bad output shape");
+
+  const float* px = x.data();
+  const float* st = w.signs_t.data();
+  float* po = out.data();
+  parallel_for(0, n * oh, grain_for(ow * patch * f, n * oh),
+               [&](std::int64_t lo, std::int64_t hi) {
+    // KW_T = 3 bakes the common 3-wide stride-1 kernel into its own
+    // instantiation so the kx loop unrolls with constant shifts.
+    if (g.stride == 1 && g.kernel_w == 3) {
+      sign_conv_rows<3>(px, st, po, g, f, oh, ow, lo, hi);
+    } else {
+      sign_conv_rows<0>(px, st, po, g, f, oh, ow, lo, hi);
+    }
+  });
+}
+
+}  // namespace ddnn::bitgemm

@@ -10,6 +10,8 @@ std::int64_t packed_size_bytes(std::int64_t numel) {
 std::vector<std::uint8_t> pack_signs(const Tensor& t) {
   DDNN_CHECK(t.defined(), "pack_signs of undefined tensor");
   const std::int64_t n = t.numel();
+  DDNN_CHECK(n > 0, "pack_signs of empty tensor (shape "
+                        << t.shape().to_string() << ")");
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(packed_size_bytes(n)),
                                   0);
   const float* p = t.data();
@@ -24,6 +26,7 @@ std::vector<std::uint8_t> pack_signs(const Tensor& t) {
 
 Tensor unpack_signs(const std::vector<std::uint8_t>& bytes, Shape shape) {
   const std::int64_t n = shape.numel();
+  DDNN_CHECK(n > 0, "unpack_signs to empty shape " << shape.to_string());
   DDNN_CHECK(static_cast<std::int64_t>(bytes.size()) == packed_size_bytes(n),
              "unpack_signs: byte count " << bytes.size()
                                          << " does not match shape "

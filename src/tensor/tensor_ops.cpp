@@ -270,4 +270,45 @@ Tensor sum_rows(const Tensor& x) {
   return out;
 }
 
+void batch_norm_apply(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                      const Tensor& mean, const Tensor& var, float eps,
+                      Tensor& inv_std, Tensor& x_hat, Tensor& out) {
+  std::int64_t batch, channels, spatial;
+  if (x.ndim() == 2) {
+    batch = x.dim(0);
+    channels = x.dim(1);
+    spatial = 1;
+  } else {
+    DDNN_CHECK(x.ndim() == 4, "batch_norm_apply: [N, F] or [N, C, H, W]");
+    batch = x.dim(0);
+    channels = x.dim(1);
+    spatial = x.dim(2) * x.dim(3);
+  }
+  DDNN_CHECK(gamma.numel() == channels && beta.numel() == channels &&
+                 mean.numel() == channels && var.numel() == channels &&
+                 inv_std.numel() == channels,
+             "batch_norm_apply: per-channel tensor size mismatch");
+  DDNN_CHECK(x_hat.numel() == x.numel() && out.numel() == x.numel(),
+             "batch_norm_apply: output size mismatch");
+
+  for (std::int64_t c = 0; c < channels; ++c) {
+    inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
+  }
+  const float* px = x.data();
+  float* ph = x_hat.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float m = mean[c], is = inv_std[c];
+      const float ga = gamma[c], be = beta[c];
+      const std::int64_t base = (b * channels + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float xh = (px[base + s] - m) * is;
+        ph[base + s] = xh;
+        po[base + s] = ga * xh + be;
+      }
+    }
+  }
+}
+
 }  // namespace ddnn::ops

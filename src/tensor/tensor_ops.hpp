@@ -62,4 +62,18 @@ Tensor add_row_vector(const Tensor& x, const Tensor& b);
 /// Column-wise sum of a [m, n] matrix -> [n]. (Gradient of the broadcast.)
 Tensor sum_rows(const Tensor& x);
 
+// ---------------------------------------------------------------- batch norm
+
+/// Batch-norm normalization pass over [N, F] (spatial size 1) or
+/// [N, C, H, W] (per-channel over N*H*W):
+///   inv_std[c] = 1 / sqrt(var[c] + eps)
+///   x_hat      = (x - mean[c]) * inv_std[c]
+///   out        = gamma[c] * x_hat + beta[c]
+/// inv_std must be [channels]; x_hat and out must match x's shape. Both the
+/// autograd batch_norm and the inference engine call this one compiled
+/// kernel, so the two paths round identically (bit-identity contract).
+void batch_norm_apply(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                      const Tensor& mean, const Tensor& var, float eps,
+                      Tensor& inv_std, Tensor& x_hat, Tensor& out);
+
 }  // namespace ddnn::ops

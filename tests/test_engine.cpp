@@ -1,0 +1,398 @@
+// Inference-engine parity: the plan engine (workspace + cached bit-packed
+// weights + XNOR-popcount kernels) must be bit-identical to the autograd
+// forward pass across the configuration grid — presets, edge tiers,
+// precision modes, activity masks and thread counts — and the packed-weight
+// cache must track every in-place parameter update.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "autograd/grad_mode.hpp"
+#include "autograd/ops.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "data/mvmc.hpp"
+#include "dist/runtime.hpp"
+#include "infer/engine.hpp"
+#include "infer/workspace.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/bitgemm.hpp"
+#include "tensor/bitpack.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ddnn {
+namespace {
+
+using autograd::Variable;
+using core::DdnnConfig;
+using core::DdnnModel;
+using core::HierarchyPreset;
+
+/// Pins the engine for a scope, then restores the DDNN_ENGINE default.
+struct EngineGuard {
+  explicit EngineGuard(infer::EngineKind k) { infer::set_engine_kind(k); }
+  ~EngineGuard() { infer::clear_engine_override(); }
+};
+
+/// Pins the pool size for a scope, then restores the env/hardware default.
+struct PoolSizeGuard {
+  explicit PoolSizeGuard(int n) { ThreadPool::set_size(n); }
+  ~PoolSizeGuard() { ThreadPool::set_size(0); }
+};
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(a.numel()) *
+                               sizeof(float)));
+}
+
+Tensor signs_of(const Tensor& t) {
+  Tensor out(t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    out[i] = t[i] < 0.0f ? -1.0f : 1.0f;
+  }
+  return out;
+}
+
+// -------------------------------------------------------- engine selection
+
+TEST(Engine, ParsesAndRoundTripsNames) {
+  EXPECT_EQ(infer::parse_engine_kind("plan"), infer::EngineKind::kPlan);
+  EXPECT_EQ(infer::parse_engine_kind("autograd"), infer::EngineKind::kAutograd);
+  EXPECT_THROW(infer::parse_engine_kind("fast"), Error);
+  EXPECT_EQ(infer::to_string(infer::EngineKind::kPlan), "plan");
+  EXPECT_EQ(infer::to_string(infer::EngineKind::kAutograd), "autograd");
+}
+
+TEST(Engine, OverrideWinsAndClears) {
+  {
+    EngineGuard guard(infer::EngineKind::kAutograd);
+    EXPECT_EQ(infer::engine_kind(), infer::EngineKind::kAutograd);
+  }
+  {
+    EngineGuard guard(infer::EngineKind::kPlan);
+    EXPECT_EQ(infer::engine_kind(), infer::EngineKind::kPlan);
+  }
+}
+
+// ---------------------------------------------------------------- workspace
+
+TEST(Workspace, ReusesSlotStorageAcrossResets) {
+  infer::Workspace ws;
+  Tensor a = ws.acquire(Shape{4, 8});
+  Tensor z = ws.acquire_zero(Shape{3, 3});
+  EXPECT_EQ(ws.slots(), 2u);
+  for (std::int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z[i], 0.0f);
+
+  const float* storage = a.data();
+  ws.reset();
+  // Same numel, different shape: the slot's storage is reused as a view.
+  Tensor b = ws.acquire(Shape{8, 4});
+  EXPECT_EQ(b.data(), storage);
+  EXPECT_EQ(b.shape(), Shape({8, 4}));
+  EXPECT_EQ(ws.slots(), 2u);
+
+  ws.reset();
+  // Different numel: the slot reallocates but no new slot is added.
+  Tensor c = ws.acquire(Shape{5, 5});
+  EXPECT_EQ(c.numel(), 25);
+  EXPECT_EQ(ws.slots(), 2u);
+}
+
+// --------------------------------------------------- bitpack validation
+
+TEST(Bitpack, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_THROW(pack_signs(Tensor()), Error);
+  EXPECT_THROW(pack_signs(Tensor(Shape{0})), Error);
+  EXPECT_THROW(unpack_signs({}, Shape{0}), Error);
+  // 9 elements need 2 bytes; 1 byte must be rejected loudly.
+  EXPECT_THROW(unpack_signs(std::vector<std::uint8_t>{0xff}, Shape{9}), Error);
+  // Round trip still works for well-formed input.
+  Rng rng(3);
+  const Tensor t = signs_of(Tensor::randn(Shape{3, 7}, rng));
+  expect_bitwise_equal(unpack_signs(pack_signs(t), t.shape()), t);
+}
+
+// ------------------------------------------------------- bitgemm kernels
+
+TEST(Bitgemm, XnorLinearMatchesMatmulNt) {
+  Rng rng(11);
+  const Tensor x = signs_of(Tensor::randn(Shape{5, 130}, rng));
+  const Tensor wf = Tensor::randn(Shape{9, 130}, rng);
+  const Tensor wsg = signs_of(wf);
+  const auto packed = bitgemm::pack_signs_matrix(wf.data(), 9, 130);
+  ASSERT_TRUE(bitgemm::all_pm1(x));
+  Tensor out(Shape{5, 9});
+  bitgemm::xnor_linear(x, packed.bits, out);
+  expect_bitwise_equal(out, ops::matmul_nt(x, wsg));
+}
+
+TEST(Bitgemm, SignLinearMatchesMatmulNtOnFloatInput) {
+  Rng rng(12);
+  const Tensor x = Tensor::randn(Shape{6, 75}, rng);
+  const Tensor wf = Tensor::randn(Shape{10, 75}, rng);
+  const auto packed = bitgemm::pack_signs_matrix(wf.data(), 10, 75);
+  Tensor out(Shape{6, 10});
+  bitgemm::sign_linear(x, packed, out);
+  expect_bitwise_equal(out, ops::matmul_nt(x, signs_of(wf)));
+}
+
+TEST(Bitgemm, XnorConv2dMatchesAutogradConvOnSignInput) {
+  Rng rng(13);
+  const Tensor x = signs_of(Tensor::randn(Shape{2, 3, 8, 8}, rng));
+  const Tensor wf = Tensor::randn(Shape{4, 3, 3, 3}, rng);
+  const Conv2dGeometry g{.in_channels = 3, .in_h = 8, .in_w = 8};
+  const auto packed = bitgemm::pack_signs_matrix(wf.data(), 4, g.patch_size());
+  Tensor out(Shape{2, 4, g.out_h(), g.out_w()});
+  bitgemm::xnor_conv2d(x, g, packed.bits, out);
+
+  autograd::NoGradGuard no_grad;
+  const Tensor ref =
+      autograd::conv2d(Variable(x), Variable(signs_of(wf)), Variable(), 1, 1)
+          .value();
+  expect_bitwise_equal(out, ref);
+}
+
+TEST(Bitgemm, SignConv2dMatchesAutogradConvOnFloatInput) {
+  Rng rng(14);
+  const Tensor x = Tensor::rand_uniform(Shape{2, 3, 8, 8}, rng, -1.0f, 1.0f);
+  const Tensor wf = Tensor::randn(Shape{5, 3, 3, 3}, rng);
+  const Conv2dGeometry g{.in_channels = 3, .in_h = 8, .in_w = 8};
+  const auto packed = bitgemm::pack_signs_matrix(wf.data(), 5, g.patch_size());
+  Tensor out(Shape{2, 5, g.out_h(), g.out_w()});
+  bitgemm::sign_conv2d(x, g, packed, out);
+
+  autograd::NoGradGuard no_grad;
+  const Tensor ref =
+      autograd::conv2d(Variable(x), Variable(signs_of(wf)), Variable(), 1, 1)
+          .value();
+  expect_bitwise_equal(out, ref);
+}
+
+// ------------------------------------------- full-model engine parity grid
+
+std::vector<Variable> parity_views(int n, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<Variable> views;
+  for (int i = 0; i < n; ++i) {
+    views.emplace_back(
+        Tensor::rand_uniform(Shape{2, 3, 32, 32}, rng, 0.0f, 1.0f));
+  }
+  return views;
+}
+
+core::DdnnOutputs run_engine(DdnnModel& model,
+                             const std::vector<Variable>& views,
+                             const std::vector<bool>& active,
+                             infer::EngineKind kind) {
+  EngineGuard engine(kind);
+  autograd::NoGradGuard no_grad;
+  return model.forward(views, active);
+}
+
+void expect_outputs_bitwise_equal(const core::DdnnOutputs& a,
+                                  const core::DdnnOutputs& b) {
+  ASSERT_EQ(a.exit_logits.size(), b.exit_logits.size());
+  for (std::size_t e = 0; e < a.exit_logits.size(); ++e) {
+    expect_bitwise_equal(a.exit_logits[e].value(), b.exit_logits[e].value());
+  }
+  ASSERT_EQ(a.device_features.size(), b.device_features.size());
+  for (std::size_t d = 0; d < a.device_features.size(); ++d) {
+    expect_bitwise_equal(a.device_features[d].value(),
+                         b.device_features[d].value());
+  }
+  ASSERT_EQ(a.edge_features.size(), b.edge_features.size());
+  for (std::size_t g = 0; g < a.edge_features.size(); ++g) {
+    expect_bitwise_equal(a.edge_features[g].value(),
+                         b.edge_features[g].value());
+  }
+}
+
+using ParityParam = std::tuple<HierarchyPreset, bool>;  // preset, float_cloud
+
+class EngineParityGrid : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(EngineParityGrid, ExitLogitsBitIdenticalAcrossEnginesAndThreads) {
+  const auto [preset, float_cloud] = GetParam();
+  auto cfg = DdnnConfig::preset(preset);
+  cfg.float_cloud = float_cloud;
+  cfg.validate();
+  DdnnModel model(cfg);
+  model.set_training(false);
+  const auto views = parity_views(cfg.num_devices);
+
+  std::vector<std::vector<bool>> masks;
+  masks.emplace_back(static_cast<std::size_t>(cfg.num_devices), true);
+  if (cfg.num_devices > 1) {
+    // Fail the first and the last device (separately): exercises the
+    // masked paths of every aggregator under both engines.
+    for (const int failed : {0, cfg.num_devices - 1}) {
+      std::vector<bool> m(static_cast<std::size_t>(cfg.num_devices), true);
+      m[static_cast<std::size_t>(failed)] = false;
+      masks.push_back(std::move(m));
+    }
+  }
+
+  for (const int threads : {1, 4}) {
+    PoolSizeGuard pool(threads);
+    for (const auto& mask : masks) {
+      const auto ref =
+          run_engine(model, views, mask, infer::EngineKind::kAutograd);
+      const auto got = run_engine(model, views, mask, infer::EngineKind::kPlan);
+      expect_outputs_bitwise_equal(ref, got);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, EngineParityGrid,
+    ::testing::Combine(::testing::Values(HierarchyPreset::kCloudOnly,
+                                         HierarchyPreset::kDeviceCloud,
+                                         HierarchyPreset::kDevicesCloud,
+                                         HierarchyPreset::kDevicesEdgesCloud),
+                       ::testing::Bool()));
+
+TEST(EngineParity, AggregationSchemesBitIdenticalAcrossEngines) {
+  for (const auto local : {core::AggKind::kMaxPool, core::AggKind::kAvgPool,
+                           core::AggKind::kConcat, core::AggKind::kGatedAvg}) {
+    for (const auto cloud :
+         {core::AggKind::kMaxPool, core::AggKind::kAvgPool,
+          core::AggKind::kConcat, core::AggKind::kGatedAvg}) {
+      auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 3);
+      cfg.local_agg = local;
+      cfg.cloud_agg = cloud;
+      cfg.validate();
+      DdnnModel model(cfg);
+      model.set_training(false);
+      const auto views = parity_views(cfg.num_devices);
+      const std::vector<bool> mask{true, false, true};
+      const auto ref =
+          run_engine(model, views, mask, infer::EngineKind::kAutograd);
+      const auto got =
+          run_engine(model, views, mask, infer::EngineKind::kPlan);
+      expect_outputs_bitwise_equal(ref, got);
+    }
+  }
+}
+
+// --------------------------------------- evaluation + runtime trace parity
+
+TEST(EngineParity, EvaluateExitsBitIdenticalAcrossEngines) {
+  data::MvmcConfig data_cfg;
+  data_cfg.train_samples = 4;
+  data_cfg.test_samples = 24;
+  data_cfg.seed = 31;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  auto eval_with = [&](infer::EngineKind kind) {
+    EngineGuard engine(kind);
+    return core::evaluate_exits(model, dataset.test(), devices, 8);
+  };
+  const auto ref = eval_with(infer::EngineKind::kAutograd);
+  const auto got = eval_with(infer::EngineKind::kPlan);
+  ASSERT_EQ(ref.num_exits(), got.num_exits());
+  EXPECT_EQ(ref.labels, got.labels);
+  for (std::size_t e = 0; e < ref.num_exits(); ++e) {
+    expect_bitwise_equal(ref.exit_probs[e], got.exit_probs[e]);
+  }
+}
+
+TEST(EngineParity, HierarchyRuntimeTracesIdenticalAcrossEngines) {
+  data::MvmcConfig data_cfg;
+  data_cfg.train_samples = 4;
+  data_cfg.test_samples = 16;
+  data_cfg.seed = 77;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+  DdnnModel model(DdnnConfig::preset(HierarchyPreset::kDevicesCloud));
+  model.set_training(false);
+  const std::vector<int> devices{0, 1, 2, 3, 4, 5};
+
+  auto traces_with = [&](infer::EngineKind kind) {
+    EngineGuard engine(kind);
+    dist::HierarchyRuntime runtime(model, {0.5}, devices);
+    std::vector<dist::InferenceTrace> traces;
+    for (const auto& sample : dataset.test()) {
+      traces.push_back(runtime.classify(sample));
+    }
+    return traces;
+  };
+  const auto ref = traces_with(infer::EngineKind::kAutograd);
+  const auto got = traces_with(infer::EngineKind::kPlan);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].exit_taken, got[i].exit_taken) << i;
+    EXPECT_EQ(ref[i].prediction, got[i].prediction) << i;
+    // Identical logits -> identical doubles, not merely close.
+    EXPECT_EQ(ref[i].entropy, got[i].entropy) << i;
+  }
+}
+
+// ----------------------------------------------- packed-cache invalidation
+
+TEST(EngineParity, PackedCacheTracksOptimizerUpdates) {
+  data::MvmcConfig data_cfg;
+  data_cfg.train_samples = 16;
+  data_cfg.test_samples = 4;
+  data_cfg.seed = 9;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 3);
+  DdnnModel model(cfg);
+  const std::vector<int> devices{0, 1, 2};
+  const auto views = parity_views(cfg.num_devices, 21);
+  const std::vector<bool> all(static_cast<std::size_t>(cfg.num_devices), true);
+
+  // Populate the packed caches from the initial weights...
+  model.set_training(false);
+  expect_outputs_bitwise_equal(
+      run_engine(model, views, all, infer::EngineKind::kAutograd),
+      run_engine(model, views, all, infer::EngineKind::kPlan));
+
+  // ...then update every parameter in place through the real optimizer. A
+  // stale pack would keep serving the old signs.
+  model.set_training(true);
+  core::TrainConfig train_cfg;
+  train_cfg.epochs = 1;
+  train_cfg.batch_size = 8;
+  core::train_ddnn(model, dataset.train(), devices, train_cfg);
+
+  model.set_training(false);
+  expect_outputs_bitwise_equal(
+      run_engine(model, views, all, infer::EngineKind::kAutograd),
+      run_engine(model, views, all, infer::EngineKind::kPlan));
+}
+
+TEST(EngineParity, PackedCacheTracksLoadState) {
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesCloud, 3);
+  DdnnModel donor(cfg);
+  DdnnConfig other = cfg;
+  other.init_seed = cfg.init_seed + 101;
+  DdnnModel receiver(other);
+  donor.set_training(false);
+  receiver.set_training(false);
+
+  const auto views = parity_views(cfg.num_devices, 22);
+  const std::vector<bool> all(static_cast<std::size_t>(cfg.num_devices), true);
+  // Build the receiver's packed caches from its own (different) weights.
+  run_engine(receiver, views, all, infer::EngineKind::kPlan);
+
+  const std::string path = ::testing::TempDir() + "/ddnn_engine_state.bin";
+  nn::save_state(donor, path);
+  nn::load_state(receiver, path);
+
+  const auto ref = run_engine(donor, views, all, infer::EngineKind::kAutograd);
+  const auto got = run_engine(receiver, views, all, infer::EngineKind::kPlan);
+  expect_outputs_bitwise_equal(ref, got);
+}
+
+}  // namespace
+}  // namespace ddnn

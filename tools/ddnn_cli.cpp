@@ -17,6 +17,7 @@
 #include "core/trainer.hpp"
 #include "data/ppm.hpp"
 #include "dist/runtime.hpp"
+#include "infer/engine.hpp"
 #include "nn/serialize.hpp"
 #include "util/args.hpp"
 
@@ -73,6 +74,22 @@ std::vector<int> device_map_from(const core::DdnnConfig& cfg) {
   return devices;
 }
 
+void add_engine_option(ArgParser& args) {
+  args.add_option("engine",
+                  "inference engine: autograd|plan (default: $DDNN_ENGINE, "
+                  "else plan)",
+                  "");
+}
+
+/// Apply --engine (when given) and return the engine that will run.
+std::string select_engine(const ArgParser& args) {
+  const std::string flag = args.get("engine");
+  if (!flag.empty()) {
+    infer::set_engine_kind(infer::parse_engine_kind(flag));
+  }
+  return infer::to_string(infer::engine_kind());
+}
+
 int cmd_train(int argc, const char* const* argv) {
   ArgParser args("ddnn train", "Jointly train a DDNN and save its weights.");
   add_model_options(args);
@@ -109,12 +126,14 @@ int cmd_eval(int argc, const char* const* argv) {
   args.add_option("model", "weight file from `ddnn train`", "model.ddnn")
       .add_option("threshold", "local exit threshold T (-1 = grid search)",
                   "0.8");
+  add_engine_option(args);
   if (!args.parse(argc, argv)) return 0;
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
   core::DdnnModel model(cfg);
   nn::load_state(model, args.get("model"));
+  std::printf("inference engine: %s\n", select_engine(args).c_str());
 
   const auto devices = device_map_from(cfg);
   const auto eval = core::evaluate_exits(model, dataset.test(), devices);
@@ -169,12 +188,15 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "")
       .add_option("retries", "retry budget per send", "2")
       .add_option("fault-seed", "seed for all fault draws", "7");
+  add_engine_option(args);
   if (!args.parse(argc, argv)) return 0;
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
   core::DdnnModel model(cfg);
   nn::load_state(model, args.get("model"));
+  model.set_training(false);  // eval-mode BN; also enables the plan engine
+  std::printf("inference engine: %s\n", select_engine(args).c_str());
 
   const auto devices = device_map_from(cfg);
   const std::vector<double> thresholds(
