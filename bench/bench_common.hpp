@@ -111,11 +111,12 @@ inline std::unique_ptr<core::IndividualModel> trained_individual(
   return model;
 }
 
-/// With DDNN_RESULTS_DIR set, also persist the table as <dir>/<name>.csv
-/// (for plotting the figures outside the terminal).
+/// Persist the table as $DDNN_RESULTS_DIR/<name>.csv (default `results/`;
+/// for plotting the figures outside the terminal). DDNN_RESULTS_DIR=off
+/// disables.
 inline void maybe_write_csv(const Table& table, const std::string& name) {
-  const std::string dir = env_string("DDNN_RESULTS_DIR", "");
-  if (dir.empty()) return;
+  const std::string dir = env_string("DDNN_RESULTS_DIR", "results");
+  if (dir.empty() || dir == "off") return;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   table.write_csv(dir + "/" + name + ".csv");

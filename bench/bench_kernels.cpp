@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "autograd/grad_mode.hpp"
@@ -276,7 +277,7 @@ struct EngineRow {
 
 /// Times the autograd forward against the engine plan on the binarized
 /// primitives and a full device section, and writes BENCH_engine.json to
-/// $DDNN_RESULTS_DIR (or the working directory). The engine acceptance bar
+/// $DDNN_RESULTS_DIR (default `results/`). The engine acceptance bar
 /// is the device-section row: >= 3x over the autograd path at batch 1.
 void write_engine_comparison() {
   Rng rng(8);
@@ -331,7 +332,9 @@ void write_engine_comparison() {
     rows.push_back({"device_section", autograd_ms, engine_ms});
   }
 
-  const std::string dir = env_string("DDNN_RESULTS_DIR", ".");
+  const std::string dir = env_string("DDNN_RESULTS_DIR", "results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
   const std::string path = dir + "/BENCH_engine.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

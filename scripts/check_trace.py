@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a ddnn trace file against the Chrome trace_event schema and
+cross-check its span sums against a metrics JSON export.
+
+Usage:
+    check_trace.py trace.json [metrics.json]
+
+Schema checks (always):
+  * top level is {"displayTimeUnit": ..., "traceEvents": [...]}
+  * every event is "M" (thread_name metadata) or "X" (complete span) with
+    integer pid/tid and, for "X", string name/cat plus numeric ts/dur >= 0
+  * every "X" event's tid has a thread_name metadata entry
+  * per-sample: child spans nest inside their root "sample" span's window,
+    and the delivered bytes summed over its send:* spans equal the root's
+    "bytes" arg exactly
+
+Metrics cross-checks (with metrics.json, produced by --metrics-out):
+  * span count == runtime.samples
+  * sum of sample "bytes" args == runtime.bytes_total (exact int)
+  * sum of sample "latency_s" args == runtime.total_latency_s (exact float:
+    both sides accumulate the same doubles in the same order)
+  * per-exit span counts == runtime.exit.* counters
+
+The runtime stamps spans with the simulated clock, so both files are pure
+functions of (model, data, fault plan) — any mismatch is a real bug, not
+noise.
+"""
+import json
+import sys
+
+EPS_US = 0.01  # ts/dur are microseconds rounded to 3 decimals
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def check_schema(trace):
+    if not isinstance(trace, dict):
+        fail("top level must be an object")
+    if "traceEvents" not in trace or not isinstance(trace["traceEvents"], list):
+        fail("missing traceEvents array")
+    named_tracks = set()
+    spans = []
+    for i, ev in enumerate(trace["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("M", "X"):
+            fail(f"{where}: unexpected ph {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{where}: {key} must be an integer")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"{where}: metadata event must be thread_name")
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{where}: thread_name needs args.name")
+            named_tracks.add(ev["tid"])
+            continue
+        for key in ("name", "cat"):
+            if not isinstance(ev.get(key), str) or not ev[key]:
+                fail(f"{where}: {key} must be a non-empty string")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{where}: {key} must be a non-negative number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"{where}: args must be an object")
+        spans.append(ev)
+    for s in spans:
+        if s["tid"] not in named_tracks:
+            fail(f"span {s['name']!r} on unnamed track {s['tid']}")
+    return spans
+
+
+def check_samples(spans):
+    samples = [s for s in spans if s["name"] == "sample"]
+    if not samples:
+        fail("no sample spans")
+    required = ("sample_index", "exit", "prediction", "label", "entropy",
+                "latency_s", "bytes", "retries", "degraded", "dead")
+    for s in samples:
+        args = s.get("args", {})
+        for key in required:
+            if key not in args:
+                fail(f"sample span missing args.{key}")
+    children = [s for s in spans if s["name"] != "sample"]
+    for root in samples:
+        lo, hi = root["ts"], root["ts"] + root["dur"]
+        inside = [c for c in children
+                  if c["ts"] >= lo - EPS_US and
+                  c["ts"] + c["dur"] <= hi + EPS_US]
+        # The timeline is sequential, so a child belongs to exactly the
+        # sample whose window contains it.
+        send_bytes = sum(c["args"]["bytes"] for c in inside
+                         if c["name"].startswith("send:"))
+        if send_bytes != root["args"]["bytes"]:
+            fail(f"sample {root['args']['sample_index']}: send spans sum to "
+                 f"{send_bytes} B but the root says "
+                 f"{root['args']['bytes']} B")
+        if root["args"]["dead"] == 0 and not inside:
+            fail(f"sample {root['args']['sample_index']}: classified but "
+                 "has no child spans")
+    return samples
+
+
+def check_metrics(samples, metrics):
+    by_name = {m["name"]: m for m in metrics.get("metrics", [])}
+
+    def metric(name):
+        if name not in by_name:
+            fail(f"metrics export missing {name}")
+        return by_name[name]["value"]
+
+    if len(samples) != metric("runtime.samples"):
+        fail(f"{len(samples)} sample spans vs runtime.samples = "
+             f"{metric('runtime.samples')}")
+    total_bytes = 0
+    total_latency = 0.0
+    for s in samples:  # same accumulation order as the runtime
+        total_bytes += s["args"]["bytes"]
+        total_latency += s["args"]["latency_s"]
+    if total_bytes != metric("runtime.bytes_total"):
+        fail(f"span bytes {total_bytes} != runtime.bytes_total "
+             f"{metric('runtime.bytes_total')}")
+    if total_latency != metric("runtime.total_latency_s"):
+        fail(f"span latency {total_latency!r} != runtime.total_latency_s "
+             f"{metric('runtime.total_latency_s')!r}")
+    for name, m in by_name.items():
+        if not name.startswith("runtime.exit."):
+            continue
+        exit_name = name[len("runtime.exit."):]
+        order = {"local": 0, "edge": 1, "cloud": 2}
+        # Exit indices are positional; map via the canonical name order
+        # restricted to the exits this run actually registered.
+        present = sorted((n[len("runtime.exit."):] for n in by_name
+                          if n.startswith("runtime.exit.")),
+                         key=lambda n: order[n])
+        idx = present.index(exit_name)
+        count = sum(1 for s in samples if s["args"]["exit"] == idx)
+        if count != m["value"]:
+            fail(f"{count} spans took exit {exit_name} but {name} = "
+                 f"{m['value']}")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__)
+        sys.exit(2)
+    trace = load(sys.argv[1])
+    spans = check_schema(trace)
+    samples = check_samples(spans)
+    if len(sys.argv) == 3:
+        check_metrics(samples, load(sys.argv[2]))
+        print(f"check_trace: OK ({len(samples)} samples, "
+              f"{len(spans)} spans, metrics cross-check passed)")
+    else:
+        print(f"check_trace: OK ({len(samples)} samples, {len(spans)} spans)")
+
+
+if __name__ == "__main__":
+    main()

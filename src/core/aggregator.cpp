@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "autograd/ops.hpp"
+#include "obs/profile.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
@@ -242,6 +243,7 @@ VectorAggregator::VectorAggregator(AggKind kind, int num_branches,
 
 Variable VectorAggregator::forward(const std::vector<Variable>& branches,
                                    const std::vector<bool>& active) {
+  DDNN_PROF_SCOPE("agg_fuse_scores");
   DDNN_CHECK(static_cast<int>(branches.size()) == num_branches_,
              "expected " << num_branches_ << " branches, got "
                          << branches.size());
@@ -271,6 +273,7 @@ Variable VectorAggregator::forward(const std::vector<Variable>& branches) {
 Tensor VectorAggregator::infer(const std::vector<Tensor>& branches,
                                const std::vector<bool>& active,
                                infer::Workspace& ws) {
+  DDNN_PROF_SCOPE("agg_fuse_scores");
   return aggregate_infer(kind_, num_branches_, branches, active, ws,
                          projection_.get(), gates_);
 }
@@ -291,6 +294,7 @@ FeatureMapAggregator::FeatureMapAggregator(AggKind kind, int num_branches,
 
 Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches,
                                        const std::vector<bool>& active) {
+  DDNN_PROF_SCOPE("agg_fuse_features");
   DDNN_CHECK(static_cast<int>(branches.size()) == num_branches_,
              "expected " << num_branches_ << " branches, got "
                          << branches.size());
@@ -320,6 +324,7 @@ Variable FeatureMapAggregator::forward(const std::vector<Variable>& branches) {
 Tensor FeatureMapAggregator::infer(const std::vector<Tensor>& branches,
                                    const std::vector<bool>& active,
                                    infer::Workspace& ws) {
+  DDNN_PROF_SCOPE("agg_fuse_features");
   return aggregate_infer(kind_, num_branches_, branches, active, ws,
                          projection_.get(), gates_);
 }

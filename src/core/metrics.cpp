@@ -29,9 +29,12 @@ ConfusionMatrix::ConfusionMatrix(int num_classes)
 }
 
 void ConfusionMatrix::add(std::int64_t truth, std::int64_t prediction) {
-  DDNN_CHECK(truth >= 0 && truth < num_classes_, "truth label out of range");
+  DDNN_CHECK(truth >= 0 && truth < num_classes_,
+             "truth label " << truth << " out of range [0, " << num_classes_
+                            << ")");
   DDNN_CHECK(prediction >= 0 && prediction < num_classes_,
-             "prediction out of range");
+             "prediction " << prediction << " out of range [0, "
+                           << num_classes_ << ")");
   ++counts_[static_cast<std::size_t>(truth * num_classes_ + prediction)];
   ++total_;
 }
@@ -49,7 +52,8 @@ std::int64_t ConfusionMatrix::count(std::int64_t truth,
                                     std::int64_t prediction) const {
   DDNN_CHECK(truth >= 0 && truth < num_classes_ && prediction >= 0 &&
                  prediction < num_classes_,
-             "index out of range");
+             "index (" << truth << ", " << prediction
+                       << ") out of range [0, " << num_classes_ << ")");
   return counts_[static_cast<std::size_t>(truth * num_classes_ + prediction)];
 }
 

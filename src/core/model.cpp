@@ -3,6 +3,7 @@
 #include "autograd/grad_mode.hpp"
 #include "autograd/ops.hpp"
 #include "infer/engine.hpp"
+#include "obs/profile.hpp"
 #include "infer/workspace.hpp"
 #include "util/error.hpp"
 
@@ -259,6 +260,7 @@ DdnnOutputs DdnnModel::forward(const std::vector<Variable>& views,
 }
 
 Variable DdnnModel::device_section_features(int device, const Variable& view) {
+  DDNN_PROF_SCOPE("device_section");
   DDNN_CHECK(device >= 0 && device < config_.num_devices,
              "device index out of range");
   DDNN_CHECK(view.value().ndim() == 4 &&
@@ -278,6 +280,7 @@ Variable DdnnModel::device_section_features(int device, const Variable& view) {
 
 Variable DdnnModel::device_section_logits(int device,
                                           const Variable& features) {
+  DDNN_PROF_SCOPE("local_exit_head");
   DDNN_CHECK(config_.has_local_exit, "model has no local exit");
   DDNN_CHECK(device >= 0 && device < config_.num_devices,
              "device index out of range");
@@ -304,6 +307,7 @@ Variable DdnnModel::local_aggregate(const std::vector<Variable>& device_logits,
 DdnnModel::EdgeResult DdnnModel::edge_section(
     std::size_t group, const std::vector<Variable>& member_features,
     const std::vector<bool>& member_active) {
+  DDNN_PROF_SCOPE("edge_section");
   DDNN_CHECK(group < config_.edge_groups.size(), "edge group out of range");
   if (plan_engine_active(*this)) {
     auto& ws = infer::tls_workspace();
@@ -344,6 +348,7 @@ Variable DdnnModel::edge_exit_aggregate(
 
 Variable DdnnModel::cloud_section(const std::vector<Variable>& branches,
                                   const std::vector<bool>& active) {
+  DDNN_PROF_SCOPE("cloud_section");
   if (plan_engine_active(*this)) {
     auto& ws = infer::tls_workspace();
     ws.reset();

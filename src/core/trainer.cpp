@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include "autograd/ops.hpp"
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -55,22 +56,37 @@ TrainHistory train_ddnn(DdnnModel& model,
       views.reserve(batch.views.size());
       for (const auto& v : batch.views) views.emplace_back(v);
 
-      DdnnOutputs out = model.forward(views);
       Variable loss;
-      for (std::size_t e = 0; e < out.exit_logits.size(); ++e) {
-        Variable term = autograd::mul_scalar(
-            autograd::softmax_cross_entropy(out.exit_logits[e], batch.labels),
-            weights[e]);
-        loss = loss.defined() ? autograd::add(loss, term) : term;
+      {
+        DDNN_PROF_SCOPE("train_forward");
+        DdnnOutputs out = model.forward(views);
+        for (std::size_t e = 0; e < out.exit_logits.size(); ++e) {
+          Variable term = autograd::mul_scalar(
+              autograd::softmax_cross_entropy(out.exit_logits[e],
+                                              batch.labels),
+              weights[e]);
+          loss = loss.defined() ? autograd::add(loss, term) : term;
+        }
       }
 
       optimizer.zero_grad();
-      loss.backward();
-      optimizer.step();
+      {
+        DDNN_PROF_SCOPE("train_backward");
+        loss.backward();
+      }
+      {
+        DDNN_PROF_SCOPE("train_step");
+        optimizer.step();
+      }
 
       epoch_loss += static_cast<double>(loss.value()[0]) *
                     static_cast<double>(batch.size());
       seen += batch.size();
+      if (config.metrics) {
+        config.metrics->counter("train.batches").add(1);
+        config.metrics->counter("train.samples")
+            .add(static_cast<std::int64_t>(batch.size()));
+      }
     }
     if (seen == 0) {
       // Every batch was skipped by the single-element batch-norm guard
@@ -90,6 +106,11 @@ TrainHistory train_ddnn(DdnnModel& model,
     if (config.verbose) {
       DDNN_INFO("epoch " << (epoch + 1) << "/" << config.epochs << " loss "
                          << history.epoch_loss.back());
+    }
+    if (config.metrics) {
+      config.metrics->counter("train.epochs").add(1);
+      config.metrics->gauge("train.epoch_loss")
+          .set(static_cast<double>(history.epoch_loss.back()));
     }
     if (config.epoch_callback) {
       config.epoch_callback(epoch, history.epoch_loss.back());
@@ -127,12 +148,22 @@ TrainHistory train_individual(IndividualModel& model,
       if (batch_idx.size() == 1) continue;  // batch norm needs >1 element
       const data::Batch batch = data::make_batch(train_data, batch_idx,
                                                  {device});
-      Variable logits = model.forward(Variable(batch.views[0]));
-      Variable loss = autograd::softmax_cross_entropy(logits, batch.labels);
+      Variable loss;
+      {
+        DDNN_PROF_SCOPE("train_forward");
+        Variable logits = model.forward(Variable(batch.views[0]));
+        loss = autograd::softmax_cross_entropy(logits, batch.labels);
+      }
 
       optimizer.zero_grad();
-      loss.backward();
-      optimizer.step();
+      {
+        DDNN_PROF_SCOPE("train_backward");
+        loss.backward();
+      }
+      {
+        DDNN_PROF_SCOPE("train_step");
+        optimizer.step();
+      }
 
       epoch_loss += static_cast<double>(loss.value()[0]) *
                     static_cast<double>(batch.size());

@@ -13,6 +13,7 @@
 
 #include "core/model.hpp"
 #include "data/loader.hpp"
+#include "obs/metrics.hpp"
 #include "opt/optimizer.hpp"
 
 namespace ddnn::core {
@@ -36,6 +37,10 @@ struct TrainConfig {
   /// 0-based epoch index; its return value becomes the LR for that epoch.
   /// Empty keeps the optimizer's configured LR throughout.
   std::function<float(int)> lr_schedule{};
+  /// Optional metrics sink (not owned): the epoch loop records
+  /// train.epochs / train.batches / train.samples counters and the
+  /// train.epoch_loss gauge into it. Null disables.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrainHistory {

@@ -109,6 +109,45 @@ void HierarchyRuntime::reset_metrics() {
   sample_index_ = 0;
 }
 
+void HierarchyRuntime::set_tracer(obs::SpanTracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer_) return;
+  tracer_->set_track_name(0, "samples");
+  for (std::size_t b = 0; b < devices_.size(); ++b) {
+    tracer_->set_track_name(device_track(static_cast<int>(b)),
+                            "device" + std::to_string(b));
+  }
+  if (gateway_) tracer_->set_track_name(gateway_track(), "gateway");
+  for (std::size_t g = 0; g < edges_.size(); ++g) {
+    tracer_->set_track_name(edge_track(static_cast<int>(g)),
+                            "edge" + std::to_string(g));
+  }
+  if (!edges_.empty()) tracer_->set_track_name(coord_track(), "edge-coord");
+  tracer_->set_track_name(cloud_track(), "cloud");
+}
+
+void HierarchyRuntime::bind_metrics(obs::MetricsRegistry* registry) {
+  bound_ = {};
+  bound_.registry = registry;
+  if (!registry) return;
+  bound_.samples = &registry->counter("runtime.samples");
+  bound_.bytes_total = &registry->counter("runtime.bytes_total");
+  bound_.correct = &registry->counter("runtime.correct");
+  bound_.retries = &registry->counter("runtime.retries");
+  bound_.drops = &registry->counter("runtime.drops");
+  bound_.timeouts = &registry->counter("runtime.timeouts");
+  bound_.degraded = &registry->counter("runtime.degraded");
+  bound_.dead = &registry->counter("runtime.dead");
+  for (const auto& name : model_.exit_names()) {
+    bound_.exits.push_back(&registry->counter("runtime.exit." + name));
+  }
+  bound_.total_latency_s = &registry->gauge("runtime.total_latency_s");
+  bound_.latency_ms =
+      &registry->histogram("runtime.sample_latency_ms", 0.0, 1000.0, 100);
+  bound_.sample_bytes =
+      &registry->histogram("runtime.sample_bytes", 0.0, 1048576.0, 64);
+}
+
 int HierarchyRuntime::group_of(int branch) const {
   const auto& groups = model_.config().edge_groups;
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -225,6 +264,11 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
   int exit_index = 0;
   const int cloud_exit = cfg.num_exits() - 1;
 
+  // Simulated-clock origin of this sample on the run timeline: samples lay
+  // out sequentially, each starting where the previous one's latency ended.
+  obs::SpanTracer* tr = tracer_;
+  const double base = metrics_.total_latency_s;
+
   // Book a finished trace into the run metrics; every return goes through
   // here exactly once.
   auto commit = [&](int exit_taken, std::int64_t prediction,
@@ -241,14 +285,46 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     if (trace.degraded) ++metrics_.reliability.degraded_exits;
     if (trace.dead) ++metrics_.reliability.dead_samples;
     if (trace.prediction == sample.label) ++metrics_.correct;
+    if (tr) {
+      // Root span: dur_s and the latency_s/bytes args are the *exact*
+      // doubles/integers booked into RuntimeMetrics, so trace consumers can
+      // cross-check the two exports bit-for-bit (scripts/check_trace.py).
+      tr->add("sample", "sample", 0, base, trace.latency_s)
+          .with("sample_index", sidx)
+          .with("exit", exit_taken)
+          .with("prediction", prediction)
+          .with("label", sample.label)
+          .with("entropy", entropy)
+          .with("latency_s", trace.latency_s)
+          .with("bytes", trace.bytes_sent)
+          .with("retries", trace.retries)
+          .with("degraded", trace.degraded)
+          .with("dead", trace.dead);
+    }
+    if (bound_.registry) {
+      bound_.samples->add(1);
+      bound_.bytes_total->add(trace.bytes_sent);
+      if (trace.prediction == sample.label) bound_.correct->add(1);
+      if (trace.degraded) bound_.degraded->add(1);
+      if (trace.dead) bound_.dead->add(1);
+      if (exit_taken >= 0) {
+        bound_.exits[static_cast<std::size_t>(exit_taken)]->add(1);
+      }
+      bound_.total_latency_s->set(metrics_.total_latency_s);
+      bound_.latency_ms->record(trace.latency_s * 1e3);
+      bound_.sample_bytes->record(static_cast<double>(trace.bytes_sent));
+    }
     return trace;
   };
 
   // Reliable send: retries/timeouts are accounted here; delivered bytes are
   // charged to the trace and (for device senders) the per-device counters.
-  // The elapsed time joins the stage's parallel-sender critical path.
+  // The elapsed time joins the stage's parallel-sender critical path. The
+  // span starts at the stage's start on the sender's track (`t_off` shifts
+  // it past compute charged before the send, e.g. the edge trunk).
   auto send = [&](Link& link, const Message& msg, int branch,
-                  double& stage_latency) -> bool {
+                  double& stage_latency, int track, const char* span_name,
+                  double t_off = 0.0) -> bool {
     ReliableChannel channel(link, inj, config_.reliability);
     const SendResult res = channel.send(msg, sidx);
     metrics_.reliability.drops += res.dropped_attempts;
@@ -262,6 +338,20 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       }
     } else {
       ++metrics_.reliability.timeouts;
+    }
+    if (bound_.registry) {
+      bound_.drops->add(res.dropped_attempts);
+      bound_.retries->add(res.attempts - 1);
+      if (!res.delivered) bound_.timeouts->add(1);
+    }
+    if (tr) {
+      tr->add(span_name, "net", track, base + trace.latency_s + t_off,
+              res.latency_s)
+          .with("link", link.name())
+          .with("bytes", res.delivered ? msg.payload_bytes()
+                                       : std::int64_t{0})
+          .with("attempts", res.attempts)
+          .with("delivered", res.delivered);
     }
     stage_latency = std::max(stage_latency, res.latency_s);
     return res.delivered;
@@ -285,6 +375,14 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     trace.degraded = trace.dead = true;
     return commit(-1, -1, 1.0);
   }
+  if (tr) {
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      if (!alive[b]) continue;
+      tr->add("device_section", "compute", device_track(static_cast<int>(b)),
+              base, config_.device_compute_s)
+          .with("branch", static_cast<int>(b));
+    }
+  }
   trace.latency_s += config_.device_compute_s;
 
   // --- Stage 1: local exit.
@@ -296,7 +394,8 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       if (!alive[b]) continue;
       Message msg = devices_[b].scores_message();
       if (send(dev_gateway_links_[b], msg, static_cast<int>(b),
-               stage_latency)) {
+               stage_latency, device_track(static_cast<int>(b)),
+               "send:scores")) {
         scores[b] = std::move(msg);
         ++delivered;
       }
@@ -305,6 +404,12 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     if (delivered > 0) {
       const Tensor fused = gateway_->aggregate(scores);
       const Decision d = decide(fused);
+      if (tr) {
+        tr->add("gateway_fuse", "compute", gateway_track(),
+                base + trace.latency_s, 0.0)
+            .with("delivered", delivered)
+            .with("entropy", d.entropy);
+      }
       if (core::should_exit(d.entropy, thresholds_[0])) {
         return commit(0, d.prediction, d.entropy);
       }
@@ -328,7 +433,8 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       if (!edge_up) trace.degraded = true;
       Link& uplink = edge_up ? dev_uplink_links_[b] : dev_cloud_links_[b];
       Message msg = devices_[b].feature_message();
-      if (send(uplink, msg, static_cast<int>(b), stage_latency)) {
+      if (send(uplink, msg, static_cast<int>(b), stage_latency,
+               device_track(static_cast<int>(b)), "send:features")) {
         features[b] = std::move(msg);
       }
     }
@@ -357,7 +463,14 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       if (!any) continue;
       Message msg = edges_[g].process(members, 1);
       any_edge_ran = true;
-      if (send(edge_coord_links_[g], msg, -1, stage_latency)) {
+      if (tr) {
+        tr->add("edge_trunk", "compute", edge_track(static_cast<int>(g)),
+                base + trace.latency_s, config_.edge_compute_s)
+            .with("group", static_cast<int>(g));
+      }
+      if (send(edge_coord_links_[g], msg, -1, stage_latency,
+               edge_track(static_cast<int>(g)), "send:edge_scores",
+               config_.edge_compute_s)) {
         edge_scores[g] = std::move(msg);
       }
     }
@@ -385,6 +498,11 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       const Tensor fused =
           model_.edge_exit_aggregate(edge_logits, active).value();
       const Decision d = decide(fused);
+      if (tr) {
+        tr->add("edge_exit_fuse", "compute", coord_track(),
+                base + trace.latency_s, 0.0)
+            .with("entropy", d.entropy);
+      }
       if (core::should_exit(
               d.entropy, thresholds_[static_cast<std::size_t>(exit_index)])) {
         return commit(exit_index, d.prediction, d.entropy);
@@ -402,11 +520,18 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     for (std::size_t g = 0; g < n_groups; ++g) {
       if (!edge_up[g]) {
         cloud_branches[g] = edge_features_at_cloud(g, features);
+        if (tr) {
+          tr->add("edge_section_at_cloud", "compute", cloud_track(),
+                  base + trace.latency_s, 0.0)
+              .with("group", static_cast<int>(g))
+              .with("delivered", cloud_branches[g].has_value());
+        }
         continue;
       }
       if (!group_active[g]) continue;
       Message msg = edges_[g].feature_message();
-      if (send(edge_cloud_links_[g], msg, -1, cloud_latency)) {
+      if (send(edge_cloud_links_[g], msg, -1, cloud_latency,
+               edge_track(static_cast<int>(g)), "send:edge_features")) {
         cloud_branches[g] = std::move(msg);
       }
     }
@@ -432,7 +557,8 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       Message msg = devices_[b].raw_image_message();
       Link& to_cloud =
           cfg.has_edge() ? dev_cloud_links_[b] : dev_uplink_links_[b];
-      if (send(to_cloud, msg, static_cast<int>(b), stage_latency)) {
+      if (send(to_cloud, msg, static_cast<int>(b), stage_latency,
+               device_track(static_cast<int>(b)), "send:raw_image")) {
         raws[b] = std::move(msg);
         ++delivered;
       }
@@ -443,11 +569,23 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       return commit(-1, -1, 1.0);
     }
     const Decision d = decide(cloud_forward_from_raw(raws));
+    if (tr) {
+      tr->add("cloud_classify", "compute", cloud_track(),
+              base + trace.latency_s, config_.cloud_compute_s)
+          .with("raw_offload", true)
+          .with("entropy", d.entropy);
+    }
     trace.latency_s += config_.cloud_compute_s;
     return commit(cloud_exit, d.prediction, d.entropy);
   }
   const Tensor logits = cloud_.process(cloud_branches, 1);
   const Decision d = decide(logits);
+  if (tr) {
+    tr->add("cloud_classify", "compute", cloud_track(),
+            base + trace.latency_s, config_.cloud_compute_s)
+        .with("raw_offload", false)
+        .with("entropy", d.entropy);
+  }
   trace.latency_s += config_.cloud_compute_s;
   return commit(cloud_exit, d.prediction, d.entropy);
 }

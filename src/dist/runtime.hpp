@@ -41,6 +41,8 @@
 #include "dist/fault.hpp"
 #include "dist/link.hpp"
 #include "dist/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace ddnn::dist {
@@ -138,6 +140,24 @@ class HierarchyRuntime {
   /// are bit-identical.
   void reset_metrics();
 
+  /// Attach a span tracer (not owned; null detaches). Every subsequent
+  /// classify() appends one span tree — a root "sample" span on track 0 plus
+  /// per-tier child spans (device_section, send:*, gateway_fuse, edge_trunk,
+  /// edge_exit_fuse, cloud_classify) — stamped with the *simulated* clock:
+  /// span start times are offsets on a run timeline where sample k begins at
+  /// the sum of the previous samples' latencies. Traces are therefore a pure
+  /// function of (model, data, fault plan) and byte-identical across reruns.
+  /// Track names for the hierarchy are registered on attach.
+  void set_tracer(obs::SpanTracer* tracer);
+
+  /// Bind a metrics registry (not owned; null unbinds). classify() then
+  /// records runtime.* counters (samples, bytes_total, correct, retries,
+  /// drops, timeouts, degraded, dead, exit.<name>), the
+  /// runtime.total_latency_s gauge and the sample latency/bytes histograms
+  /// into it. Registration happens here (once), so the export order is
+  /// stable no matter which path the first sample takes.
+  void bind_metrics(obs::MetricsRegistry* registry);
+
   /// Per-link traffic table (link, messages, bytes, bytes/sample) over the
   /// metrics window — the bytes-crossing-every-boundary view of a run.
   Table link_report() const;
@@ -183,6 +203,39 @@ class HierarchyRuntime {
   RuntimeMetrics metrics_;
   std::optional<FaultInjector> injector_;
   std::int64_t sample_index_ = 0;  // fault-timeline clock
+
+  obs::SpanTracer* tracer_ = nullptr;  // not owned
+  /// Pre-registered metric handles (all null when no registry is bound).
+  struct BoundMetrics {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter* samples = nullptr;
+    obs::Counter* bytes_total = nullptr;
+    obs::Counter* correct = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* dead = nullptr;
+    std::vector<obs::Counter*> exits;  // parallel to exit_names()
+    obs::Gauge* total_latency_s = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+    obs::Histogram* sample_bytes = nullptr;
+  };
+  BoundMetrics bound_;
+
+  // Trace track layout: 0 = samples, then devices, gateway, edges,
+  // edge-exit coordinator, cloud.
+  int device_track(int b) const { return 1 + b; }
+  int gateway_track() const { return 1 + static_cast<int>(devices_.size()); }
+  int edge_track(int g) const {
+    return 2 + static_cast<int>(devices_.size()) + g;
+  }
+  int coord_track() const {
+    return 2 + static_cast<int>(devices_.size() + edges_.size());
+  }
+  int cloud_track() const {
+    return 3 + static_cast<int>(devices_.size() + edges_.size());
+  }
 
   /// Edge group index for a model branch (-1 when no edge tier).
   int group_of(int branch) const;

@@ -1,0 +1,150 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ddnn::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamps with fixed sub-microsecond precision: the same
+/// double always renders to the same bytes.
+std::string fmt_us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Span& Span::with(std::string key, std::int64_t v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = TraceArg::Kind::kInt;
+  a.i = v;
+  args.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::with(std::string key, double v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = TraceArg::Kind::kDouble;
+  a.d = v;
+  args.push_back(std::move(a));
+  return *this;
+}
+
+Span& Span::with(std::string key, std::string v) {
+  TraceArg a;
+  a.key = std::move(key);
+  a.kind = TraceArg::Kind::kString;
+  a.s = std::move(v);
+  args.push_back(std::move(a));
+  return *this;
+}
+
+const TraceArg* Span::arg(const std::string& key) const {
+  for (const auto& a : args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+Span& SpanTracer::add(std::string name, std::string cat, int track,
+                      double start_s, double dur_s) {
+  Span span;
+  span.name = std::move(name);
+  span.cat = std::move(cat);
+  span.track = track;
+  span.start_s = start_s;
+  span.dur_s = dur_s;
+  spans_.push_back(std::move(span));
+  return spans_.back();
+}
+
+void SpanTracer::set_track_name(int track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+std::string SpanTracer::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  auto sep = [&]() -> std::ostringstream& {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    return os;
+  };
+  for (const auto& [track, name] : track_names_) {
+    sep() << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
+          << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+          << json_escape(name) << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    sep() << "    {\"ph\": \"X\", \"pid\": 0, \"tid\": " << s.track
+          << ", \"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
+          << json_escape(s.cat) << "\", \"ts\": " << fmt_us(s.start_s)
+          << ", \"dur\": " << fmt_us(s.dur_s);
+    if (!s.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        const TraceArg& a = s.args[i];
+        if (i != 0) os << ", ";
+        os << "\"" << json_escape(a.key) << "\": ";
+        switch (a.kind) {
+          case TraceArg::Kind::kInt: os << a.i; break;
+          case TraceArg::Kind::kDouble: os << fmt_double(a.d); break;
+          case TraceArg::Kind::kString:
+            os << "\"" << json_escape(a.s) << "\"";
+            break;
+        }
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void SpanTracer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  DDNN_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << to_json();
+  DDNN_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace ddnn::obs

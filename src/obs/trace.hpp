@@ -1,0 +1,79 @@
+// Per-sample span tracing over the *simulated* clock.
+//
+// The distributed runtime stamps every span with simulated seconds (the same
+// latency model that produces InferenceTrace.latency_s), never wall-clock
+// time, so a trace is a pure function of (model, data, fault plan) and is
+// byte-identical across reruns and DDNN_THREADS settings. The tracer is a
+// plain append-only buffer: recording never feeds back into the quantities
+// being traced.
+//
+// Export is Chrome trace_event JSON ("X" complete events plus "M"
+// thread_name metadata), loadable in Perfetto / chrome://tracing. ts/dur
+// are microseconds; each span carries its raw arguments (bytes, attempts,
+// entropy, ...) so tools can cross-check span sums against RuntimeMetrics
+// (scripts/check_trace.py does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ddnn::obs {
+
+/// One key -> value span annotation.
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+/// One complete span on a track, in simulated seconds.
+struct Span {
+  std::string name;
+  std::string cat;
+  int track = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  std::vector<TraceArg> args;
+
+  Span& with(std::string key, std::int64_t v);
+  Span& with(std::string key, int v) { return with(std::move(key), static_cast<std::int64_t>(v)); }
+  Span& with(std::string key, bool v) { return with(std::move(key), static_cast<std::int64_t>(v)); }
+  Span& with(std::string key, double v);
+  Span& with(std::string key, std::string v);
+  Span& with(std::string key, const char* v) { return with(std::move(key), std::string(v)); }
+
+  /// First arg with this key, or nullptr.
+  const TraceArg* arg(const std::string& key) const;
+};
+
+class SpanTracer {
+ public:
+  /// Append a complete span; the returned reference is valid until the next
+  /// add()/clear() (chain .with() calls immediately).
+  Span& add(std::string name, std::string cat, int track, double start_s,
+            double dur_s);
+
+  /// Label a track (emitted as a thread_name metadata event).
+  void set_track_name(int track, std::string name);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::map<int, std::string>& track_names() const { return track_names_; }
+
+  void clear() { spans_.clear(); }
+
+  /// Chrome trace_event JSON. Deterministic formatting: identical spans
+  /// produce byte-identical output.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::map<int, std::string> track_names_;  // ordered -> deterministic emit
+};
+
+}  // namespace ddnn::obs

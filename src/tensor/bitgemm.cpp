@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -147,6 +148,7 @@ bool all_pm1(const Tensor& t) {
 }
 
 void xnor_linear(const Tensor& x, const PackedBits& w, Tensor& out) {
+  DDNN_PROF_SCOPE("xnor_linear");
   DDNN_CHECK(x.ndim() == 2 && x.dim(1) == w.cols,
              "xnor_linear: x shape " << x.shape().to_string() << " vs "
                                      << w.cols << " packed columns");
@@ -190,6 +192,7 @@ void xnor_linear(const Tensor& x, const PackedBits& w, Tensor& out) {
 }
 
 void sign_linear(const Tensor& x, const PackedSigns& w, Tensor& out) {
+  DDNN_PROF_SCOPE("sign_linear");
   const std::int64_t rows = w.bits.rows, k = w.bits.cols;
   DDNN_CHECK(x.ndim() == 2 && x.dim(1) == k, "sign_linear: in-feature mismatch");
   DDNN_CHECK(out.ndim() == 2 && out.dim(0) == x.dim(0) && out.dim(1) == rows,
@@ -222,6 +225,7 @@ void sign_linear(const Tensor& x, const PackedSigns& w, Tensor& out) {
 
 void xnor_conv2d(const Tensor& x, const Conv2dGeometry& g, const PackedBits& w,
                  Tensor& out) {
+  DDNN_PROF_SCOPE("xnor_conv2d");
   const std::int64_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
   const std::int64_t patch = g.patch_size(), f = w.rows;
   DDNN_CHECK(x.ndim() == 4 && x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&
@@ -404,6 +408,7 @@ void xnor_conv2d(const Tensor& x, const Conv2dGeometry& g, const PackedBits& w,
 
 void sign_conv2d(const Tensor& x, const Conv2dGeometry& g,
                  const PackedSigns& w, Tensor& out) {
+  DDNN_PROF_SCOPE("sign_conv2d");
   const std::int64_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
   const std::int64_t patch = g.patch_size(), f = w.bits.rows;
   DDNN_CHECK(x.ndim() == 4 && x.dim(1) == g.in_channels && x.dim(2) == g.in_h &&

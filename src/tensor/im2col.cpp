@@ -1,5 +1,6 @@
 #include "tensor/im2col.hpp"
 
+#include "obs/profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ddnn {
@@ -21,6 +22,7 @@ void check_geometry(const Tensor& x, const Conv2dGeometry& g) {
 }  // namespace
 
 Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
+  DDNN_PROF_SCOPE("im2col");
   check_geometry(x, g);
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = g.out_h(), ow = g.out_w();
@@ -58,6 +60,7 @@ Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
 }
 
 Tensor col2im(const Tensor& cols, const Conv2dGeometry& g, std::int64_t batch) {
+  DDNN_PROF_SCOPE("col2im");
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t patch = g.patch_size();
   DDNN_CHECK(cols.ndim() == 2 && cols.dim(0) == batch * oh * ow &&

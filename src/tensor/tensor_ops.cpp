@@ -1,5 +1,6 @@
 #include "tensor/tensor_ops.hpp"
 
+#include "obs/profile.hpp"
 #include <algorithm>
 #include <cmath>
 
@@ -111,6 +112,7 @@ void axpy_into(Tensor& y, float alpha, const Tensor& x) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  DDNN_PROF_SCOPE("matmul");
   DDNN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul needs 2-D operands");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   DDNN_CHECK(b.dim(0) == k, "matmul: inner dims " << k << " vs " << b.dim(0));
@@ -136,6 +138,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  DDNN_PROF_SCOPE("matmul_tn");
   DDNN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_tn needs 2-D operands");
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   DDNN_CHECK(b.dim(0) == k, "matmul_tn: inner dims " << k << " vs " << b.dim(0));
@@ -162,6 +165,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  DDNN_PROF_SCOPE("matmul_nt");
   DDNN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt needs 2-D operands");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DDNN_CHECK(b.dim(1) == k, "matmul_nt: inner dims " << k << " vs " << b.dim(1));

@@ -1,9 +1,12 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+
+#include "util/env.hpp"
 
 namespace ddnn {
 
@@ -13,6 +16,17 @@ LogLevel g_level = [] {
   const char* env = std::getenv("DDNN_LOG_LEVEL");
   return env == nullptr ? LogLevel::kInfo : parse_log_level(env);
 }();
+
+/// DDNN_LOG_TS=0 drops the timestamp/thread-id prefix (stable output for
+/// golden-file comparisons).
+const bool g_log_ts = [] { return env_bool("DDNN_LOG_TS", true); }();
+
+/// Small dense id for the calling thread (first logger wins id 0).
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -45,13 +59,34 @@ LogLevel parse_log_level(const std::string& name) {
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t t = std::chrono::system_clock::to_time_t(now);
-  std::tm tm_buf{};
-  localtime_r(&t, &tm_buf);
-  char ts[32];
-  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
-  std::fprintf(stderr, "[%s %s] %s\n", ts, level_name(level), message.c_str());
+  // Build the whole line first and emit it with a single stdio call: stdio
+  // locks the stream per call, so concurrent loggers can never interleave
+  // mid-line (the old multi-part fprintf could).
+  std::string line;
+  line.reserve(message.size() + 64);
+  line += '[';
+  if (g_log_ts) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t t = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm_buf{};
+    localtime_r(&t, &tm_buf);
+    char ts[48];
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%S", &tm_buf);
+    char frac[16];
+    std::snprintf(frac, sizeof(frac), ".%03d T%d ", static_cast<int>(ms),
+                  log_thread_id());
+    line += ts;
+    line += frac;
+  }
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

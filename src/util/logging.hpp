@@ -3,7 +3,10 @@
 // The log level is read once from the DDNN_LOG_LEVEL environment variable
 // ("trace" | "debug" | "info" | "warn" | "error" | "off"; default "info").
 // Output goes to stderr so that bench binaries can print clean tables on
-// stdout.
+// stdout. Each record is emitted as one atomic stdio write prefixed with an
+// ISO-8601 timestamp and a dense thread id ("[2026-01-01T12:00:00.123 T0
+// INFO] ..."); DDNN_LOG_TS=0 drops the prefix down to "[INFO] ..." for
+// byte-stable output.
 #pragma once
 
 #include <sstream>

@@ -79,7 +79,10 @@ TEST_P(PresetGrid, StateRoundTripPreservesForward) {
   const auto views = grid_views(cfg.num_devices);
   const auto before = original.forward(views);
 
-  const std::string path = ::testing::TempDir() + "/ddnn_grid_state.bin";
+  // Unique per preset: ctest runs the instances in parallel.
+  const std::string path = ::testing::TempDir() + "/ddnn_grid_state_" +
+                           std::to_string(static_cast<int>(GetParam())) +
+                           ".bin";
   nn::save_state(original, path);
   DdnnConfig other_init = cfg;
   other_init.init_seed = cfg.init_seed + 17;

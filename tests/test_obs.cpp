@@ -1,0 +1,433 @@
+// Tests for the observability layer (src/obs): metrics registry merge
+// determinism, histogram percentile edges, runtime span tracing (tree shape
+// + exact agreement with InferenceTrace/RuntimeMetrics), trace JSON schema
+// and the profiling hooks.
+//
+// This suite runs under the determinism_obs_sweep CTest: every asserted
+// value must be independent of DDNN_THREADS (the registry's merge contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "data/mvmc.hpp"
+#include "dist/queueing.hpp"
+#include "dist/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ddnn::obs {
+namespace {
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterMergesExactlyAcrossPoolWorkers) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("work.items");
+  // Record from whatever pool DDNN_THREADS configured: the merged value
+  // must be the exact item count no matter how the chunks were split.
+  parallel_for(0, 10000, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), 10000);
+}
+
+TEST(MetricsRegistry, HistogramMergesExactlyAcrossPoolWorkers) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("work.value", 0.0, 100.0, 10);
+  parallel_for(0, 1000, 16, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      h.record(static_cast<double>(i % 100));
+    }
+  });
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 99.0);
+  const auto bins = h.bin_counts();
+  ASSERT_EQ(bins.size(), 10u);
+  for (const auto b : bins) EXPECT_EQ(b, 100);  // 10 values per bin, 10x each
+}
+
+TEST(MetricsRegistry, JsonIsByteStableAndOrderedByRegistration) {
+  MetricsRegistry reg;
+  reg.counter("b.second");
+  reg.gauge("a.first").set(0.1);
+  reg.counter("b.second").add(7);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json, reg.to_json());  // byte-identical re-export
+  // Registration order, not name order.
+  EXPECT_LT(json.find("b.second"), json.find("a.first"));
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  // %.17g round-trips the gauge exactly.
+  EXPECT_NE(json.find("0.10000000000000001"), std::string::npos);
+}
+
+TEST(MetricsRegistry, NameReuseWithDifferentTypeThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x", 0, 1, 2), Error);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("n").add(5);
+  reg.histogram("h", 0, 10, 5).record(3.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("n").value(), 0);
+  EXPECT_EQ(reg.histogram("h", 0, 10, 5).count(), 0);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"n", "h"}));
+}
+
+// ------------------------------------------------------ histogram percentile
+
+TEST(Histogram, PercentileSingleSampleIsThatSample) {
+  Histogram h(0.0, 100.0, 10);
+  h.record(37.5);
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 37.5) << q;
+  }
+}
+
+TEST(Histogram, PercentileAllEqualIsThatValue) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 1000; ++i) h.record(42.0);
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 42.0) << q;
+  }
+}
+
+TEST(Histogram, PercentileMatchesNearestRankOnBinAlignedValues) {
+  // One distinct value per bin: the histogram's bin-granular nearest rank
+  // must agree exactly with the sorted-vector definition.
+  Histogram h(0.5, 100.5, 100);
+  std::vector<double> sorted;
+  for (int v = 1; v <= 100; ++v) {
+    h.record(static_cast<double>(v));
+    sorted.push_back(static_cast<double>(v));
+  }
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), dist::percentile_nearest_rank(sorted, q)) << q;
+  }
+}
+
+TEST(Histogram, OutOfRangeValuesClampIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.record(-100.0);
+  h.record(1e9);
+  const auto bins = h.bin_counts();
+  EXPECT_EQ(bins.front(), 1);
+  EXPECT_EQ(bins.back(), 1);
+  EXPECT_EQ(h.min(), -100.0);  // extrema keep the raw values
+  EXPECT_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, PercentileRejectsBadRank) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.percentile(0.0), Error);
+  EXPECT_THROW(h.percentile(1.5), Error);
+}
+
+// -------------------------------------------------------------- trace JSON
+
+TEST(SpanTracer, GoldenJsonSchema) {
+  SpanTracer tracer;
+  tracer.set_track_name(0, "samples");
+  tracer.set_track_name(1, "device0");
+  tracer.add("sample", "sample", 0, 0.0, 0.0025)
+      .with("bytes", std::int64_t{72})
+      .with("entropy", 0.5)
+      .with("note", "a\"b");
+  tracer.add("send:scores", "net", 1, 0.002, 0.0005);
+  const std::string expected =
+      "{\n"
+      "  \"displayTimeUnit\": \"ms\",\n"
+      "  \"traceEvents\": [\n"
+      "    {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+      "\"thread_name\", \"args\": {\"name\": \"samples\"}},\n"
+      "    {\"ph\": \"M\", \"pid\": 0, \"tid\": 1, \"name\": "
+      "\"thread_name\", \"args\": {\"name\": \"device0\"}},\n"
+      "    {\"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"name\": \"sample\", "
+      "\"cat\": \"sample\", \"ts\": 0.000, \"dur\": 2500.000, \"args\": "
+      "{\"bytes\": 72, \"entropy\": 0.5, \"note\": \"a\\\"b\"}},\n"
+      "    {\"ph\": \"X\", \"pid\": 0, \"tid\": 1, \"name\": "
+      "\"send:scores\", \"cat\": \"net\", \"ts\": 2000.000, \"dur\": "
+      "500.000}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(tracer.to_json(), expected);
+}
+
+// ----------------------------------------------------------- runtime spans
+
+struct ObsRuntimeFixture : public ::testing::Test {
+  ObsRuntimeFixture() {
+    data::MvmcConfig data_cfg;
+    data_cfg.train_samples = 48;
+    data_cfg.test_samples = 24;
+    data_cfg.seed = 77;
+    dataset = std::make_unique<data::MvmcDataset>(
+        data::MvmcDataset::generate(data_cfg));
+    model = std::make_unique<core::DdnnModel>(
+        core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+    model->set_training(false);
+  }
+
+  std::vector<const obs::Span*> sample_children(const SpanTracer& tracer,
+                                                const Span& sample) const {
+    std::vector<const obs::Span*> out;
+    const double end = sample.start_s + sample.dur_s;
+    for (const auto& s : tracer.spans()) {
+      if (&s == &sample || s.name == "sample") continue;
+      if (s.start_s >= sample.start_s && s.start_s + s.dur_s <= end + 1e-12) {
+        out.push_back(&s);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<data::MvmcDataset> dataset;
+  std::unique_ptr<core::DdnnModel> model;
+  std::vector<int> devices{0, 1, 2, 3, 4, 5};
+};
+
+TEST_F(ObsRuntimeFixture, LocalExitSpanTreeShape) {
+  // Threshold 1.0: normalized entropy is always <= 1, so every sample
+  // classifies at the gateway — device sections, score sends, a gateway
+  // fuse, and nothing above.
+  dist::HierarchyRuntime runtime(*model, {1.0}, devices);
+  SpanTracer tracer;
+  runtime.set_tracer(&tracer);
+  const auto trace = runtime.classify(dataset->test()[0]);
+  EXPECT_EQ(trace.exit_taken, 0);
+
+  const auto& spans = tracer.spans();
+  const auto count = [&](const char* name) {
+    return std::count_if(spans.begin(), spans.end(),
+                         [&](const Span& s) { return s.name == name; });
+  };
+  EXPECT_EQ(count("sample"), 1);
+  EXPECT_EQ(count("device_section"), 6);
+  EXPECT_EQ(count("send:scores"), 6);
+  EXPECT_EQ(count("gateway_fuse"), 1);
+  EXPECT_EQ(count("send:features"), 0);
+  EXPECT_EQ(count("cloud_classify"), 0);
+
+  // Root span: exact InferenceTrace agreement, children nested inside.
+  const Span& root = spans.back();
+  ASSERT_EQ(root.name, "sample");
+  EXPECT_EQ(root.dur_s, trace.latency_s);
+  EXPECT_EQ(root.arg("latency_s")->d, trace.latency_s);
+  EXPECT_EQ(root.arg("bytes")->i, trace.bytes_sent);
+  EXPECT_EQ(root.arg("exit")->i, 0);
+  EXPECT_EQ(sample_children(tracer, root).size(), spans.size() - 1);
+}
+
+TEST_F(ObsRuntimeFixture, CloudOffloadSpanTreeShape) {
+  // Threshold -1: the local exit never fires, every sample escalates its
+  // features and the cloud classifies.
+  dist::HierarchyRuntime runtime(*model, {-1.0}, devices);
+  SpanTracer tracer;
+  runtime.set_tracer(&tracer);
+  const auto trace = runtime.classify(dataset->test()[0]);
+  EXPECT_EQ(trace.exit_taken, 1);
+
+  const auto& spans = tracer.spans();
+  const auto count = [&](const char* name) {
+    return std::count_if(spans.begin(), spans.end(),
+                         [&](const Span& s) { return s.name == name; });
+  };
+  EXPECT_EQ(count("send:scores"), 6);
+  EXPECT_EQ(count("send:features"), 6);
+  EXPECT_EQ(count("cloud_classify"), 1);
+
+  // Span-summed delivered bytes equal the trace's byte count exactly.
+  std::int64_t send_bytes = 0;
+  for (const auto& s : spans) {
+    if (s.name.rfind("send:", 0) == 0) send_bytes += s.arg("bytes")->i;
+  }
+  EXPECT_EQ(send_bytes, trace.bytes_sent);
+  EXPECT_EQ(spans.back().arg("latency_s")->d, trace.latency_s);
+}
+
+TEST_F(ObsRuntimeFixture, DegradedAndDeadSpanShapes) {
+  // Drop probability 1: nothing is ever delivered, so after the gateway
+  // hears nothing and no feature or raw image arrives, the sample dies.
+  dist::HierarchyRuntime runtime(*model, {1.0}, devices);
+  dist::FaultPlan plan;
+  plan.seed = 5;
+  plan.link_drop_prob = 1.0;
+  runtime.set_fault_plan(plan);
+  SpanTracer tracer;
+  runtime.set_tracer(&tracer);
+  const auto trace = runtime.classify(dataset->test()[0]);
+  EXPECT_TRUE(trace.dead);
+  EXPECT_EQ(trace.exit_taken, -1);
+
+  const auto& spans = tracer.spans();
+  const Span& root = spans.back();
+  ASSERT_EQ(root.name, "sample");
+  EXPECT_EQ(root.arg("dead")->i, 1);
+  EXPECT_EQ(root.arg("degraded")->i, 1);
+  EXPECT_EQ(root.arg("bytes")->i, 0);
+  // Sends happened (and failed): attempts recorded, zero delivered bytes.
+  bool saw_failed_send = false;
+  for (const auto& s : spans) {
+    if (s.name.rfind("send:", 0) != 0) continue;
+    saw_failed_send = true;
+    EXPECT_EQ(s.arg("delivered")->i, 0);
+    EXPECT_EQ(s.arg("bytes")->i, 0);
+    EXPECT_GT(s.arg("attempts")->i, 1);
+  }
+  EXPECT_TRUE(saw_failed_send);
+
+  // All devices down: the dead sample's tree is just the flagged root.
+  dist::HierarchyRuntime downed(*model, {1.0}, devices);
+  for (int b = 0; b < 6; ++b) downed.set_device_failed(b, true);
+  SpanTracer tracer2;
+  downed.set_tracer(&tracer2);
+  const auto dead = downed.classify(dataset->test()[0]);
+  EXPECT_TRUE(dead.dead);
+  ASSERT_EQ(tracer2.spans().size(), 1u);
+  EXPECT_EQ(tracer2.spans()[0].name, "sample");
+  EXPECT_EQ(tracer2.spans()[0].dur_s, 0.0);
+}
+
+TEST_F(ObsRuntimeFixture, TraceJsonAndBoundMetricsAreRerunIdentical) {
+  // The determinism contract end to end: same model + data + plan => byte-
+  // identical trace JSON and metrics JSON, and the bound registry agrees
+  // exactly with RuntimeMetrics.
+  dist::FaultPlan plan;
+  plan.seed = 13;
+  plan.link_drop_prob = 0.1;
+  auto run = [&] {
+    dist::HierarchyRuntime runtime(*model, {0.5}, devices);
+    runtime.set_fault_plan(plan);
+    SpanTracer tracer;
+    MetricsRegistry reg;
+    runtime.set_tracer(&tracer);
+    runtime.bind_metrics(&reg);
+    for (const auto& s : dataset->test()) runtime.classify(s);
+    return std::tuple{tracer.to_json(), reg.to_json(), runtime.metrics()};
+  };
+  const auto [trace1, metrics1, rm] = run();
+  const auto [trace2, metrics2, rm2] = run();
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(metrics1, metrics2);
+
+  // Registry vs RuntimeMetrics: exact.
+  dist::HierarchyRuntime runtime(*model, {0.5}, devices);
+  runtime.set_fault_plan(plan);
+  MetricsRegistry reg;
+  runtime.bind_metrics(&reg);
+  for (const auto& s : dataset->test()) runtime.classify(s);
+  const auto& m = runtime.metrics();
+  EXPECT_EQ(reg.counter("runtime.samples").value(), m.samples);
+  EXPECT_EQ(reg.counter("runtime.bytes_total").value(), m.total_bytes);
+  EXPECT_EQ(reg.counter("runtime.correct").value(), m.correct);
+  EXPECT_EQ(reg.counter("runtime.retries").value(), m.reliability.retries);
+  EXPECT_EQ(reg.counter("runtime.drops").value(), m.reliability.drops);
+  EXPECT_EQ(reg.counter("runtime.timeouts").value(), m.reliability.timeouts);
+  EXPECT_EQ(reg.counter("runtime.exit.local").value(), m.exit_counts[0]);
+  EXPECT_EQ(reg.counter("runtime.exit.cloud").value(), m.exit_counts[1]);
+  EXPECT_EQ(reg.gauge("runtime.total_latency_s").value(), m.total_latency_s);
+  EXPECT_EQ(reg.histogram("runtime.sample_latency_ms", 0, 1, 1).count(),
+            m.samples);
+}
+
+// ---------------------------------------------------------------- profiling
+
+TEST(Profile, DisabledHooksRecordNothing) {
+  set_profiling_enabled(false);
+  profile_reset();
+  {
+    DDNN_PROF_SCOPE("obs_test_op");
+  }
+  EXPECT_EQ(profile_calls("obs_test_op"), 0);
+}
+
+TEST(Profile, EnabledHooksCountCallsAndRenderTable) {
+  set_profiling_enabled(true);
+  profile_reset();
+  for (int i = 0; i < 3; ++i) {
+    DDNN_PROF_SCOPE("obs_test_op");
+  }
+  set_profiling_enabled(false);
+  EXPECT_EQ(profile_calls("obs_test_op"), 3);
+  const std::string table = profile_table().to_string();
+  EXPECT_NE(table.find("obs_test_op"), std::string::npos);
+  profile_reset();
+  EXPECT_EQ(profile_calls("obs_test_op"), 0);
+}
+
+TEST(Profile, KernelHooksCoverHotOpsWhenEnabled) {
+  set_profiling_enabled(true);
+  profile_reset();
+  Rng rng(3);
+  const Tensor a = Tensor::randn(Shape{8, 16}, rng);
+  const Tensor b = Tensor::randn(Shape{16, 8}, rng);
+  ops::matmul(a, b);
+  set_profiling_enabled(false);
+  EXPECT_EQ(profile_calls("matmul"), 1);
+  profile_reset();
+}
+
+TEST(Profile, TrainerPhasesAndMetricsSink) {
+  data::MvmcConfig data_cfg;
+  data_cfg.train_samples = 16;
+  data_cfg.test_samples = 4;
+  data_cfg.seed = 9;
+  const auto dataset = data::MvmcDataset::generate(data_cfg);
+  core::DdnnModel model(
+      core::DdnnConfig::preset(core::HierarchyPreset::kDevicesCloud));
+
+  set_profiling_enabled(true);
+  profile_reset();
+  MetricsRegistry reg;
+  core::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.metrics = &reg;
+  core::train_ddnn(model, dataset.train(), {0, 1, 2, 3, 4, 5}, cfg);
+  set_profiling_enabled(false);
+
+  EXPECT_EQ(reg.counter("train.epochs").value(), 1);
+  EXPECT_EQ(reg.counter("train.batches").value(), 2);
+  EXPECT_EQ(reg.counter("train.samples").value(), 16);
+  EXPECT_EQ(profile_calls("train_forward"), 2);
+  EXPECT_EQ(profile_calls("train_backward"), 2);
+  EXPECT_EQ(profile_calls("train_step"), 2);
+  profile_reset();
+}
+
+// --------------------------------------------------------------- satellites
+
+TEST(ConfusionMatrixBounds, ErrorMessagesNameTheOffendingValue) {
+  core::ConfusionMatrix cm(3);
+  try {
+    cm.add(7, 1);
+    FAIL() << "expected ddnn::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[0, 3)"), std::string::npos);
+  }
+  try {
+    cm.add(1, -2);
+    FAIL() << "expected ddnn::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ddnn::obs

@@ -19,6 +19,9 @@
 #include "dist/runtime.hpp"
 #include "infer/engine.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 using namespace ddnn;
@@ -90,14 +93,35 @@ std::string select_engine(const ArgParser& args) {
   return infer::to_string(infer::engine_kind());
 }
 
+void add_profile_flag(ArgParser& args) {
+  args.add_flag("profile",
+                "collect wall-clock per-op timings (same as DDNN_PROFILE=1) "
+                "and print the table on exit");
+}
+
+/// Arm profiling when --profile was given (DDNN_PROFILE=1 also arms it).
+void apply_profile_flag(const ArgParser& args) {
+  if (args.has_flag("profile")) obs::set_profiling_enabled(true);
+}
+
+/// Print the per-op wall-clock table when profiling was armed.
+void report_profile() {
+  if (!obs::profiling_enabled()) return;
+  std::printf("\nwall-clock profile:\n%s",
+              obs::profile_table().to_string().c_str());
+}
+
 int cmd_train(int argc, const char* const* argv) {
   ArgParser args("ddnn train", "Jointly train a DDNN and save its weights.");
   add_model_options(args);
   args.add_option("epochs", "training epochs", "40")
       .add_option("batch", "mini-batch size", "32")
       .add_option("out", "output weight file", "model.ddnn")
+      .add_option("metrics-out", "write the metrics registry as JSON", "")
       .add_flag("verbose", "log per-epoch loss");
+  add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_profile_flag(args);
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
@@ -107,6 +131,7 @@ int cmd_train(int argc, const char* const* argv) {
   train_cfg.epochs = static_cast<int>(args.get_int("epochs"));
   train_cfg.batch_size = static_cast<std::size_t>(args.get_int("batch"));
   train_cfg.verbose = args.has_flag("verbose");
+  train_cfg.metrics = &obs::global_metrics();
   std::printf("training %s for %d epochs...\n", cfg.cache_key().c_str(),
               train_cfg.epochs);
   const auto history = core::train_ddnn(model, dataset.train(),
@@ -115,6 +140,11 @@ int cmd_train(int argc, const char* const* argv) {
               history.total_seconds);
   nn::save_state(model, args.get("out"));
   std::printf("saved weights to %s\n", args.get("out").c_str());
+  if (!args.get("metrics-out").empty()) {
+    obs::global_metrics().write_json(args.get("metrics-out"));
+    std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
+  }
+  report_profile();
   return 0;
 }
 
@@ -127,7 +157,9 @@ int cmd_eval(int argc, const char* const* argv) {
       .add_option("threshold", "local exit threshold T (-1 = grid search)",
                   "0.8");
   add_engine_option(args);
+  add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_profile_flag(args);
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
@@ -142,7 +174,10 @@ int cmd_eval(int argc, const char* const* argv) {
                 eval.exit_names[e].c_str(),
                 100.0 * core::exit_accuracy(eval, e));
   }
-  if (cfg.num_exits() == 1) return 0;
+  if (cfg.num_exits() == 1) {
+    report_profile();
+    return 0;
+  }
 
   std::vector<double> thresholds;
   const double t = args.get_double("threshold");
@@ -167,6 +202,7 @@ int cmd_eval(int argc, const char* const* argv) {
   std::printf("%s", confusion.to_table({"car", "bus", "person"})
                         .to_string()
                         .c_str());
+  report_profile();
   return 0;
 }
 
@@ -187,9 +223,16 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "presets only)",
                   "")
       .add_option("retries", "retry budget per send", "2")
-      .add_option("fault-seed", "seed for all fault draws", "7");
+      .add_option("fault-seed", "seed for all fault draws", "7")
+      .add_option("trace-out",
+                  "write per-sample spans as Chrome trace_event JSON "
+                  "(load in Perfetto)",
+                  "")
+      .add_option("metrics-out", "write the metrics registry as JSON", "");
   add_engine_option(args);
+  add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
+  apply_profile_flag(args);
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
@@ -235,6 +278,12 @@ int cmd_simulate(int argc, const char* const* argv) {
                       !plan.edge_outages.empty();
   if (faulty) runtime.set_fault_plan(plan);
 
+  obs::SpanTracer tracer;
+  if (!args.get("trace-out").empty()) runtime.set_tracer(&tracer);
+  if (!args.get("metrics-out").empty()) {
+    runtime.bind_metrics(&obs::global_metrics());
+  }
+
   const auto metrics = runtime.run(dataset.test());
   std::printf("accuracy %.1f%% over %lld samples\n", 100.0 * metrics.accuracy(),
               static_cast<long long>(metrics.samples));
@@ -250,6 +299,16 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::printf("reliability:\n%s",
                 metrics.reliability.to_table().to_string().c_str());
   }
+  if (!args.get("trace-out").empty()) {
+    tracer.write_json(args.get("trace-out"));
+    std::printf("wrote %zu spans to %s\n", tracer.spans().size(),
+                args.get("trace-out").c_str());
+  }
+  if (!args.get("metrics-out").empty()) {
+    obs::global_metrics().write_json(args.get("metrics-out"));
+    std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
+  }
+  report_profile();
   return 0;
 }
 
