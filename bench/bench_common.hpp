@@ -11,8 +11,9 @@
 //                   the first to run trains it, the rest load it.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
-#include <filesystem>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,9 +23,12 @@
 #include "core/inference.hpp"
 #include "core/trainer.hpp"
 #include "data/mvmc.hpp"
+#include "obs/ledger.hpp"
 #include "util/env.hpp"
+#include "util/results.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ddnn::bench {
 
@@ -111,16 +115,59 @@ inline std::unique_ptr<core::IndividualModel> trained_individual(
   return model;
 }
 
-/// Persist the table as $DDNN_RESULTS_DIR/<name>.csv (default `results/`;
-/// for plotting the figures outside the terminal). DDNN_RESULTS_DIR=off
-/// disables.
+/// Slug for a ledger metric key derived from a table column header:
+/// lowercase, runs of non-alphanumerics collapse to one underscore.
+inline std::string metric_slug(const std::string& header) {
+  std::string out;
+  for (const char c : header) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+/// Persist the table as $DDNN_RESULTS_DIR/<name>.csv (shared results-dir
+/// helper; DDNN_RESULTS_DIR=off disables) and append a "bench.<name>" run
+/// record to the ledger: every fully numeric column contributes
+/// <slug>.mean and <slug>.last metrics, which is what
+/// scripts/check_bench.py gates against bench/baselines/.
 inline void maybe_write_csv(const Table& table, const std::string& name) {
-  const std::string dir = env_string("DDNN_RESULTS_DIR", "results");
-  if (dir.empty() || dir == "off") return;
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  table.write_csv(dir + "/" + name + ".csv");
-  std::fprintf(stderr, "[bench] wrote %s/%s.csv\n", dir.c_str(), name.c_str());
+  const std::string path = ddnn::write_results_csv(table, name);
+  if (path.empty()) return;
+
+  const BenchEnv env = BenchEnv::load();
+  obs::LedgerRecord rec;
+  rec.command = "bench." + name;
+  rec.add_info("epochs", std::to_string(env.epochs));
+  rec.add_info("seed", std::to_string(env.seed));
+  rec.add_info("batch", std::to_string(env.batch));
+  rec.add_info("threads", std::to_string(ThreadPool::instance().size()));
+  rec.add_info("csv", path);
+  const auto& rows = table.rows();
+  for (std::size_t c = 0; c < table.headers().size(); ++c) {
+    double sum = 0.0, last = 0.0;
+    bool all_numeric = !rows.empty();
+    for (const auto& row : rows) {
+      char* end = nullptr;
+      const double v = std::strtod(row[c].c_str(), &end);
+      if (row[c].empty() || end != row[c].c_str() + row[c].size()) {
+        all_numeric = false;
+        break;
+      }
+      sum += v;
+      last = v;
+    }
+    if (!all_numeric) continue;
+    const std::string slug = metric_slug(table.headers()[c]);
+    if (slug.empty()) continue;
+    rec.add_metric(slug + ".mean", sum / static_cast<double>(rows.size()));
+    rec.add_metric(slug + ".last", last);
+  }
+  obs::append_record(rec);
 }
 
 inline std::string pct(double fraction, int precision = 1) {

@@ -13,6 +13,7 @@
 #include "core/trainer.hpp"
 #include "dist/runtime.hpp"
 #include "util/env.hpp"
+#include "util/results.hpp"
 #include "util/table.hpp"
 
 using namespace ddnn;
@@ -66,6 +67,7 @@ int main() {
          Table::num(1e3 * runtime.metrics().mean_latency_s(), 1)});
   }
   std::printf("\n%s", table.to_string().c_str());
+  write_results_csv(table, "example_edge_hierarchy");
   std::printf(
       "\nHigher thresholds keep samples low in the hierarchy (less latency, "
       "fewer bytes);\nlower thresholds escalate more samples toward the "

@@ -16,6 +16,7 @@
 #include "core/trainer.hpp"
 #include "dist/runtime.hpp"
 #include "util/env.hpp"
+#include "util/results.hpp"
 #include "util/table.hpp"
 
 using namespace ddnn;
@@ -76,6 +77,7 @@ int main() {
     }
   }
   std::printf("\n%s", grid.to_string().c_str());
+  write_results_csv(grid, "example_fault_sweep_grid");
 
   Table progressive({"#Failed", "Overall (%)", "Dead samples"});
   for (int failed = 0; failed <= 6; ++failed) {
@@ -88,6 +90,7 @@ int main() {
   }
   std::printf("\nprogressive failures at 10%% link drop:\n%s",
               progressive.to_string().c_str());
+  write_results_csv(progressive, "example_fault_sweep_progressive");
   std::printf(
       "\nAccuracy falls gradually as links get lossier and devices die; "
       "even with\nevery device permanently dead the run completes (dead "

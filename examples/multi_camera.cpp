@@ -19,6 +19,7 @@
 #include "data/loader.hpp"
 #include "dist/runtime.hpp"
 #include "util/env.hpp"
+#include "util/results.hpp"
 
 using namespace ddnn;
 
@@ -80,6 +81,7 @@ int main() {
               confusion.to_table({"car", "bus", "person"}).to_string().c_str());
   std::printf("per-link traffic:\n%s\n",
               runtime.link_report().to_string().c_str());
+  write_results_csv(runtime.link_report(), "example_multi_camera_links");
 
   // Knock out cameras one at a time (cumulative, worst camera first).
   std::printf("progressive camera failures:\n");

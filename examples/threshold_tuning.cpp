@@ -13,6 +13,8 @@
 #include "core/inference.hpp"
 #include "core/trainer.hpp"
 #include "util/env.hpp"
+#include "util/results.hpp"
+#include "util/table.hpp"
 
 using namespace ddnn;
 
@@ -53,11 +55,15 @@ int main() {
   const double best_t = core::search_threshold_best_overall(val_eval, 0.05);
   const auto val_best = core::apply_policy(val_eval, {best_t});
   std::printf("\nvalidation sweep:\n");
+  Table sweep({"T", "Overall (%)", "Local exit (%)"});
   for (double t = 0.0; t <= 1.0001; t += 0.2) {
     const auto r = core::apply_policy(val_eval, {t});
     std::printf("  T=%.1f  overall %.1f%%  local exits %.1f%%\n", t,
                 100.0 * r.overall_accuracy, 100.0 * r.local_exit_fraction());
+    sweep.add_row({Table::num(t, 1), Table::num(100.0 * r.overall_accuracy, 1),
+                   Table::num(100.0 * r.local_exit_fraction(), 1)});
   }
+  write_results_csv(sweep, "example_threshold_tuning");
   std::printf("chosen T* = %.2f (validation overall %.1f%%)\n\n", best_t,
               100.0 * val_best.overall_accuracy);
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Regression gate: compare the newest ledger records against committed
+baselines with per-metric tolerance bands.
+
+Usage:
+    check_bench.py [--ledger results/ledger.jsonl] [--baselines bench/baselines]
+                   [--update] [command ...]
+
+Every *.json file under the baselines directory names one ledger command
+(e.g. "simulate", "bench.fig7_threshold_sweep") and the metric bands it is
+gated on:
+
+    {
+      "command": "simulate",
+      "metrics": {
+        "runtime.samples":  {"value": 171},
+        "runtime.accuracy": {"value": 0.8070, "abs_tol": 0.08}
+      }
+    }
+
+A metric passes when |observed - value| <= abs_tol + rel_tol * |value|
+(both tolerances default to 0, i.e. exact). For each baseline the NEWEST
+ledger record with that command is checked; a baselined metric missing from
+the record is a failure. Baselines whose command never appears in the
+ledger are skipped with a note — the gate only judges what actually ran.
+Positional command arguments restrict the run to those baselines (and then
+a missing record IS a failure: you asked for it, it must be there).
+
+--update rewrites each matched baseline's values from the newest record,
+keeping the tolerance bands. Exit status: 0 = all checked metrics in band,
+1 = at least one regression (named metric, expected, observed, delta),
+2 = usage / IO error.
+
+Ledger lines are written by obs::append_record (one atomic append per run,
+no wall-clock fields), so "newest" is simply the last line per command.
+"""
+import json
+import os
+import sys
+
+
+def die(msg, code=2):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load_ledger(path):
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    die(f"{path}:{lineno}: bad ledger line: {e}")
+    except OSError as e:
+        die(f"cannot read ledger {path}: {e}")
+    return records
+
+
+def newest_by_command(records):
+    latest = {}
+    for rec in records:  # append-only file: later lines are newer
+        cmd = rec.get("command")
+        if isinstance(cmd, str) and cmd:
+            latest[cmd] = rec
+    return latest
+
+
+def load_baselines(directory):
+    if not os.path.isdir(directory):
+        die(f"baselines directory {directory!r} does not exist")
+    baselines = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                base = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            die(f"cannot load baseline {path}: {e}")
+        if not isinstance(base.get("command"), str) or \
+                not isinstance(base.get("metrics"), dict):
+            die(f"{path}: baseline needs a 'command' string and "
+                "a 'metrics' object")
+        baselines.append((path, base))
+    if not baselines:
+        die(f"no *.json baselines in {directory!r}")
+    return baselines
+
+
+def check_one(path, base, record):
+    """Returns a list of failure strings for one baseline/record pair."""
+    failures = []
+    observed = record.get("metrics", {})
+    for name, band in sorted(base["metrics"].items()):
+        expected = band["value"]
+        abs_tol = band.get("abs_tol", 0)
+        rel_tol = band.get("rel_tol", 0)
+        if name not in observed:
+            failures.append(f"{base['command']}: metric {name!r} is "
+                            f"baselined in {path} but absent from the "
+                            "newest ledger record")
+            continue
+        got = observed[name]
+        allowed = abs_tol + rel_tol * abs(expected)
+        delta = got - expected
+        if abs(delta) > allowed:
+            failures.append(
+                f"{base['command']}: {name} = {got:g} vs baseline "
+                f"{expected:g} (delta {delta:+g}, allowed ±{allowed:g})")
+    return failures
+
+
+def main():
+    argv = sys.argv[1:]
+    ledger_path = "results/ledger.jsonl"
+    baselines_dir = "bench/baselines"
+    update = False
+    only = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--ledger":
+            i += 1
+            ledger_path = argv[i] if i < len(argv) else die("--ledger needs a path")
+        elif arg == "--baselines":
+            i += 1
+            baselines_dir = argv[i] if i < len(argv) else die("--baselines needs a path")
+        elif arg == "--update":
+            update = True
+        elif arg.startswith("-"):
+            print(__doc__)
+            sys.exit(2)
+        else:
+            only.append(arg)
+        i += 1
+
+    latest = newest_by_command(load_ledger(ledger_path))
+    baselines = load_baselines(baselines_dir)
+    if only:
+        baselines = [(p, b) for p, b in baselines if b["command"] in only]
+        known = {b["command"] for _, b in baselines}
+        for cmd in only:
+            if cmd not in known:
+                die(f"no baseline for command {cmd!r} in {baselines_dir}")
+
+    failures = []
+    checked = skipped = 0
+    for path, base in baselines:
+        record = latest.get(base["command"])
+        if record is None:
+            if only:
+                failures.append(f"{base['command']}: requested but no ledger "
+                                f"record in {ledger_path}")
+            else:
+                print(f"check_bench: skip {base['command']} "
+                      "(no ledger record)")
+                skipped += 1
+            continue
+        if update:
+            for name, band in base["metrics"].items():
+                if name in record.get("metrics", {}):
+                    band["value"] = record["metrics"][name]
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(base, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"check_bench: updated {path}")
+        checked += 1
+        failures.extend(check_one(path, base, record))
+
+    if failures:
+        for f in failures:
+            print(f"check_bench: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: OK ({checked} baselines checked, {skipped} skipped)")
+
+
+if __name__ == "__main__":
+    main()

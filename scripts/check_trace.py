@@ -3,7 +3,7 @@
 cross-check its span sums against a metrics JSON export.
 
 Usage:
-    check_trace.py trace.json [metrics.json]
+    check_trace.py trace.json [metrics.json] [--series series.csv]
 
 Schema checks (always):
   * top level is {"displayTimeUnit": ..., "traceEvents": [...]}
@@ -21,10 +21,14 @@ Metrics cross-checks (with metrics.json, produced by --metrics-out):
     both sides accumulate the same doubles in the same order)
   * per-exit span counts == runtime.exit.* counters
 
-The runtime stamps spans with the simulated clock, so both files are pure
-functions of (model, data, fault plan) — any mismatch is a real bug, not
-noise.
+Series cross-checks (with --series, produced by --series-out): every
+windowed-series column whose name exactly matches a counter in the metrics
+export must sum over all windows to that counter's final value — exact
+integer equality, no tolerance. The series is recorded at each sample's
+simulated start time by the same single-threaded loop that bumps the
+counters, so the window deltas must partition the totals.
 """
+import csv
 import json
 import sys
 
@@ -155,17 +159,65 @@ def check_metrics(samples, metrics):
                  f"{m['value']}")
 
 
+def check_series(series_path, metrics):
+    counters = {m["name"]: m["value"] for m in metrics.get("metrics", [])
+                if m.get("type") == "counter"}
+    try:
+        with open(series_path, "r", encoding="utf-8", newline="") as f:
+            rows = list(csv.reader(f))
+    except OSError as e:
+        fail(f"cannot load {series_path}: {e}")
+    if len(rows) < 2:
+        fail(f"{series_path}: no data windows")
+    header = rows[0]
+    checked = 0
+    for col, name in enumerate(header):
+        if name not in counters:
+            continue
+        total = 0
+        for r, row in enumerate(rows[1:], start=2):
+            try:
+                total += int(row[col])
+            except (IndexError, ValueError):
+                fail(f"{series_path}:{r}: column {name!r} is not an integer")
+        if total != counters[name]:
+            fail(f"series column {name!r} sums to {total} across "
+                 f"{len(rows) - 1} windows but the metrics export says "
+                 f"{counters[name]}")
+        checked += 1
+    # A vacuous pass (no shared columns) means someone renamed the columns;
+    # that is a bug in its own right.
+    for required in ("runtime.samples", "runtime.bytes_total"):
+        if required not in header:
+            fail(f"{series_path}: missing required column {required!r}")
+    return checked
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
+    argv = sys.argv[1:]
+    series_path = None
+    if "--series" in argv:
+        i = argv.index("--series")
+        if i + 1 >= len(argv):
+            print(__doc__)
+            sys.exit(2)
+        series_path = argv[i + 1]
+        del argv[i:i + 2]
+    if len(argv) not in (1, 2) or (series_path and len(argv) != 2):
         print(__doc__)
         sys.exit(2)
-    trace = load(sys.argv[1])
+    trace = load(argv[0])
     spans = check_schema(trace)
     samples = check_samples(spans)
-    if len(sys.argv) == 3:
-        check_metrics(samples, load(sys.argv[2]))
+    if len(argv) == 2:
+        metrics = load(argv[1])
+        check_metrics(samples, metrics)
+        extra = ""
+        if series_path:
+            n = check_series(series_path, metrics)
+            extra = f", {n} series columns reconciled"
         print(f"check_trace: OK ({len(samples)} samples, "
-              f"{len(spans)} spans, metrics cross-check passed)")
+              f"{len(spans)} spans, metrics cross-check passed{extra})")
     else:
         print(f"check_trace: OK ({len(samples)} samples, {len(spans)} spans)")
 

@@ -10,10 +10,17 @@ The bench harness writes its tables as CSV when DDNN_RESULTS_DIR is set:
 
 With no --x/--y, the first numeric column is the x axis and every other
 numeric column becomes a series.
+
+--all renders every *.csv in a results directory in one go (the positional
+argument becomes the directory; default $DDNN_RESULTS_DIR or "results"),
+writing <name>.svg next to each CSV and skipping files with nothing
+plottable. `ddnn report` renders the same directory as a single HTML
+dashboard; this script is the per-figure SVG counterpart.
 """
 
 import argparse
 import csv
+import os
 import sys
 
 
@@ -121,31 +128,25 @@ def svg_chart(title, x_name, series, width=720, height=440):
     return "\n".join(parts)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv", help="CSV written by a bench (DDNN_RESULTS_DIR)")
-    ap.add_argument("--x", help="x-axis column (default: first numeric)")
-    ap.add_argument("--y", action="append",
-                    help="series column (repeatable; default: all numeric)")
-    ap.add_argument("--out", help="output SVG (default: <csv>.svg)")
-    ap.add_argument("--title", help="chart title (default: CSV name)")
-    args = ap.parse_args()
-
-    header, rows = read_csv(args.csv)
+def plot_file(path, x=None, wanted_names=None, out=None, title=None,
+              strict=True):
+    """Render one CSV to SVG. Returns True if something was plotted;
+    with strict=False, unplottable files are skipped with a note."""
+    header, rows = read_csv(path)
     numeric = numeric_columns(header, rows)
-    if not numeric:
-        sys.exit(f"{args.csv}: no fully numeric columns to plot")
     by_name = {name: i for i, name in numeric}
 
-    if args.x:
-        if args.x not in by_name:
-            sys.exit(f"column '{args.x}' is not numeric; choices: "
+    if x:
+        if x not in by_name:
+            sys.exit(f"column '{x}' is not numeric; choices: "
                      f"{sorted(by_name)}")
-        x_idx, x_name = by_name[args.x], args.x
-    else:
+        x_idx, x_name = by_name[x], x
+    elif numeric:
         x_idx, x_name = numeric[0]
+    else:
+        x_idx, x_name = None, None
 
-    wanted = args.y or [n for i, n in numeric if i != x_idx]
+    wanted = wanted_names or [n for i, n in numeric if i != x_idx]
     series = []
     for name in wanted:
         if name not in by_name:
@@ -155,13 +156,51 @@ def main():
         series.append(
             (name, [(float(r[x_idx]), float(r[i])) for r in rows]))
     if not series:
-        sys.exit("nothing to plot")
+        if strict:
+            sys.exit(f"{path}: no fully numeric columns to plot")
+        print(f"skip {path} (no plottable numeric columns)")
+        return False
 
-    out = args.out or args.csv.rsplit(".", 1)[0] + ".svg"
-    title = args.title or args.csv.split("/")[-1]
+    out = out or path.rsplit(".", 1)[0] + ".svg"
+    title = title or path.split("/")[-1]
     with open(out, "w") as f:
         f.write(svg_chart(title, x_name, series))
     print(f"wrote {out}")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv", nargs="?",
+                    help="CSV written by a bench, or with --all the results "
+                         "directory (default: $DDNN_RESULTS_DIR or results)")
+    ap.add_argument("--all", action="store_true",
+                    help="render every *.csv in the results directory")
+    ap.add_argument("--x", help="x-axis column (default: first numeric)")
+    ap.add_argument("--y", action="append",
+                    help="series column (repeatable; default: all numeric)")
+    ap.add_argument("--out", help="output SVG (default: <csv>.svg)")
+    ap.add_argument("--title", help="chart title (default: CSV name)")
+    args = ap.parse_args()
+
+    if args.all:
+        directory = args.csv or os.environ.get("DDNN_RESULTS_DIR", "results")
+        if directory in ("", "off") or not os.path.isdir(directory):
+            sys.exit(f"--all: results directory {directory!r} does not exist")
+        files = sorted(f for f in os.listdir(directory)
+                       if f.endswith(".csv"))
+        if not files:
+            sys.exit(f"--all: no *.csv files in {directory!r}")
+        plotted = sum(
+            plot_file(os.path.join(directory, f), strict=False)
+            for f in files)
+        print(f"plotted {plotted} of {len(files)} CSVs in {directory}")
+        return
+
+    if not args.csv:
+        ap.error("csv path required (or use --all)")
+    plot_file(args.csv, x=args.x, wanted_names=args.y, out=args.out,
+              title=args.title)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include "autograd/ops.hpp"
+#include "core/inference.hpp"
 #include "obs/profile.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -37,6 +38,28 @@ TrainHistory train_ddnn(DdnnModel& model,
   optimizer.set_gradient_clip(config.grad_clip_norm);
   Rng shuffle_rng(config.shuffle_seed);
   Stopwatch total;
+
+  // Per-epoch series columns, registered up front so the export order is
+  // stable regardless of how training goes.
+  struct SeriesCols {
+    int loss = -1;
+    int overall_acc = -1;
+    std::vector<int> exit_acc;
+    std::vector<int> exit_frac;
+  } scols;
+  const auto exit_names = model.exit_names();
+  if (config.series) {
+    scols.loss = config.series->add_gauge("train.loss");
+    for (const auto& name : exit_names) {
+      scols.exit_acc.push_back(
+          config.series->add_gauge("train.exit_acc." + name));
+    }
+    for (const auto& name : exit_names) {
+      scols.exit_frac.push_back(
+          config.series->add_gauge("train.exit_frac." + name));
+    }
+    scols.overall_acc = config.series->add_gauge("train.overall_acc");
+  }
 
   TrainHistory history;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
@@ -111,6 +134,28 @@ TrainHistory train_ddnn(DdnnModel& model,
       config.metrics->counter("train.epochs").add(1);
       config.metrics->gauge("train.epoch_loss")
           .set(static_cast<double>(history.epoch_loss.back()));
+    }
+    if (config.series) {
+      // Extra eval pass in eval mode under NoGrad: batch-norm running stats
+      // are frozen and no tape is built, so recording the series leaves the
+      // training trajectory bit-identical to a run without it.
+      const auto& eval_data =
+          config.series_eval ? *config.series_eval : train_data;
+      const ExitEval ev = evaluate_exits(model, eval_data, devices);
+      model.set_training(true);  // evaluate_exits leaves eval mode on
+      const std::vector<double> thresholds(
+          static_cast<std::size_t>(model.config().num_exits() - 1),
+          config.series_exit_threshold);
+      const PolicyResult policy = apply_policy(ev, thresholds);
+      const auto t = static_cast<double>(epoch);
+      config.series->record(scols.loss, t,
+                            static_cast<double>(history.epoch_loss.back()));
+      for (std::size_t e = 0; e < scols.exit_acc.size(); ++e) {
+        config.series->record(scols.exit_acc[e], t, exit_accuracy(ev, e));
+        config.series->record(scols.exit_frac[e], t,
+                              policy.exit_fraction[e]);
+      }
+      config.series->record(scols.overall_acc, t, policy.overall_accuracy);
     }
     if (config.epoch_callback) {
       config.epoch_callback(epoch, history.epoch_loss.back());

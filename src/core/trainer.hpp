@@ -14,6 +14,7 @@
 #include "core/model.hpp"
 #include "data/loader.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "opt/optimizer.hpp"
 
 namespace ddnn::core {
@@ -41,6 +42,18 @@ struct TrainConfig {
   /// train.epochs / train.batches / train.samples counters and the
   /// train.epoch_loss gauge into it. Null disables.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional windowed series sink (not owned): one window per epoch (make
+  /// it with width 1 and axis "epoch"). After every epoch the trainer
+  /// evaluates the model on `series_eval` (the training set when null) and
+  /// records train.loss, per-exit train.exit_acc.<name> /
+  /// train.exit_frac.<name>, and train.overall_acc gauges at t = epoch.
+  /// Exit fractions come from the paper's entropy cascade with
+  /// series_exit_threshold at every non-final exit. The eval pass runs in
+  /// eval mode under NoGrad, so it does not perturb training. Null disables
+  /// (and skips the extra eval pass). train_ddnn only.
+  obs::WindowedSeries* series = nullptr;
+  const std::vector<data::MvmcSample>* series_eval = nullptr;
+  double series_exit_threshold = 0.8;
 };
 
 struct TrainHistory {

@@ -4,18 +4,13 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace ddnn::dist {
 
 double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
                                double q) {
-  DDNN_CHECK(!sorted_ascending.empty(), "percentile of an empty sample");
-  DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
-  const auto n = static_cast<double>(sorted_ascending.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  if (rank == 0) rank = 1;  // guard against q*n rounding to 0
-  rank = std::min(rank, sorted_ascending.size());
-  return sorted_ascending[rank - 1];
+  return ddnn::percentile_nearest_rank(sorted_ascending, q);
 }
 
 QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,

@@ -43,6 +43,8 @@ struct QueueingStats {
 /// Nearest-rank percentile of an ascending-sorted sample: the value at
 /// index ceil(q * n) - 1 (1-based rank ceil(q * n)). q must be in (0, 1].
 /// Example: n=100, q=0.95 -> index 94 (the 95th value), not 95.
+/// Thin alias for ddnn::percentile_nearest_rank (util/stats.hpp), kept so
+/// queueing call sites and tests read in dist:: vocabulary.
 double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
                                double q);
 

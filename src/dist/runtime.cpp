@@ -148,6 +148,44 @@ void HierarchyRuntime::bind_metrics(obs::MetricsRegistry* registry) {
       &registry->histogram("runtime.sample_bytes", 0.0, 1048576.0, 64);
 }
 
+void HierarchyRuntime::bind_series(obs::WindowedSeries* series) {
+  series_ = {};
+  series_.series = series;
+  if (!series) return;
+  // Counter columns share their names with the bind_metrics() registry
+  // counters on purpose: scripts/check_trace.py --series matches them up and
+  // demands the window sums equal the final snapshot exactly.
+  series_.samples = series->add_counter("runtime.samples");
+  series_.bytes_total = series->add_counter("runtime.bytes_total");
+  series_.correct = series->add_counter("runtime.correct");
+  series_.retries = series->add_counter("runtime.retries");
+  series_.drops = series->add_counter("runtime.drops");
+  series_.timeouts = series->add_counter("runtime.timeouts");
+  series_.degraded = series->add_counter("runtime.degraded");
+  series_.dead = series->add_counter("runtime.dead");
+  const auto exit_names = model_.exit_names();
+  for (const auto& name : exit_names) {
+    series_.exits.push_back(series->add_counter("runtime.exit." + name));
+  }
+  for (std::size_t e = 0; e < series_.exits.size(); ++e) {
+    series->add_ratio("runtime.exit_frac." + exit_names[e], series_.exits[e],
+                      series_.samples);
+  }
+  series->add_ratio("runtime.accuracy", series_.correct, series_.samples);
+  series_.latency_ms = series->add_histogram("runtime.latency_ms");
+  auto add_links = [&](const std::vector<Link>& links) {
+    for (const auto& link : links) {
+      series_.link_bytes[&link] =
+          series->add_counter("link." + link.name() + ".bytes");
+    }
+  };
+  add_links(dev_gateway_links_);
+  add_links(dev_uplink_links_);
+  add_links(edge_coord_links_);
+  add_links(edge_cloud_links_);
+  add_links(dev_cloud_links_);
+}
+
 int HierarchyRuntime::group_of(int branch) const {
   const auto& groups = model_.config().edge_groups;
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -314,6 +352,26 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       bound_.latency_ms->record(trace.latency_s * 1e3);
       bound_.sample_bytes->record(static_cast<double>(trace.bytes_sent));
     }
+    if (series_.series) {
+      // Everything the sample contributes is recorded at its start time
+      // `base` (send() already booked its per-send columns there too), so a
+      // sample lands in exactly one window and counter-column window sums
+      // reconcile with the final metrics snapshot.
+      obs::WindowedSeries& ws = *series_.series;
+      ws.record(series_.samples, base, 1.0);
+      ws.record(series_.bytes_total, base,
+                static_cast<double>(trace.bytes_sent));
+      if (trace.prediction == sample.label) {
+        ws.record(series_.correct, base, 1.0);
+      }
+      if (trace.degraded) ws.record(series_.degraded, base, 1.0);
+      if (trace.dead) ws.record(series_.dead, base, 1.0);
+      if (exit_taken >= 0) {
+        ws.record(series_.exits[static_cast<std::size_t>(exit_taken)], base,
+                  1.0);
+      }
+      ws.record(series_.latency_ms, base, trace.latency_s * 1e3);
+    }
     return trace;
   };
 
@@ -343,6 +401,22 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       bound_.drops->add(res.dropped_attempts);
       bound_.retries->add(res.attempts - 1);
       if (!res.delivered) bound_.timeouts->add(1);
+    }
+    if (series_.series) {
+      obs::WindowedSeries& ws = *series_.series;
+      if (res.dropped_attempts > 0) {
+        ws.record(series_.drops, base,
+                  static_cast<double>(res.dropped_attempts));
+      }
+      if (res.attempts > 1) {
+        ws.record(series_.retries, base,
+                  static_cast<double>(res.attempts - 1));
+      }
+      if (!res.delivered) ws.record(series_.timeouts, base, 1.0);
+      if (res.delivered) {
+        ws.record(series_.link_bytes.at(&link), base,
+                  static_cast<double>(msg.payload_bytes()));
+      }
     }
     if (tr) {
       tr->add(span_name, "net", track, base + trace.latency_s + t_off,

@@ -32,6 +32,7 @@
 // are bit-identical across repetitions and DDNN_THREADS settings.
 #pragma once
 
+#include <map>
 #include <optional>
 
 #include "core/inference.hpp"
@@ -42,6 +43,7 @@
 #include "dist/link.hpp"
 #include "dist/node.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -158,6 +160,18 @@ class HierarchyRuntime {
   /// stable no matter which path the first sample takes.
   void bind_metrics(obs::MetricsRegistry* registry);
 
+  /// Bind a windowed series (not owned; null unbinds). The runtime registers
+  /// its columns — counters named exactly like the bind_metrics() registry
+  /// counters (runtime.samples, runtime.bytes_total, runtime.correct,
+  /// runtime.retries, runtime.drops, runtime.timeouts, runtime.degraded,
+  /// runtime.dead, runtime.exit.<name>), per-exit runtime.exit_frac.<name>
+  /// and runtime.accuracy ratios, a runtime.latency_ms histogram, and one
+  /// link.<name>.bytes counter per link — and records every sample at its
+  /// simulated start time (the same clock origin the tracer uses), so window
+  /// sums of the counter columns reconcile exactly with the final metrics
+  /// snapshot (scripts/check_trace.py --series).
+  void bind_series(obs::WindowedSeries* series);
+
   /// Per-link traffic table (link, messages, bytes, bytes/sample) over the
   /// metrics window — the bytes-crossing-every-boundary view of a run.
   Table link_report() const;
@@ -222,6 +236,24 @@ class HierarchyRuntime {
     obs::Histogram* sample_bytes = nullptr;
   };
   BoundMetrics bound_;
+  /// Pre-registered series column ids (series_ null when unbound). Link
+  /// column lookup is by Link address — the link vectors never grow after
+  /// construction.
+  struct BoundSeries {
+    obs::WindowedSeries* series = nullptr;
+    int samples = -1;
+    int bytes_total = -1;
+    int correct = -1;
+    int retries = -1;
+    int drops = -1;
+    int timeouts = -1;
+    int degraded = -1;
+    int dead = -1;
+    std::vector<int> exits;       // parallel to exit_names()
+    int latency_ms = -1;          // histogram
+    std::map<const Link*, int> link_bytes;
+  };
+  BoundSeries series_;
 
   // Trace track layout: 0 = samples, then devices, gateway, edges,
   // edge-exit coordinator, cloud.

@@ -1,0 +1,64 @@
+// Run ledger: an append-only JSONL file (one JSON object per line) that
+// every CLI and bench entry point appends to, recording what ran and what
+// it produced. The ledger is the join point of the observability layer:
+// `ddnn report` renders it, and scripts/check_bench.py gates regressions
+// against committed baselines by reading its newest records.
+//
+// One record per run:
+//   {"command": "...", "info": {"k": "v", ...}, "metrics": {"k": 1.5, ...}}
+//
+// `info` holds identity strings (preset, engine, seeds-as-strings, output
+// file paths); `metrics` holds the numeric final snapshot. Records carry no
+// wall-clock timestamps — the file order is the run order, and keeping the
+// payload deterministic keeps `ddnn report` golden-testable.
+//
+// Appends are a single write(2) to an O_APPEND descriptor, so concurrent
+// writers (e.g. parallel bench invocations) interleave whole lines, never
+// partial ones (POSIX guarantees atomicity for O_APPEND writes well beyond
+// our line lengths on regular files).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ddnn::obs {
+
+struct LedgerRecord {
+  /// Entry-point name, e.g. "simulate", "train", "bench.inference".
+  std::string command;
+  /// Identity strings, in insertion order: preset, engine, seed, ...
+  std::vector<std::pair<std::string, std::string>> info;
+  /// Final numeric metrics snapshot, in insertion order.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void add_info(const std::string& key, const std::string& value) {
+    info.emplace_back(key, value);
+  }
+  void add_metric(const std::string& key, double value) {
+    metrics.emplace_back(key, value);
+  }
+};
+
+/// Default ledger location: "<results_dir>/ledger.jsonl", or "" when the
+/// results dir is disabled (DDNN_RESULTS_DIR=off) — appends become no-ops.
+std::string default_ledger_path();
+
+/// One-line JSON serialization (no trailing newline). Deterministic:
+/// insertion order preserved, integral metrics print as integers,
+/// everything else as %.17g.
+std::string to_json_line(const LedgerRecord& record);
+
+/// Append `record` to the ledger at `path` ("" -> default_ledger_path()),
+/// creating the file and its directory if needed. Silently does nothing
+/// when the resolved path is "" (results disabled). Returns the path
+/// written to ("" when disabled).
+std::string append_record(const LedgerRecord& record,
+                          const std::string& path = "");
+
+/// Parse a JSONL ledger back into records. Unknown top-level keys are an
+/// error (the format is ours); blank lines are skipped. Missing file ->
+/// empty vector.
+std::vector<LedgerRecord> read_ledger(const std::string& path);
+
+}  // namespace ddnn::obs

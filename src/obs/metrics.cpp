@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace ddnn::obs {
 
@@ -137,9 +138,7 @@ double Histogram::percentile(double q) const {
   DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
   const std::int64_t n = count();
   if (n == 0) return 0.0;
-  auto rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
-  if (rank < 1) rank = 1;
-  if (rank > n) rank = n;
+  const std::int64_t rank = nearest_rank(q, n);
   const auto counts = bin_counts();
   std::int64_t cum = 0;
   for (int b = 0; b < bins_; ++b) {

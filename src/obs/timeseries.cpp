@@ -1,0 +1,260 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ddnn::obs {
+
+namespace {
+
+/// Deterministic cell formatting: integral values print as integers (so
+/// counter columns sum exactly in downstream checkers), everything else as
+/// %.17g (round-trips IEEE-754 doubles byte-stably).
+std::string fmt_num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+WindowedSeries::WindowedSeries(double width, std::string axis)
+    : width_(width), axis_(std::move(axis)) {
+  DDNN_CHECK(width_ > 0.0, "window width " << width_ << " must be positive");
+  DDNN_CHECK(!axis_.empty(), "windowed series needs an axis name");
+}
+
+int WindowedSeries::add_column(const std::string& name, Kind kind) {
+  DDNN_CHECK(!sealed_registration_,
+             "column '" << name << "' registered after the first record()");
+  DDNN_CHECK(!name.empty(), "windowed series column needs a name");
+  for (const auto& c : columns_) {
+    DDNN_CHECK(c.name != name,
+               "series column '" << name << "' registered twice");
+  }
+  Column c;
+  c.name = name;
+  c.kind = kind;
+  columns_.push_back(std::move(c));
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+int WindowedSeries::add_counter(const std::string& name) {
+  return add_column(name, Kind::kCounter);
+}
+
+int WindowedSeries::add_gauge(const std::string& name) {
+  return add_column(name, Kind::kGauge);
+}
+
+int WindowedSeries::add_histogram(const std::string& name) {
+  return add_column(name, Kind::kHistogram);
+}
+
+int WindowedSeries::add_ratio(const std::string& name, int numerator,
+                              int denominator) {
+  for (const int id : {numerator, denominator}) {
+    DDNN_CHECK(id >= 0 && id < static_cast<int>(columns_.size()),
+               "ratio '" << name << "' references unknown column " << id);
+    DDNN_CHECK(columns_[static_cast<std::size_t>(id)].kind == Kind::kCounter,
+               "ratio '" << name << "' must reference counter columns");
+  }
+  const int col = add_column(name, Kind::kRatio);
+  columns_[static_cast<std::size_t>(col)].num = numerator;
+  columns_[static_cast<std::size_t>(col)].den = denominator;
+  return col;
+}
+
+void WindowedSeries::flush_window() {
+  for (auto& c : columns_) {
+    switch (c.kind) {
+      case Kind::kCounter:
+        c.flushed.push_back(c.sum);
+        c.sum = 0.0;
+        break;
+      case Kind::kGauge:
+        c.flushed.push_back(c.has_last ? c.last : 0.0);
+        break;
+      case Kind::kHistogram:
+        c.flushed_values.push_back(std::move(c.values));
+        c.values.clear();
+        break;
+      case Kind::kRatio:
+        c.flushed.push_back(0.0);  // derived at export
+        break;
+    }
+  }
+  ++flushed_windows_;
+  ++cur_window_;
+  open_window_active_ = false;
+}
+
+void WindowedSeries::record(int col, double t, double value) {
+  DDNN_CHECK(col >= 0 && col < static_cast<int>(columns_.size()),
+             "record into unknown series column " << col);
+  DDNN_CHECK(t >= 0.0, "series clock " << t << " is negative");
+  sealed_registration_ = true;
+  const auto w = static_cast<std::int64_t>(t / width_);
+  DDNN_CHECK(w >= cur_window_, "series clock went backwards: t="
+                                   << t << " is before window " << cur_window_
+                                   << " (the recording clocks are monotone)");
+  while (cur_window_ < w) flush_window();
+  Column& c = columns_[static_cast<std::size_t>(col)];
+  switch (c.kind) {
+    case Kind::kCounter:
+      c.sum += value;
+      break;
+    case Kind::kGauge:
+      c.last = value;
+      c.has_last = true;
+      break;
+    case Kind::kHistogram:
+      c.values.push_back(value);
+      break;
+    case Kind::kRatio:
+      DDNN_CHECK(false, "ratio column '" << c.name
+                                         << "' is derived; record into its "
+                                            "numerator/denominator instead");
+  }
+  open_window_active_ = true;
+}
+
+std::size_t WindowedSeries::window_count() const {
+  return static_cast<std::size_t>(flushed_windows_) +
+         (open_window_active_ ? 1u : 0u);
+}
+
+std::vector<std::string> WindowedSeries::header() const {
+  std::vector<std::string> out{"window", axis_ + "_start", axis_ + "_end"};
+  for (const auto& c : columns_) {
+    if (c.kind == Kind::kHistogram) {
+      out.push_back(c.name + ".n");
+      out.push_back(c.name + ".p50");
+      out.push_back(c.name + ".p95");
+      out.push_back(c.name + ".max");
+    } else {
+      out.push_back(c.name);
+    }
+  }
+  return out;
+}
+
+void WindowedSeries::append_cells(std::vector<double>& out, const Column& c,
+                                  std::size_t w) const {
+  const bool live = w >= static_cast<std::size_t>(flushed_windows_);
+  switch (c.kind) {
+    case Kind::kCounter:
+      out.push_back(live ? c.sum : c.flushed[w]);
+      break;
+    case Kind::kGauge:
+      out.push_back(live ? (c.has_last ? c.last : 0.0) : c.flushed[w]);
+      break;
+    case Kind::kHistogram: {
+      std::vector<double> values = live ? c.values : c.flushed_values[w];
+      std::sort(values.begin(), values.end());
+      out.push_back(static_cast<double>(values.size()));
+      if (values.empty()) {
+        out.insert(out.end(), {0.0, 0.0, 0.0});
+      } else {
+        out.push_back(percentile_nearest_rank(values, 0.50));
+        out.push_back(percentile_nearest_rank(values, 0.95));
+        out.push_back(values.back());
+      }
+      break;
+    }
+    case Kind::kRatio: {
+      const Column& num = columns_[static_cast<std::size_t>(c.num)];
+      const Column& den = columns_[static_cast<std::size_t>(c.den)];
+      const double n = live ? num.sum : num.flushed[w];
+      const double d = live ? den.sum : den.flushed[w];
+      out.push_back(d == 0.0 ? 0.0 : n / d);
+      break;
+    }
+  }
+}
+
+std::string WindowedSeries::to_csv() const {
+  std::ostringstream os;
+  const auto head = header();
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    os << (i ? "," : "") << head[i];
+  }
+  os << "\n";
+  const std::size_t windows = window_count();
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<double> cells{static_cast<double>(w),
+                              static_cast<double>(w) * width_,
+                              static_cast<double>(w + 1) * width_};
+    for (const auto& c : columns_) append_cells(cells, c, w);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "," : "") << fmt_num(cells[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string WindowedSeries::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"axis\": \"" << axis_ << "\",\n  \"width\": "
+     << fmt_num(width_) << ",\n  \"columns\": [";
+  const auto head = header();
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << head[i] << "\"";
+  }
+  os << "],\n  \"rows\": [\n";
+  const std::size_t windows = window_count();
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<double> cells{static_cast<double>(w),
+                              static_cast<double>(w) * width_,
+                              static_cast<double>(w + 1) * width_};
+    for (const auto& c : columns_) append_cells(cells, c, w);
+    os << "    [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? ", " : "") << fmt_num(cells[i]);
+    }
+    os << "]" << (w + 1 == windows ? "" : ",") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+void write_string(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  DDNN_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << body;
+  DDNN_CHECK(out.good(), "write to '" << path << "' failed");
+}
+}  // namespace
+
+void WindowedSeries::write_csv(const std::string& path) const {
+  write_string(path, to_csv());
+}
+
+void WindowedSeries::write_json(const std::string& path) const {
+  write_string(path, to_json());
+}
+
+void WindowedSeries::write(const std::string& path) const {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_json(path);
+  } else {
+    write_csv(path);
+  }
+}
+
+}  // namespace ddnn::obs

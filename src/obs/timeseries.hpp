@@ -1,0 +1,110 @@
+// WindowedSeries: fixed-width windowed time series over a deterministic
+// clock (the simulated run clock in dist::HierarchyRuntime, the epoch index
+// in core::Trainer).
+//
+// A series is a set of named columns, each with an aggregation kind:
+//   * counter   — per-window delta (sum of recorded values);
+//   * gauge     — last value recorded in the window, carried forward across
+//                 empty windows once set;
+//   * histogram — per-window sample set, exported as <name>.n / .p50 / .p95
+//                 / .max (exact nearest-rank over the window's raw values,
+//                 shared with dist::percentile_nearest_rank via util/stats);
+//   * ratio     — derived at export: counter delta / counter delta of the
+//                 same window (0 when the denominator is 0).
+//
+// Determinism contract (docs/ARCHITECTURE.md "Observability"): recording is
+// single-writer — the runtime's classify() loop and the trainer's epoch
+// loop are serial — and every recorded quantity already obeys the
+// simulated-clock contract, so exports are byte-identical across reruns and
+// DDNN_THREADS settings. Window sums of counter columns reconcile exactly
+// with the final MetricsRegistry snapshot (scripts/check_trace.py
+// --series checks this for every column named after a registry counter).
+//
+// Windows are half-open [k*width, (k+1)*width) on the recording clock.
+// Export emits every window from 0 through the last recorded one, including
+// empty interior windows (counters 0, gauges carried, histograms n=0) — an
+// outage window shows up as a flat-lined row, not a gap in the axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddnn::obs {
+
+class WindowedSeries {
+ public:
+  /// `width`: window width in clock units (simulated seconds, epochs, ...).
+  /// `axis`: name of the clock axis, used for the <axis>_start/<axis>_end
+  /// export columns ("t" for simulated time, "epoch" for training).
+  explicit WindowedSeries(double width, std::string axis = "t");
+
+  /// Register columns. Registration order is export order; ids are dense.
+  /// Registering after the first record() is an error.
+  int add_counter(const std::string& name);
+  int add_gauge(const std::string& name);
+  int add_histogram(const std::string& name);
+  /// Derived column: delta(numerator)/delta(denominator) per window; both
+  /// ids must name counter columns.
+  int add_ratio(const std::string& name, int numerator, int denominator);
+
+  /// Record `value` into column `col` at clock `t`. `t` must be >= 0 and
+  /// must not precede the current window (the clocks we key on are
+  /// monotone).
+  void record(int col, double t, double value);
+
+  double width() const { return width_; }
+  const std::string& axis() const { return axis_; }
+  std::size_t column_count() const { return columns_.size(); }
+  /// Windows that would be exported right now (0 when nothing recorded).
+  std::size_t window_count() const;
+
+  /// Flat header of every exported CSV column, in order: "window",
+  /// "<axis>_start", "<axis>_end", then one entry per column (histograms
+  /// expand to .n/.p50/.p95/.max).
+  std::vector<std::string> header() const;
+
+  /// Deterministic exports: identical recordings produce byte-identical
+  /// output (integral values print as integers, everything else as %.17g).
+  std::string to_csv() const;
+  std::string to_json() const;
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+  /// Dispatch on extension: ".json" -> JSON, anything else -> CSV.
+  void write(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kRatio };
+  struct Column {
+    std::string name;
+    Kind kind;
+    int num = -1;  // ratio numerator column id
+    int den = -1;  // ratio denominator column id
+    // Current-window accumulator state.
+    double sum = 0.0;            // counter
+    double last = 0.0;           // gauge (carried across windows)
+    bool has_last = false;       // gauge ever set
+    std::vector<double> values;  // histogram, this window only
+    // Flushed per-window aggregates, parallel to rows_ windows. Counters
+    // store the window delta, gauges the carried last value, histograms
+    // their per-window raw values (kept for the percentile columns).
+    std::vector<double> flushed;
+    std::vector<std::vector<double>> flushed_values;
+  };
+
+  int add_column(const std::string& name, Kind kind);
+  void flush_window();  // close the current window and advance
+  /// Cells of window w for column c, in export order.
+  void append_cells(std::vector<double>& out, const Column& c,
+                    std::size_t w) const;
+
+  double width_;
+  std::string axis_;
+  std::vector<Column> columns_;
+  std::int64_t cur_window_ = 0;
+  std::int64_t flushed_windows_ = 0;
+  bool open_window_active_ = false;  // anything recorded since last flush
+  bool sealed_registration_ = false;
+};
+
+}  // namespace ddnn::obs

@@ -1,0 +1,33 @@
+#include "util/results.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace ddnn {
+
+std::string results_dir() {
+  const std::string dir = env_string("DDNN_RESULTS_DIR", "results");
+  if (dir.empty() || dir == "off") return "";
+  return dir;
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  DDNN_CHECK(!ec, "cannot create directory '" << dir << "': " << ec.message());
+}
+
+std::string write_results_csv(const Table& table, const std::string& name) {
+  const std::string dir = results_dir();
+  if (dir.empty()) return "";
+  ensure_dir(dir);
+  const std::string path = dir + "/" + name + ".csv";
+  table.write_csv(path);
+  std::fprintf(stderr, "[results] wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace ddnn

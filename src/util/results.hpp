@@ -1,0 +1,29 @@
+// Shared results-directory helper.
+//
+// Every artifact-producing entry point (bench binaries, examples, the run
+// ledger) resolves its output directory through results_dir(), so one
+// environment variable controls them all:
+//
+//   DDNN_RESULTS_DIR  output directory (default "results"); "off" or the
+//                     empty string disables every artifact writer.
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace ddnn {
+
+/// $DDNN_RESULTS_DIR (default "results"), or "" when artifacts are disabled
+/// (DDNN_RESULTS_DIR=off or set but empty).
+std::string results_dir();
+
+/// Create `dir` (and parents) if needed; throws ddnn::Error on failure.
+void ensure_dir(const std::string& dir);
+
+/// Write `table` as <results_dir()>/<name>.csv, creating the directory on
+/// first use, and log the path to stderr. Returns the written path, or ""
+/// when results are disabled.
+std::string write_results_csv(const Table& table, const std::string& name);
+
+}  // namespace ddnn

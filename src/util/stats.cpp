@@ -1,0 +1,26 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ddnn {
+
+std::int64_t nearest_rank(double q, std::int64_t n) {
+  DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
+  DDNN_CHECK(n >= 1, "nearest rank of " << n << " samples");
+  auto rank = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;  // guard against q*n rounding to 0
+  if (rank > n) rank = n;
+  return rank;
+}
+
+double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
+                               double q) {
+  DDNN_CHECK(!sorted_ascending.empty(), "percentile of an empty sample");
+  const auto rank =
+      nearest_rank(q, static_cast<std::int64_t>(sorted_ascending.size()));
+  return sorted_ascending[static_cast<std::size_t>(rank - 1)];
+}
+
+}  // namespace ddnn

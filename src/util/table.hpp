@@ -20,6 +20,8 @@ class Table {
   void add_row(std::vector<std::string> cells);
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Render with a header rule and aligned columns.
   std::string to_string() const;

@@ -5,6 +5,11 @@
 //   ddnn simulate --model model.ddnn --preset c --filters 4 --threshold 0.8 \
 //                 --fail 1,6
 //   ddnn dataset  --out-dir views --samples 2
+//   ddnn report   --out results/report.html
+//
+// Every train/eval/simulate run appends a record to the run ledger
+// (<results>/ledger.jsonl, see obs/ledger.hpp); `ddnn report` renders the
+// ledger plus any series/CSV artifacts into one self-contained HTML page.
 //
 // The architecture is reconstructed from the flags, so eval/simulate must be
 // invoked with the same --preset/--filters/--devices/--agg used at training
@@ -19,10 +24,15 @@
 #include "dist/runtime.hpp"
 #include "infer/engine.hpp"
 #include "nn/serialize.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/results.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace ddnn;
 
@@ -111,6 +121,29 @@ void report_profile() {
               obs::profile_table().to_string().c_str());
 }
 
+/// Start a ledger record pre-filled with the identity flags every
+/// subcommand shares (preset/devices/filters/seed) plus the thread count.
+obs::LedgerRecord ledger_record(const std::string& command,
+                                const ArgParser& args) {
+  obs::LedgerRecord rec;
+  rec.command = command;
+  rec.add_info("preset", args.get("preset"));
+  rec.add_info("devices", args.get("devices"));
+  rec.add_info("filters", args.get("filters"));
+  rec.add_info("seed", args.get("seed"));
+  rec.add_info("threads", std::to_string(ThreadPool::instance().size()));
+  return rec;
+}
+
+/// Append and tell the user where the record went (silent when the results
+/// dir is disabled).
+void finish_ledger(const obs::LedgerRecord& rec) {
+  const std::string path = obs::append_record(rec);
+  if (!path.empty()) {
+    std::printf("appended run record to %s\n", path.c_str());
+  }
+}
+
 int cmd_train(int argc, const char* const* argv) {
   ArgParser args("ddnn train", "Jointly train a DDNN and save its weights.");
   add_model_options(args);
@@ -118,6 +151,10 @@ int cmd_train(int argc, const char* const* argv) {
       .add_option("batch", "mini-batch size", "32")
       .add_option("out", "output weight file", "model.ddnn")
       .add_option("metrics-out", "write the metrics registry as JSON", "")
+      .add_option("series-out",
+                  "write a per-epoch windowed series (loss, per-exit "
+                  "accuracy, exit fractions) as CSV or .json",
+                  "")
       .add_flag("verbose", "log per-epoch loss");
   add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
@@ -132,6 +169,11 @@ int cmd_train(int argc, const char* const* argv) {
   train_cfg.batch_size = static_cast<std::size_t>(args.get_int("batch"));
   train_cfg.verbose = args.has_flag("verbose");
   train_cfg.metrics = &obs::global_metrics();
+  obs::WindowedSeries series(1.0, "epoch");
+  if (!args.get("series-out").empty()) {
+    train_cfg.series = &series;
+    train_cfg.series_eval = &dataset.test();
+  }
   std::printf("training %s for %d epochs...\n", cfg.cache_key().c_str(),
               train_cfg.epochs);
   const auto history = core::train_ddnn(model, dataset.train(),
@@ -144,6 +186,23 @@ int cmd_train(int argc, const char* const* argv) {
     obs::global_metrics().write_json(args.get("metrics-out"));
     std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
   }
+  if (!args.get("series-out").empty()) {
+    series.write(args.get("series-out"));
+    std::printf("wrote %zu series windows to %s\n", series.window_count(),
+                args.get("series-out").c_str());
+  }
+
+  obs::LedgerRecord rec = ledger_record("train", args);
+  rec.add_info("epochs", args.get("epochs"));
+  rec.add_info("batch", args.get("batch"));
+  rec.add_info("out", args.get("out"));
+  if (!args.get("series-out").empty()) {
+    rec.add_info("series", args.get("series-out"));
+  }
+  rec.add_metric("train.final_loss", static_cast<double>(history.final_loss()));
+  rec.add_metric("train.epochs", train_cfg.epochs);
+  rec.add_metric("train.seconds", history.total_seconds);
+  finish_ledger(rec);
   report_profile();
   return 0;
 }
@@ -169,12 +228,18 @@ int cmd_eval(int argc, const char* const* argv) {
 
   const auto devices = device_map_from(cfg);
   const auto eval = core::evaluate_exits(model, dataset.test(), devices);
+  obs::LedgerRecord rec = ledger_record("eval", args);
+  rec.add_info("engine", infer::to_string(infer::engine_kind()));
+  rec.add_info("model", args.get("model"));
   for (std::size_t e = 0; e < eval.num_exits(); ++e) {
     std::printf("%-5s accuracy (100%% exit there): %.1f%%\n",
                 eval.exit_names[e].c_str(),
                 100.0 * core::exit_accuracy(eval, e));
+    rec.add_metric("exit_acc." + eval.exit_names[e],
+                   core::exit_accuracy(eval, e));
   }
   if (cfg.num_exits() == 1) {
+    finish_ledger(rec);
     report_profile();
     return 0;
   }
@@ -202,6 +267,13 @@ int cmd_eval(int argc, const char* const* argv) {
   std::printf("%s", confusion.to_table({"car", "bus", "person"})
                         .to_string()
                         .c_str());
+  rec.add_info("threshold", args.get("threshold"));
+  rec.add_metric("overall_acc", policy.overall_accuracy);
+  for (std::size_t e = 0; e < policy.exit_fraction.size(); ++e) {
+    rec.add_metric("exit_frac." + eval.exit_names[e],
+                   policy.exit_fraction[e]);
+  }
+  finish_ledger(rec);
   report_profile();
   return 0;
 }
@@ -228,7 +300,13 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "write per-sample spans as Chrome trace_event JSON "
                   "(load in Perfetto)",
                   "")
-      .add_option("metrics-out", "write the metrics registry as JSON", "");
+      .add_option("metrics-out", "write the metrics registry as JSON", "")
+      .add_option("series-out",
+                  "write windowed time series (exit fractions, per-link "
+                  "bytes, faults, latency percentiles) as CSV or .json",
+                  "")
+      .add_option("series-window",
+                  "series window width in simulated seconds", "0.5");
   add_engine_option(args);
   add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
@@ -283,6 +361,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   if (!args.get("metrics-out").empty()) {
     runtime.bind_metrics(&obs::global_metrics());
   }
+  obs::WindowedSeries series(args.get_double("series-window"), "t");
+  if (!args.get("series-out").empty()) runtime.bind_series(&series);
 
   const auto metrics = runtime.run(dataset.test());
   std::printf("accuracy %.1f%% over %lld samples\n", 100.0 * metrics.accuracy(),
@@ -308,7 +388,74 @@ int cmd_simulate(int argc, const char* const* argv) {
     obs::global_metrics().write_json(args.get("metrics-out"));
     std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
   }
+  if (!args.get("series-out").empty()) {
+    series.write(args.get("series-out"));
+    std::printf("wrote %zu series windows to %s\n", series.window_count(),
+                args.get("series-out").c_str());
+  }
+
+  obs::LedgerRecord rec = ledger_record("simulate", args);
+  rec.add_info("engine", infer::to_string(infer::engine_kind()));
+  rec.add_info("threshold", args.get("threshold"));
+  rec.add_info("fault-seed", args.get("fault-seed"));
+  if (faulty) {
+    rec.add_info("drop", args.get("drop"));
+    rec.add_info("intermittent", args.get("intermittent"));
+    if (!outage.empty()) rec.add_info("outage", outage);
+    if (!args.get("fail").empty()) rec.add_info("fail", args.get("fail"));
+  }
+  if (!args.get("series-out").empty()) {
+    rec.add_info("series", args.get("series-out"));
+  }
+  rec.add_metric("runtime.samples", static_cast<double>(metrics.samples));
+  rec.add_metric("runtime.accuracy", metrics.accuracy());
+  rec.add_metric("runtime.bytes_total",
+                 static_cast<double>(metrics.total_bytes));
+  rec.add_metric("runtime.mean_latency_ms", 1e3 * metrics.mean_latency_s());
+  for (std::size_t e = 0; e < metrics.exit_counts.size(); ++e) {
+    rec.add_metric("runtime.exit." + model.exit_names()[e],
+                   static_cast<double>(metrics.exit_counts[e]));
+  }
+  rec.add_metric("runtime.drops",
+                 static_cast<double>(metrics.reliability.drops));
+  rec.add_metric("runtime.retries",
+                 static_cast<double>(metrics.reliability.retries));
+  rec.add_metric("runtime.timeouts",
+                 static_cast<double>(metrics.reliability.timeouts));
+  rec.add_metric("runtime.degraded",
+                 static_cast<double>(metrics.reliability.degraded_exits));
+  rec.add_metric("runtime.dead",
+                 static_cast<double>(metrics.reliability.dead_samples));
+  finish_ledger(rec);
   report_profile();
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  ArgParser args("ddnn report",
+                 "Render the run ledger, series exports and result CSVs "
+                 "into one self-contained HTML dashboard.");
+  args.add_option("results-dir",
+                  "results directory (default $DDNN_RESULTS_DIR, else "
+                  "'results')",
+                  "")
+      .add_option("out", "output HTML file (default <results-dir>/report.html)",
+                  "")
+      .add_option("title", "report title", "DDNN run report");
+  if (!args.parse(argc, argv)) return 0;
+
+  obs::ReportOptions opts;
+  opts.results_dir =
+      args.get("results-dir").empty() ? results_dir() : args.get("results-dir");
+  opts.title = args.get("title");
+  std::string out = args.get("out");
+  if (out.empty()) {
+    DDNN_CHECK(!opts.results_dir.empty(),
+               "results are disabled (DDNN_RESULTS_DIR=off); pass --out");
+    out = opts.results_dir + "/report.html";
+  }
+  obs::write_report_html(opts, out);
+  std::printf("wrote report to %s\n", out.c_str());
   return 0;
 }
 
@@ -346,7 +493,7 @@ int cmd_dataset(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ddnn <train|eval|simulate|dataset> [options]\n"
+      "usage: ddnn <train|eval|simulate|dataset|report> [options]\n"
       "run `ddnn <command> --help` for command options\n";
   if (argc < 2) {
     std::printf("%s", usage.c_str());
@@ -358,6 +505,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "dataset") return cmd_dataset(argc - 1, argv + 1);
+    if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::printf("unknown command '%s'\n%s", command.c_str(), usage.c_str());
     return 1;
   } catch (const Error& e) {
