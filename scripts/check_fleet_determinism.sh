@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fleet queueing determinism gate: run examples/fleet_sim twice — once with
+# DDNN_THREADS=1 and once with DDNN_THREADS=4 — and require the windowed
+# series CSV and the run ledger to be byte-identical (the ledger is compared
+# after normalizing the results-dir path embedded in its "series" info
+# entry). The discrete-event simulator is single-threaded on a simulated
+# clock and the classify() trace pool obeys the repo-wide determinism
+# contract, so any divergence is a regression. Finally the first run's
+# ledger is gated against the committed bench/baselines/fleet_sim.json
+# bands via scripts/check_bench.py.
+#
+# Usage: check_fleet_determinism.sh <fleet_sim-binary> <source-dir> <scratch-dir>
+set -euo pipefail
+
+bin="${1:?usage: check_fleet_determinism.sh <fleet_sim-binary> <source-dir> <scratch-dir>}"
+src="${2:?missing source dir}"
+scratch="${3:?missing scratch dir}"
+
+rm -rf "${scratch}"
+mkdir -p "${scratch}/cache"
+
+# Short training run (the queueing network only consumes the traces); the
+# weight cache is shared so both runs replay the identical trace pool.
+export DDNN_EPOCHS=2
+export DDNN_CACHE_DIR="${scratch}/cache"
+
+for threads in 1 4; do
+  echo "== DDNN_THREADS=${threads} ${bin}"
+  DDNN_THREADS="${threads}" DDNN_RESULTS_DIR="${scratch}/r${threads}" \
+    "${bin}" > "${scratch}/stdout_r${threads}.txt"
+done
+
+for f in example_fleet_sim_series.csv example_fleet_sim_policies.csv; do
+  cmp "${scratch}/r1/${f}" "${scratch}/r4/${f}"
+  echo "byte-identical: ${f}"
+done
+
+# The ledgers differ only in the results-dir prefix baked into the series
+# path; normalize it away before demanding byte identity.
+for threads in 1 4; do
+  sed "s|${scratch}/r${threads}/|RESULTS/|g" \
+    "${scratch}/r${threads}/ledger.jsonl" > "${scratch}/ledger_r${threads}.norm"
+done
+cmp "${scratch}/ledger_r1.norm" "${scratch}/ledger_r4.norm"
+echo "byte-identical: ledger.jsonl (path-normalized)"
+
+python3 "${src}/scripts/check_bench.py" \
+  --ledger "${scratch}/r1/ledger.jsonl" \
+  --baselines "${src}/bench/baselines" fleet_sim
+echo "fleet determinism sweep passed for DDNN_THREADS=1 and 4"

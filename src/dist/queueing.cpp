@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <queue>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -12,6 +14,37 @@ double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
                                double q) {
   return ddnn::percentile_nearest_rank(sorted_ascending, q);
 }
+
+double exponential_from_uniform(double u, double rate_hz) {
+  DDNN_CHECK(rate_hz > 0.0, "non-positive arrival rate " << rate_hz);
+  // Clamp u away from 1: -log(1 - 1) is +inf, which would freeze the
+  // arrival clock forever. The largest double below 1 keeps the tail gap
+  // finite (~36.7 mean inter-arrival times) without biasing the body.
+  constexpr double kBelowOne = 0x1.fffffffffffffp-1;
+  u = std::clamp(u, 0.0, kBelowOne);
+  return -std::log(1.0 - u) / rate_hz;
+}
+
+namespace {
+
+/// Sort + summarize a latency sample; all-zero when the sample is empty
+/// (e.g. every trace was dead), never UB.
+void fill_latency_stats(std::vector<double>& latencies, double& mean,
+                        double& p50, double& p95, double& max) {
+  if (latencies.empty()) {
+    mean = p50 = p95 = max = 0.0;
+    return;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  mean = sum / static_cast<double>(latencies.size());
+  p50 = ddnn::percentile_nearest_rank(latencies, 0.50);
+  p95 = ddnn::percentile_nearest_rank(latencies, 0.95);
+  max = latencies.back();
+}
+
+}  // namespace
 
 QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
                               const QueueingConfig& config,
@@ -34,10 +67,16 @@ QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
 
   for (std::int64_t k = 0; k < stream_length; ++k) {
     // Poisson arrivals: exponential inter-arrival times.
-    now += -std::log(1.0 - rng.uniform()) / config.arrival_rate_hz;
+    now += exponential_from_uniform(rng.uniform(), config.arrival_rate_hz);
     const InferenceTrace& trace =
         traces[static_cast<std::size_t>(k) % traces.size()];
 
+    if (trace.exit_taken < 0) {
+      // Dead trace: nothing classified it, so nothing is serviced. It must
+      // not occupy the cloud server or contribute a latency sample.
+      ++stats.dead;
+      continue;
+    }
     if (trace.exit_taken == 0) {
       // Local exit: device + gateway latency only, no shared resource.
       latencies.push_back(trace.latency_s);
@@ -54,15 +93,374 @@ QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
     latencies.push_back(done - now);
   }
 
-  std::sort(latencies.begin(), latencies.end());
-  double sum = 0.0;
-  for (const double l : latencies) sum += l;
-  stats.mean_latency_s = sum / static_cast<double>(latencies.size());
-  stats.p50_latency_s = percentile_nearest_rank(latencies, 0.50);
-  stats.p95_latency_s = percentile_nearest_rank(latencies, 0.95);
-  stats.max_latency_s = latencies.back();
+  fill_latency_stats(latencies, stats.mean_latency_s, stats.p50_latency_s,
+                     stats.p95_latency_s, stats.max_latency_s);
   const double horizon = std::max(now, cloud_free_at);
   stats.cloud_utilization = horizon > 0.0 ? cloud_busy_total / horizon : 0.0;
+  return stats;
+}
+
+// ------------------------------------------------------ fleet-scale network
+
+EdgePolicy parse_edge_policy(const std::string& name) {
+  if (name == "nearest") return EdgePolicy::kNearest;
+  if (name == "least-loaded") return EdgePolicy::kLeastLoaded;
+  if (name == "round-robin") return EdgePolicy::kRoundRobin;
+  DDNN_CHECK(false, "unknown edge policy '"
+                        << name
+                        << "' (expected nearest|least-loaded|round-robin)");
+  return EdgePolicy::kNearest;
+}
+
+std::string to_string(EdgePolicy policy) {
+  switch (policy) {
+    case EdgePolicy::kNearest: return "nearest";
+    case EdgePolicy::kLeastLoaded: return "least-loaded";
+    case EdgePolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+double FleetStats::mean_edge_utilization() const {
+  if (edges.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : edges) sum += e.utilization;
+  return sum / static_cast<double>(edges.size());
+}
+
+Table FleetStats::station_table() const {
+  Table table({"Station", "Served", "Batches", "Shed", "Peak queue",
+               "Util. (%)"});
+  for (std::size_t g = 0; g < edges.size(); ++g) {
+    const auto& e = edges[g];
+    table.add_row({"edge" + std::to_string(g), std::to_string(e.served),
+                   std::to_string(e.batches), std::to_string(e.shed),
+                   std::to_string(e.peak_queue),
+                   Table::num(100.0 * e.utilization, 1)});
+  }
+  table.add_row({"cloud", std::to_string(cloud.served),
+                 std::to_string(cloud.batches), std::to_string(cloud.shed),
+                 std::to_string(cloud.peak_queue),
+                 Table::num(100.0 * cloud.utilization, 1)});
+  return table;
+}
+
+namespace {
+
+/// One sample in flight through the network.
+struct Job {
+  double entry_t = 0.0;     // network-entry time (open-loop arrival)
+  bool needs_cloud = false; // continues edge -> cloud after edge service
+  bool local = false;       // device-tier exit, never touches a station
+};
+
+/// Heap events, processed in (t, seq) order. seq is the schedule sequence
+/// number, so simultaneous events resolve in the deterministic order they
+/// were created — never by allocation address or hash order.
+struct Event {
+  enum class Kind { kEntry, kStationArrival, kServerFree, kDone };
+  double t = 0.0;
+  std::int64_t seq = 0;
+  Kind kind = Kind::kEntry;
+  int station = -1;  // kStationArrival / kServerFree
+  int server = -1;   // kServerFree
+  std::int64_t index = 0;  // kEntry: arrival index
+  Job job;           // kStationArrival / kDone
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+/// A FIFO station with a pool of identical servers and a bounded queue.
+struct Station {
+  std::vector<double> server_free_at;
+  std::deque<Job> queue;
+  StationStats stats;
+};
+
+/// fleet.* series column handles (all -1 when no series is bound).
+struct FleetSeries {
+  obs::WindowedSeries* series = nullptr;
+  int arrivals = -1;
+  int completed = -1;
+  int local = -1;
+  int escalated = -1;
+  int dead = -1;
+  int shed = -1;
+  int latency_ms = -1;
+  int queue_depth = -1;
+};
+
+}  // namespace
+
+FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
+                          const FleetConfig& config,
+                          std::int64_t stream_length,
+                          obs::WindowedSeries* series) {
+  DDNN_CHECK(!traces.empty(), "fleet simulation needs at least one trace");
+  DDNN_CHECK(stream_length > 0, "non-positive stream length");
+  DDNN_CHECK(config.num_devices > 0, "fleet needs at least one device");
+  DDNN_CHECK(config.num_edges > 0, "fleet needs at least one edge");
+  DDNN_CHECK(config.edge_servers > 0 && config.cloud_servers > 0,
+             "every server pool needs at least one server");
+  DDNN_CHECK(config.edge_service_s >= 0.0 && config.cloud_service_s >= 0.0,
+             "negative service time");
+  DDNN_CHECK(config.edge_cloud_latency_s >= 0.0, "negative hop latency");
+  DDNN_CHECK(config.max_batch >= 1, "max_batch must be >= 1");
+  DDNN_CHECK(config.batch_growth >= 0.0, "negative batch growth");
+  DDNN_CHECK(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  DDNN_CHECK(config.first_cloud_exit >= 1, "first_cloud_exit must be >= 1");
+  if (config.interarrival_s.empty()) {
+    DDNN_CHECK(config.arrival_rate_hz > 0.0, "non-positive arrival rate");
+  } else {
+    for (const double gap : config.interarrival_s) {
+      DDNN_CHECK(gap >= 0.0 && std::isfinite(gap),
+                 "inter-arrival gap " << gap << " must be finite and >= 0");
+    }
+  }
+
+  FleetSeries fs;
+  if (series != nullptr) {
+    DDNN_CHECK(series->column_count() == 0,
+               "simulate_fleet needs a freshly constructed series (it "
+               "registers its own fleet.* columns)");
+    fs.series = series;
+    fs.arrivals = series->add_counter("fleet.arrivals");
+    fs.completed = series->add_counter("fleet.completed");
+    fs.local = series->add_counter("fleet.local");
+    fs.escalated = series->add_counter("fleet.escalated");
+    fs.dead = series->add_counter("fleet.dead");
+    fs.shed = series->add_counter("fleet.shed");
+    series->add_rate("fleet.throughput_hz", fs.completed);
+    fs.latency_ms = series->add_histogram("fleet.latency_ms");
+    fs.queue_depth = series->add_gauge("fleet.queue_depth");
+  }
+  const auto tick = [&fs](int col, double t, double v) {
+    if (fs.series != nullptr) fs.series->record(col, t, v);
+  };
+
+  FleetStats stats;
+  stats.edges.resize(static_cast<std::size_t>(config.num_edges));
+
+  // Stations 0..M-1 are edges, station M is the cloud.
+  const int cloud_idx = config.num_edges;
+  std::vector<Station> stations(static_cast<std::size_t>(config.num_edges) +
+                                1);
+  for (int g = 0; g < config.num_edges; ++g) {
+    stations[static_cast<std::size_t>(g)].server_free_at.assign(
+        static_cast<std::size_t>(config.edge_servers), 0.0);
+  }
+  stations[static_cast<std::size_t>(cloud_idx)].server_free_at.assign(
+      static_cast<std::size_t>(config.cloud_servers), 0.0);
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::int64_t seq = 0;
+  const auto push = [&events, &seq](Event ev) {
+    ev.seq = seq++;
+    events.push(std::move(ev));
+  };
+
+  Rng rng(config.seed);
+  std::int64_t queued_total = 0;  // across every station, for the gauge
+  std::int64_t rr_next = 0;       // round-robin edge cursor
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(stream_length));
+
+  // Dispatch loop for one station: every free server takes up to max_batch
+  // queued samples (the cloud serves singly; its upstream edge already
+  // batched the section forward pass) and serves the batch in
+  // base * (1 + (k-1) * growth).
+  const auto dispatch = [&](int station_idx, double now) {
+    Station& st = stations[static_cast<std::size_t>(station_idx)];
+    const bool is_cloud = station_idx == cloud_idx;
+    const double base_service =
+        is_cloud ? config.cloud_service_s : config.edge_service_s;
+    while (!st.queue.empty()) {
+      int srv = -1;
+      for (std::size_t s = 0; s < st.server_free_at.size(); ++s) {
+        if (st.server_free_at[s] <= now) {
+          srv = static_cast<int>(s);
+          break;
+        }
+      }
+      if (srv < 0) return;
+      const auto batch = is_cloud
+                             ? std::int64_t{1}
+                             : std::min<std::int64_t>(
+                                   config.max_batch,
+                                   static_cast<std::int64_t>(st.queue.size()));
+      const double service =
+          base_service *
+          (1.0 + static_cast<double>(batch - 1) * config.batch_growth);
+      const double done = now + service;
+      st.server_free_at[static_cast<std::size_t>(srv)] = done;
+      st.stats.busy_s += service;
+      st.stats.served += batch;
+      ++st.stats.batches;
+      push({.t = done, .kind = Event::Kind::kServerFree,
+            .station = station_idx, .server = srv, .job = {}});
+      for (std::int64_t b = 0; b < batch; ++b) {
+        Job job = st.queue.front();
+        st.queue.pop_front();
+        --queued_total;
+        if (!is_cloud && job.needs_cloud) {
+          push({.t = done + config.edge_cloud_latency_s,
+                .kind = Event::Kind::kStationArrival, .station = cloud_idx,
+                .job = job});
+        } else {
+          push({.t = done, .kind = Event::Kind::kDone, .job = job});
+        }
+      }
+    }
+  };
+
+  // Seed the arrival chain: entry k schedules entry k+1, so the heap stays
+  // small and the RNG draw order is exactly the arrival order.
+  double arrival_clock =
+      config.interarrival_s.empty()
+          ? exponential_from_uniform(rng.uniform(), config.arrival_rate_hz)
+          : config.interarrival_s[0];
+  push({.t = arrival_clock, .kind = Event::Kind::kEntry, .index = 0,
+        .job = {}});
+
+  double horizon = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.t;
+    horizon = std::max(horizon, now);
+    switch (ev.kind) {
+      case Event::Kind::kEntry: {
+        if (ev.index + 1 < stream_length) {
+          arrival_clock +=
+              config.interarrival_s.empty()
+                  ? exponential_from_uniform(rng.uniform(),
+                                             config.arrival_rate_hz)
+                  : config.interarrival_s[static_cast<std::size_t>(
+                        (ev.index + 1) %
+                        static_cast<std::int64_t>(
+                            config.interarrival_s.size()))];
+          push({.t = arrival_clock, .kind = Event::Kind::kEntry,
+                .index = ev.index + 1, .job = {}});
+        }
+        ++stats.arrivals;
+        tick(fs.arrivals, now, 1.0);
+        const int device = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(config.num_devices)));
+        const InferenceTrace& trace =
+            traces[static_cast<std::size_t>(ev.index) % traces.size()];
+        if (trace.exit_taken < 0) {
+          // Dead trace: no tier classified it — it must never occupy a
+          // queueing server or contribute a latency sample.
+          ++stats.dead;
+          tick(fs.dead, now, 1.0);
+          break;
+        }
+        Job job;
+        job.entry_t = now;
+        if (trace.exit_taken == 0) {
+          job.local = true;
+          push({.t = now + trace.latency_s, .kind = Event::Kind::kDone,
+                .job = job});
+          break;
+        }
+        job.needs_cloud = trace.exit_taken >= config.first_cloud_exit;
+        int edge = 0;
+        switch (config.policy) {
+          case EdgePolicy::kNearest:
+            edge = static_cast<int>(
+                static_cast<std::int64_t>(device) * config.num_edges /
+                config.num_devices);
+            break;
+          case EdgePolicy::kRoundRobin:
+            edge = static_cast<int>(rr_next++ %
+                                    static_cast<std::int64_t>(
+                                        config.num_edges));
+            break;
+          case EdgePolicy::kLeastLoaded: {
+            std::int64_t best = -1;
+            for (int g = 0; g < config.num_edges; ++g) {
+              const Station& st = stations[static_cast<std::size_t>(g)];
+              auto load = static_cast<std::int64_t>(st.queue.size());
+              for (const double free_at : st.server_free_at) {
+                if (free_at > now) ++load;
+              }
+              if (best < 0 || load < best) {
+                best = load;
+                edge = g;
+              }
+            }
+            break;
+          }
+        }
+        push({.t = now + trace.latency_s,
+              .kind = Event::Kind::kStationArrival, .station = edge,
+              .job = job});
+        break;
+      }
+      case Event::Kind::kStationArrival: {
+        Station& st = stations[static_cast<std::size_t>(ev.station)];
+        if (static_cast<std::int64_t>(st.queue.size()) >=
+            config.queue_capacity) {
+          // Admission control: the queue is full, so the sample is shed —
+          // counted at both the station and the network, never crashed on.
+          ++st.stats.shed;
+          ++stats.shed;
+          tick(fs.shed, now, 1.0);
+          break;
+        }
+        st.queue.push_back(ev.job);
+        ++queued_total;
+        st.stats.peak_queue = std::max(
+            st.stats.peak_queue, static_cast<std::int64_t>(st.queue.size()));
+        dispatch(ev.station, now);
+        tick(fs.queue_depth, now, static_cast<double>(queued_total));
+        break;
+      }
+      case Event::Kind::kServerFree: {
+        dispatch(ev.station, now);
+        tick(fs.queue_depth, now, static_cast<double>(queued_total));
+        break;
+      }
+      case Event::Kind::kDone: {
+        const double latency = now - ev.job.entry_t;
+        latencies.push_back(latency);
+        ++stats.completed;
+        tick(fs.completed, now, 1.0);
+        if (ev.job.local) {
+          ++stats.local;
+          tick(fs.local, now, 1.0);
+        } else {
+          ++stats.escalated;
+          tick(fs.escalated, now, 1.0);
+        }
+        tick(fs.latency_ms, now, 1e3 * latency);
+        break;
+      }
+    }
+  }
+
+  fill_latency_stats(latencies, stats.mean_latency_s, stats.p50_latency_s,
+                     stats.p95_latency_s, stats.max_latency_s);
+  stats.horizon_s = horizon;
+  stats.throughput_hz =
+      horizon > 0.0 ? static_cast<double>(stats.completed) / horizon : 0.0;
+  for (int g = 0; g <= config.num_edges; ++g) {
+    const Station& st = stations[static_cast<std::size_t>(g)];
+    StationStats out = st.stats;
+    const double pool =
+        static_cast<double>(st.server_free_at.size()) * horizon;
+    out.utilization = pool > 0.0 ? out.busy_s / pool : 0.0;
+    if (g == cloud_idx) {
+      stats.cloud = out;
+    } else {
+      stats.edges[static_cast<std::size_t>(g)] = out;
+    }
+  }
   return stats;
 }
 

@@ -2,22 +2,42 @@
 //
 // The paper's latency argument (Sections I and V) is per-sample: samples
 // exiting locally skip the uplink. Under *load*, local exits matter even
-// more — escalated samples contend for the shared cloud, and queueing delay
-// compounds the transfer time. This module runs an event-driven simulation:
-// samples arrive as a Poisson process; locally exited samples finish after
-// their device+gateway latency; escalated samples additionally pass through
-// a single-server FIFO cloud queue.
+// more — escalated samples contend for shared edge/cloud resources, and
+// queueing delay compounds the transfer time. This module provides two
+// deterministic simulators over per-sample inference traces:
+//
+//   * simulate_stream — the original single-server FIFO cloud: samples
+//     arrive as a Poisson process; locally exited samples finish after
+//     their device+gateway latency; escalated samples additionally pass
+//     through one cloud server. Kept as the analytically transparent M/D/1
+//     reference.
+//
+//   * simulate_fleet — an open-loop multi-server queueing network over an
+//     N-device × M-edge × multi-cloud topology: per-edge and per-cloud
+//     server pools with bounded FIFO queues (overflow is shed and counted,
+//     never crashed on), Poisson- or trace-driven arrivals, per-edge
+//     request batching that amortizes section forward passes over
+//     concurrent samples, and pluggable edge-selection policies (nearest /
+//     least-loaded / round-robin). Event processing is a single-threaded
+//     heap ordered by (time, schedule sequence), so results are
+//     byte-identical across reruns and DDNN_THREADS settings.
 //
 // Input is a trace of per-sample outcomes from HierarchyRuntime (exit tier
 // and network latency), so the queueing layer composes with any trained
-// model and threshold policy without re-running inference.
+// model and threshold policy without re-running inference. Dead traces
+// (exit_taken == -1, produced by the fault layer) never occupy a server in
+// either simulator: they are counted separately and contribute no latency
+// sample.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dist/runtime.hpp"
+#include "obs/timeseries.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace ddnn::dist {
 
@@ -32,6 +52,9 @@ struct QueueingConfig {
 struct QueueingStats {
   std::int64_t samples = 0;
   std::int64_t escalated = 0;
+  /// Dead traces (exit_taken == -1): counted here, excluded from the
+  /// server, the latency percentiles and the utilization horizon's load.
+  std::int64_t dead = 0;
   double mean_latency_s = 0.0;
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
@@ -48,13 +71,124 @@ struct QueueingStats {
 double percentile_nearest_rank(const std::vector<double>& sorted_ascending,
                                double q);
 
+/// Inverse-CDF exponential inter-arrival gap from a uniform draw u:
+/// -log(1 - u) / rate_hz, with u clamped below 1 so the gap is always
+/// finite (u == 1 would map to +inf and freeze the arrival clock).
+/// rate_hz must be positive; u outside [0, 1] is clamped into it.
+double exponential_from_uniform(double u, double rate_hz);
+
 /// Simulate a Poisson sample stream over per-sample inference traces
 /// (cycled if the stream is longer than the trace). Every trace's
 /// `latency_s` is the network+compute latency without contention; samples
 /// with `exit_taken` past the first exit additionally queue for the cloud
-/// server.
+/// server. Dead traces (exit_taken == -1) are counted in `dead` and never
+/// reach the server.
 QueueingStats simulate_stream(const std::vector<InferenceTrace>& traces,
                               const QueueingConfig& config,
                               std::int64_t stream_length = 2000);
+
+// ------------------------------------------------------ fleet-scale network
+
+/// How an escalated sample picks its edge station.
+enum class EdgePolicy {
+  /// The device's home edge: contiguous blocks of devices per edge.
+  kNearest,
+  /// The edge with the fewest queued + in-service samples at routing time
+  /// (ties broken toward the lowest index).
+  kLeastLoaded,
+  /// A global round-robin counter over the edges.
+  kRoundRobin,
+};
+
+EdgePolicy parse_edge_policy(const std::string& name);
+std::string to_string(EdgePolicy policy);
+
+struct FleetConfig {
+  /// Topology: N devices spread over M edges; one cloud with its own pool.
+  int num_devices = 100;
+  int num_edges = 4;
+  /// Server-pool sizes: each edge runs `edge_servers` parallel servers,
+  /// the cloud runs `cloud_servers`.
+  int edge_servers = 1;
+  int cloud_servers = 2;
+
+  /// Open-loop arrivals: Poisson at `arrival_rate_hz` over the whole
+  /// fleet, unless `interarrival_s` is non-empty — then the gaps (seconds,
+  /// all >= 0) are replayed in order and cycled (trace-file-driven load).
+  double arrival_rate_hz = 200.0;
+  std::vector<double> interarrival_s;
+
+  /// Deterministic service model (seconds).
+  double edge_service_s = 2e-3;
+  double cloud_service_s = 4e-3;
+  /// Extra hop latency for samples forwarded from an edge to the cloud.
+  double edge_cloud_latency_s = 10e-3;
+
+  /// Per-edge request batching: a freeing server takes up to `max_batch`
+  /// queued samples and serves them together in
+  /// edge_service_s * (1 + (batch - 1) * batch_growth) — the section
+  /// forward pass is amortized over the batch. The cloud serves one sample
+  /// per dispatch (its section already runs at batch granularity upstream).
+  int max_batch = 8;
+  double batch_growth = 0.25;
+
+  /// Bounded-queue admission control: a sample arriving at a station whose
+  /// queue already holds `queue_capacity` samples is shed (counted, never
+  /// crashed on) and leaves the network.
+  std::int64_t queue_capacity = 256;
+
+  /// Traces with exit_taken >= first_cloud_exit continue from their edge
+  /// to the cloud tier. Three-exit traces (local/edge/cloud) use the
+  /// default 2; two-exit traces (local/cloud) should set 1 so escalated
+  /// samples pass through their gateway/edge station on the way up.
+  int first_cloud_exit = 2;
+
+  EdgePolicy policy = EdgePolicy::kNearest;
+  std::uint64_t seed = 1;
+};
+
+/// Per-station (edge or cloud) accounting.
+struct StationStats {
+  std::int64_t served = 0;   // samples that completed service here
+  std::int64_t batches = 0;  // dispatches (served / batches = mean batch)
+  std::int64_t shed = 0;     // arrivals rejected by admission control
+  std::int64_t peak_queue = 0;
+  double busy_s = 0.0;       // server-busy seconds summed over the pool
+  double utilization = 0.0;  // busy_s / (servers * horizon)
+};
+
+struct FleetStats {
+  std::int64_t arrivals = 0;
+  std::int64_t completed = 0;  // samples that obtained a classification
+  std::int64_t local = 0;      // completed at the device tier
+  std::int64_t escalated = 0;  // completed after edge (and maybe cloud)
+  std::int64_t dead = 0;       // dead traces: counted, never enqueued
+  std::int64_t shed = 0;       // dropped by admission control (all stations)
+  double horizon_s = 0.0;      // time of the last processed event
+  double throughput_hz = 0.0;  // completed / horizon
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  std::vector<StationStats> edges;
+  StationStats cloud;
+
+  double mean_edge_utilization() const;
+  /// Per-station breakdown (station, servers implied by config, served,
+  /// batches, shed, peak queue, utilization %).
+  Table station_table() const;
+};
+
+/// Simulate `stream_length` open-loop arrivals over the fleet topology,
+/// replaying `traces` cyclically. When `series` is given it must be freshly
+/// constructed (no columns yet); the simulator registers fleet.* columns —
+/// arrivals/completed/local/escalated/dead/shed counters, a
+/// fleet.throughput_hz rate, a fleet.latency_ms histogram and a
+/// fleet.queue_depth gauge — and records every event at its simulated time,
+/// so exports are byte-identical across reruns and DDNN_THREADS settings.
+FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
+                          const FleetConfig& config,
+                          std::int64_t stream_length,
+                          obs::WindowedSeries* series = nullptr);
 
 }  // namespace ddnn::dist

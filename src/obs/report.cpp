@@ -361,6 +361,10 @@ std::string render_series_csv(const std::string& label, const CsvFile& csv) {
       {"Sample latency percentiles (ms)", "runtime.latency_ms.p", ""},
       {"Drops / retries / timeouts per window", "runtime.drops", ""},
       {"Per-link bytes per window", "link.", ".bytes"},
+      {"Fleet throughput (Hz)", "fleet.throughput_hz", ""},
+      {"Fleet latency percentiles (ms)", "fleet.latency_ms.p", ""},
+      {"Fleet outcomes per window", "fleet.completed", ""},
+      {"Fleet queue depth", "fleet.queue_depth", ""},
       {"Training loss", "train.loss", ""},
       {"Per-exit accuracy by epoch", "train.exit_acc.", ""},
       {"Exit fractions by epoch", "train.exit_frac.", ""},
@@ -413,7 +417,21 @@ std::string render_series_csv(const std::string& label, const CsvFile& csv) {
         }
       }
     }
-    if (group.prefix == "runtime.latency_ms.p") {
+    // The fleet outcome chart pulls in its sibling counters explicitly.
+    if (group.prefix == "fleet.completed") {
+      for (const char* extra :
+           {"fleet.local", "fleet.escalated", "fleet.shed", "fleet.dead"}) {
+        const auto it = by_name.find(extra);
+        if (it != by_name.end()) {
+          Series s;
+          s.name = std::string(extra).substr(6);
+          s.points = col_points(it->second);
+          series.push_back(std::move(s));
+        }
+      }
+    }
+    if (group.prefix == "runtime.latency_ms.p" ||
+        group.prefix == "fleet.latency_ms.p") {
       for (auto& s : series) s.name = "p" + s.name;
     }
     any_chart = true;

@@ -76,6 +76,17 @@ int WindowedSeries::add_ratio(const std::string& name, int numerator,
   return col;
 }
 
+int WindowedSeries::add_rate(const std::string& name, int counter) {
+  DDNN_CHECK(counter >= 0 && counter < static_cast<int>(columns_.size()),
+             "rate '" << name << "' references unknown column " << counter);
+  DDNN_CHECK(columns_[static_cast<std::size_t>(counter)].kind ==
+                 Kind::kCounter,
+             "rate '" << name << "' must reference a counter column");
+  const int col = add_column(name, Kind::kRate);
+  columns_[static_cast<std::size_t>(col)].num = counter;
+  return col;
+}
+
 void WindowedSeries::flush_window() {
   for (auto& c : columns_) {
     switch (c.kind) {
@@ -91,6 +102,7 @@ void WindowedSeries::flush_window() {
         c.values.clear();
         break;
       case Kind::kRatio:
+      case Kind::kRate:
         c.flushed.push_back(0.0);  // derived at export
         break;
     }
@@ -123,9 +135,10 @@ void WindowedSeries::record(int col, double t, double value) {
       c.values.push_back(value);
       break;
     case Kind::kRatio:
-      DDNN_CHECK(false, "ratio column '" << c.name
-                                         << "' is derived; record into its "
-                                            "numerator/denominator instead");
+    case Kind::kRate:
+      DDNN_CHECK(false, "column '" << c.name
+                                   << "' is derived; record into its "
+                                      "underlying counter instead");
   }
   open_window_active_ = true;
 }
@@ -179,6 +192,12 @@ void WindowedSeries::append_cells(std::vector<double>& out, const Column& c,
       const double n = live ? num.sum : num.flushed[w];
       const double d = live ? den.sum : den.flushed[w];
       out.push_back(d == 0.0 ? 0.0 : n / d);
+      break;
+    }
+    case Kind::kRate: {
+      const Column& num = columns_[static_cast<std::size_t>(c.num)];
+      const double n = live ? num.sum : num.flushed[w];
+      out.push_back(n / width_);
       break;
     }
   }

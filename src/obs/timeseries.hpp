@@ -10,7 +10,9 @@
 //                 / .max (exact nearest-rank over the window's raw values,
 //                 shared with dist::percentile_nearest_rank via util/stats);
 //   * ratio     — derived at export: counter delta / counter delta of the
-//                 same window (0 when the denominator is 0).
+//                 same window (0 when the denominator is 0);
+//   * rate      — derived at export: counter delta / window width, i.e. the
+//                 column in clock units per second (a throughput curve).
 //
 // Determinism contract (docs/ARCHITECTURE.md "Observability"): recording is
 // single-writer — the runtime's classify() loop and the trainer's epoch
@@ -47,6 +49,10 @@ class WindowedSeries {
   /// Derived column: delta(numerator)/delta(denominator) per window; both
   /// ids must name counter columns.
   int add_ratio(const std::string& name, int numerator, int denominator);
+  /// Derived column: delta(counter) / window width per window — the
+  /// counter's rate in events per clock unit. `counter` must name a
+  /// counter column.
+  int add_rate(const std::string& name, int counter);
 
   /// Record `value` into column `col` at clock `t`. `t` must be >= 0 and
   /// must not precede the current window (the clocks we key on are
@@ -74,7 +80,7 @@ class WindowedSeries {
   void write(const std::string& path) const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kRatio };
+  enum class Kind { kCounter, kGauge, kHistogram, kRatio, kRate };
   struct Column {
     std::string name;
     Kind kind;

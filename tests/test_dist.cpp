@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "autograd/grad_mode.hpp"
 #include "core/inference.hpp"
 #include "dist/link.hpp"
@@ -401,6 +403,300 @@ TEST(Queueing, ValidatesInputs) {
       simulate_stream(traces, QueueingConfig{.arrival_rate_hz = 0.0}, 10),
       Error);
   EXPECT_THROW(simulate_stream(traces, QueueingConfig{}, 0), Error);
+}
+
+InferenceTrace trace_of(int exit_taken, double latency_s) {
+  InferenceTrace t;
+  t.exit_taken = exit_taken;
+  t.latency_s = latency_s;
+  t.dead = exit_taken < 0;
+  return t;
+}
+
+TEST(Queueing, DeadTracesAreExcludedFromTheCloudServer) {
+  // Regression: dead traces (exit_taken = -1, fault layer) used to be
+  // treated as escalations — they occupied the server, advanced
+  // cloud_free_at and polluted the percentiles. Half the stream is dead
+  // here; if dead samples were serviced the 10 ms server would saturate at
+  // this arrival rate.
+  std::vector<InferenceTrace> traces{trace_of(-1, 0.0),
+                                     trace_of(1, 10e-3)};
+  QueueingConfig cfg{.arrival_rate_hz = 150.0, .cloud_service_s = 10e-3};
+  const auto stats = simulate_stream(traces, cfg, 2000);
+  EXPECT_EQ(stats.dead, 1000);
+  EXPECT_EQ(stats.escalated, 1000);
+  EXPECT_EQ(stats.samples, 2000);
+  // Effective served load is 75 Hz * 10 ms = 0.75; with dead samples
+  // serviced it would be ~1 and the tail would explode.
+  EXPECT_LT(stats.cloud_utilization, 0.85);
+  EXPECT_GT(stats.cloud_utilization, 0.6);
+}
+
+TEST(Queueing, AllDeadTracesYieldZeroedStats) {
+  // Regression: with every latency sample excluded, the summary used to
+  // divide by latencies.size() and call latencies.back() on an empty
+  // vector — UB. An all-dead stream must produce zeroed stats instead.
+  const std::vector<InferenceTrace> traces{trace_of(-1, 0.0)};
+  QueueingConfig cfg{.arrival_rate_hz = 50.0, .cloud_service_s = 10e-3};
+  const auto stats = simulate_stream(traces, cfg, 100);
+  EXPECT_EQ(stats.samples, 100);
+  EXPECT_EQ(stats.dead, 100);
+  EXPECT_EQ(stats.escalated, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p95_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.cloud_utilization, 0.0);
+}
+
+TEST(Queueing, ExponentialDrawStaysFiniteAtTheUniformBoundary) {
+  // Regression: -log(1 - u) is +inf at u == 1, which would freeze the
+  // arrival clock. The draw clamps u below 1, so every gap is finite.
+  const double at_one = exponential_from_uniform(1.0, 50.0);
+  EXPECT_TRUE(std::isfinite(at_one));
+  EXPECT_GT(at_one, 0.0);
+  EXPECT_DOUBLE_EQ(exponential_from_uniform(0.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(exponential_from_uniform(0.5, 1.0), -std::log(0.5));
+  // Out-of-range draws clamp into [0, 1) instead of going NaN/negative.
+  EXPECT_TRUE(std::isfinite(exponential_from_uniform(2.0, 50.0)));
+  EXPECT_DOUBLE_EQ(exponential_from_uniform(-1.0, 50.0), 0.0);
+  EXPECT_THROW(exponential_from_uniform(0.5, 0.0), Error);
+}
+
+TEST(Queueing, SingleTraceCyclesThroughTheStream) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 5e-3)};
+  QueueingConfig cfg{.arrival_rate_hz = 10.0, .cloud_service_s = 1e-3};
+  const auto stats = simulate_stream(traces, cfg, 250);
+  EXPECT_EQ(stats.samples, 250);
+  EXPECT_EQ(stats.escalated, 250);
+  EXPECT_GE(stats.mean_latency_s, 6e-3);
+}
+
+TEST(Queueing, ZeroServiceTimeAddsNothingToNetworkLatency) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 7e-3)};
+  QueueingConfig cfg{.arrival_rate_hz = 100.0, .cloud_service_s = 0.0};
+  const auto stats = simulate_stream(traces, cfg, 500);
+  // Latency is a difference of absolute event clocks, so allow float slack.
+  EXPECT_NEAR(stats.mean_latency_s, 7e-3, 1e-9);
+  EXPECT_NEAR(stats.max_latency_s, 7e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.cloud_utilization, 0.0);
+}
+
+TEST(Queueing, OverloadUtilizationApproachesOne) {
+  const auto traces = synthetic_traces(1.0);
+  QueueingConfig cfg{.arrival_rate_hz = 10000.0, .cloud_service_s = 10e-3};
+  const auto stats = simulate_stream(traces, cfg, 2000);
+  EXPECT_GT(stats.cloud_utilization, 0.95);
+  EXPECT_LE(stats.cloud_utilization, 1.0 + 1e-12);
+}
+
+// ------------------------------------------------------------ fleet network
+
+TEST(FleetQueueing, ArrivalsConserveAcrossOutcomes) {
+  // Every arrival ends exactly one way: completed, shed or dead.
+  std::vector<InferenceTrace> traces{trace_of(0, 2e-3), trace_of(1, 8e-3),
+                                     trace_of(2, 12e-3), trace_of(-1, 0.0)};
+  FleetConfig cfg;
+  cfg.num_devices = 50;
+  cfg.num_edges = 4;
+  cfg.queue_capacity = 4;
+  cfg.arrival_rate_hz = 2000.0;  // deliberately heavy
+  const auto stats = simulate_fleet(traces, cfg, 10000);
+  EXPECT_EQ(stats.arrivals, 10000);
+  EXPECT_EQ(stats.completed + stats.shed + stats.dead, stats.arrivals);
+  EXPECT_EQ(stats.local + stats.escalated, stats.completed);
+}
+
+TEST(FleetQueueing, DeterministicAcrossRerunsIncludingSeries) {
+  std::vector<InferenceTrace> traces{trace_of(0, 2e-3), trace_of(1, 8e-3),
+                                     trace_of(2, 12e-3), trace_of(-1, 0.0)};
+  FleetConfig cfg;
+  cfg.num_devices = 30;
+  cfg.num_edges = 3;
+  cfg.policy = EdgePolicy::kLeastLoaded;
+  cfg.seed = 11;
+  obs::WindowedSeries a_series(0.5), b_series(0.5);
+  const auto a = simulate_fleet(traces, cfg, 5000, &a_series);
+  const auto b = simulate_fleet(traces, cfg, 5000, &b_series);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.dead, b.dead);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_DOUBLE_EQ(a.horizon_s, b.horizon_s);
+  EXPECT_DOUBLE_EQ(a.throughput_hz, b.throughput_hz);
+  for (std::size_t g = 0; g < a.edges.size(); ++g) {
+    EXPECT_EQ(a.edges[g].served, b.edges[g].served) << g;
+    EXPECT_DOUBLE_EQ(a.edges[g].utilization, b.edges[g].utilization) << g;
+  }
+  EXPECT_EQ(a.cloud.served, b.cloud.served);
+  EXPECT_EQ(a_series.to_csv(), b_series.to_csv());
+}
+
+TEST(FleetQueueing, DeadTracesNeverOccupyAnyServer) {
+  const std::vector<InferenceTrace> traces{trace_of(-1, 0.0)};
+  FleetConfig cfg;
+  const auto stats = simulate_fleet(traces, cfg, 1000);
+  EXPECT_EQ(stats.dead, 1000);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.shed, 0);
+  for (const auto& e : stats.edges) {
+    EXPECT_EQ(e.served, 0);
+    EXPECT_DOUBLE_EQ(e.utilization, 0.0);
+  }
+  EXPECT_EQ(stats.cloud.served, 0);
+  EXPECT_DOUBLE_EQ(stats.cloud.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_s, 0.0);
+}
+
+TEST(FleetQueueing, LocalTrafficNeverTouchesTheStations) {
+  const std::vector<InferenceTrace> traces{trace_of(0, 2e-3)};
+  FleetConfig cfg;
+  cfg.arrival_rate_hz = 5000.0;
+  const auto stats = simulate_fleet(traces, cfg, 2000);
+  EXPECT_EQ(stats.completed, 2000);
+  EXPECT_EQ(stats.local, 2000);
+  EXPECT_EQ(stats.escalated, 0);
+  EXPECT_NEAR(stats.mean_latency_s, 2e-3, 1e-9);
+  for (const auto& e : stats.edges) EXPECT_EQ(e.served, 0);
+  EXPECT_EQ(stats.cloud.served, 0);
+}
+
+TEST(FleetQueueing, CloudTierOnlyServesFinalExits) {
+  FleetConfig cfg;  // first_cloud_exit = 2
+  cfg.arrival_rate_hz = 100.0;
+  const auto edge_only =
+      simulate_fleet({trace_of(1, 5e-3)}, cfg, 500);
+  EXPECT_EQ(edge_only.cloud.served, 0);
+  std::int64_t edge_served = 0;
+  for (const auto& e : edge_only.edges) edge_served += e.served;
+  EXPECT_EQ(edge_served, 500);
+  EXPECT_EQ(edge_only.escalated, 500);
+
+  const auto to_cloud = simulate_fleet({trace_of(2, 5e-3)}, cfg, 500);
+  EXPECT_EQ(to_cloud.cloud.served, 500);
+  // The cloud leg adds the hop plus its service time on top.
+  EXPECT_GT(to_cloud.mean_latency_s,
+            edge_only.mean_latency_s + cfg.edge_cloud_latency_s);
+}
+
+TEST(FleetQueueing, SaturationShedsInsteadOfCrashing) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 1e-3)};
+  FleetConfig cfg;
+  cfg.num_edges = 2;
+  cfg.edge_servers = 1;
+  cfg.edge_service_s = 10e-3;
+  cfg.max_batch = 1;  // no amortization: capacity 2 * 100 Hz
+  cfg.queue_capacity = 8;
+  cfg.arrival_rate_hz = 2000.0;
+  const auto stats = simulate_fleet(traces, cfg, 5000);
+  EXPECT_GT(stats.shed, 0);
+  EXPECT_EQ(stats.completed + stats.shed, stats.arrivals);
+  for (const auto& e : stats.edges) {
+    EXPECT_GT(e.utilization, 0.9);
+    EXPECT_LE(e.utilization, 1.0 + 1e-12);
+    EXPECT_LE(e.peak_queue, cfg.queue_capacity);
+  }
+}
+
+TEST(FleetQueueing, BatchingAmortizesEdgeServiceUnderLoad) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 1e-3)};
+  FleetConfig cfg;
+  cfg.num_edges = 1;
+  cfg.edge_servers = 1;
+  cfg.edge_service_s = 5e-3;     // unbatched capacity: 200 Hz
+  cfg.arrival_rate_hz = 400.0;   // 2x overload without batching
+  cfg.queue_capacity = 100000;
+  cfg.batch_growth = 0.25;
+  FleetConfig unbatched = cfg;
+  unbatched.max_batch = 1;
+  FleetConfig batched = cfg;
+  batched.max_batch = 8;  // amortized capacity: 8 / (5ms * 2.75) = 582 Hz
+  const auto a = simulate_fleet(traces, unbatched, 4000);
+  const auto b = simulate_fleet(traces, batched, 4000);
+  EXPECT_LT(b.p95_latency_s, a.p95_latency_s / 2.0);
+  EXPECT_LT(b.edges[0].utilization, a.edges[0].utilization);
+  EXPECT_GT(b.edges[0].served, b.edges[0].batches);  // real batches formed
+}
+
+TEST(FleetQueueing, PoliciesRouteEveryEscalationDeterministically) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 2e-3)};
+  for (const auto policy : {EdgePolicy::kNearest, EdgePolicy::kLeastLoaded,
+                            EdgePolicy::kRoundRobin}) {
+    FleetConfig cfg;
+    cfg.policy = policy;
+    cfg.num_edges = 4;
+    cfg.arrival_rate_hz = 500.0;
+    const auto stats = simulate_fleet(traces, cfg, 4000);
+    std::int64_t served = 0;
+    for (const auto& e : stats.edges) served += e.served;
+    EXPECT_EQ(served, 4000) << to_string(policy);
+    // Uniform devices: nearest hashes devices evenly across edges, and
+    // round-robin is exactly fair. Least-loaded intentionally piles onto
+    // the lowest-index edge while queues are empty (ties break to index
+    // 0), so it only has to route everything, not balance.
+    if (policy != EdgePolicy::kLeastLoaded) {
+      for (const auto& e : stats.edges) {
+        EXPECT_GT(e.served, 700) << to_string(policy);
+        EXPECT_LT(e.served, 1300) << to_string(policy);
+      }
+    }
+    if (policy == EdgePolicy::kRoundRobin) {
+      for (const auto& e : stats.edges) EXPECT_EQ(e.served, 1000);
+    }
+  }
+}
+
+TEST(FleetQueueing, TraceDrivenArrivalsReplayFixedGaps) {
+  const std::vector<InferenceTrace> traces{trace_of(0, 2e-3)};
+  FleetConfig cfg;
+  cfg.interarrival_s = {10e-3};  // one arrival every 10 ms, exactly
+  const auto stats = simulate_fleet(traces, cfg, 100);
+  EXPECT_EQ(stats.arrivals, 100);
+  // Last arrival at 1.0 s, completing 2 ms later.
+  EXPECT_NEAR(stats.horizon_s, 1.002, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_s, 2e-3);
+}
+
+TEST(FleetQueueing, ParsesAndPrintsPolicies) {
+  EXPECT_EQ(parse_edge_policy("nearest"), EdgePolicy::kNearest);
+  EXPECT_EQ(parse_edge_policy("least-loaded"), EdgePolicy::kLeastLoaded);
+  EXPECT_EQ(parse_edge_policy("round-robin"), EdgePolicy::kRoundRobin);
+  EXPECT_THROW(parse_edge_policy("random"), Error);
+  EXPECT_EQ(to_string(EdgePolicy::kNearest), "nearest");
+  EXPECT_EQ(to_string(EdgePolicy::kLeastLoaded), "least-loaded");
+  EXPECT_EQ(to_string(EdgePolicy::kRoundRobin), "round-robin");
+}
+
+TEST(FleetQueueing, ValidatesConfiguration) {
+  const std::vector<InferenceTrace> traces{trace_of(1, 2e-3)};
+  EXPECT_THROW(simulate_fleet({}, FleetConfig{}, 10), Error);
+  EXPECT_THROW(simulate_fleet(traces, FleetConfig{}, 0), Error);
+  FleetConfig bad;
+  bad.num_edges = 0;
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  bad = FleetConfig{};
+  bad.num_devices = 0;
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  bad = FleetConfig{};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  bad = FleetConfig{};
+  bad.batch_growth = -0.5;
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  bad = FleetConfig{};
+  bad.interarrival_s = {1e-3, -1.0};
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  bad = FleetConfig{};
+  bad.arrival_rate_hz = 0.0;
+  EXPECT_THROW(simulate_fleet(traces, bad, 10), Error);
+  // The series must be freshly constructed: the simulator registers its
+  // own fleet.* columns.
+  obs::WindowedSeries dirty(1.0);
+  dirty.add_counter("other");
+  EXPECT_THROW(simulate_fleet(traces, FleetConfig{}, 10, &dirty), Error);
 }
 
 TEST_F(RuntimeFixture, RuntimeValidatesConstruction) {

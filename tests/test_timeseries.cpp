@@ -96,14 +96,32 @@ TEST(WindowedSeries, RatioDividesWindowDeltasAndZeroesOnEmptyDenominator) {
             "2,2,3,3,0,0\n");
 }
 
+TEST(WindowedSeries, RateDividesWindowDeltasByWindowWidth) {
+  WindowedSeries s(2.0);
+  const int done = s.add_counter("done");
+  s.add_rate("throughput", done);
+  s.record(done, 0.1, 1.0);
+  s.record(done, 1.9, 3.0);  // window 0: 4 events over 2 s -> 2/s
+  s.record(done, 4.5, 1.0);  // window 1 empty -> 0/s; window 2: 0.5/s
+  EXPECT_EQ(s.to_csv(),
+            "window,t_start,t_end,done,throughput\n"
+            "0,0,2,4,2\n"
+            "1,2,4,0,0\n"
+            "2,4,6,1,0.5\n");
+}
+
 TEST(WindowedSeries, RejectsApiMisuse) {
   WindowedSeries s(1.0);
   const int c = s.add_counter("a");
   EXPECT_THROW(s.add_counter("a"), ddnn::Error);        // duplicate name
   const int g = s.add_gauge("g");
   EXPECT_THROW(s.add_ratio("r", c, g), ddnn::Error);    // den not a counter
+  EXPECT_THROW(s.add_rate("hz", g), ddnn::Error);       // rate needs a counter
+  EXPECT_THROW(s.add_rate("hz", 99), ddnn::Error);      // unknown column id
   const int r = s.add_ratio("ok", c, c);
+  const int hz = s.add_rate("hz", c);                   // before sealing
   EXPECT_THROW(s.record(r, 0.0, 1.0), ddnn::Error);     // ratios are derived
+  EXPECT_THROW(s.record(hz, 0.0, 1.0), ddnn::Error);    // rates are derived
   s.record(c, 5.0, 1.0);
   EXPECT_THROW(s.add_counter("late"), ddnn::Error);     // sealed after record
   EXPECT_THROW(s.record(c, 3.0, 1.0), ddnn::Error);     // clock went backward

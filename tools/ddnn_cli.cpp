@@ -15,12 +15,14 @@
 // invoked with the same --preset/--filters/--devices/--agg used at training
 // time (a mismatch fails loudly at weight-load time).
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/inference.hpp"
 #include "core/metrics.hpp"
 #include "core/trainer.hpp"
 #include "data/ppm.hpp"
+#include "dist/queueing.hpp"
 #include "dist/runtime.hpp"
 #include "infer/engine.hpp"
 #include "nn/serialize.hpp"
@@ -306,7 +308,50 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "bytes, faults, latency percentiles) as CSV or .json",
                   "")
       .add_option("series-window",
-                  "series window width in simulated seconds", "0.5");
+                  "series window width in simulated seconds", "0.5")
+      .add_option("fleet-devices",
+                  "fleet queueing network: number of devices (0 = off); "
+                  "replays the per-sample traces of this run as open-loop "
+                  "load over an N-device x M-edge topology",
+                  "0")
+      .add_option("fleet-edges", "fleet: number of edge stations", "4")
+      .add_option("fleet-edge-servers", "fleet: servers per edge station",
+                  "1")
+      .add_option("fleet-cloud-servers", "fleet: servers in the cloud pool",
+                  "2")
+      .add_option("fleet-arrival-hz",
+                  "fleet: whole-fleet Poisson arrival rate (samples/s)",
+                  "200")
+      .add_option("fleet-arrivals-file",
+                  "fleet: trace-driven load — file with one inter-arrival "
+                  "gap (seconds) per line, cycled (overrides "
+                  "--fleet-arrival-hz)",
+                  "")
+      .add_option("fleet-stream", "fleet: number of open-loop arrivals",
+                  "100000")
+      .add_option("fleet-policy",
+                  "fleet: edge selection nearest|least-loaded|round-robin",
+                  "nearest")
+      .add_option("fleet-edge-service-ms",
+                  "fleet: edge section service time per dispatch (ms)", "2")
+      .add_option("fleet-cloud-service-ms",
+                  "fleet: cloud service time per sample (ms)", "4")
+      .add_option("fleet-hop-ms", "fleet: edge->cloud hop latency (ms)",
+                  "10")
+      .add_option("fleet-batch",
+                  "fleet: max samples fused per edge dispatch", "8")
+      .add_option("fleet-batch-growth",
+                  "fleet: marginal service cost per extra batched sample",
+                  "0.25")
+      .add_option("fleet-queue-cap",
+                  "fleet: per-station queue bound (overflow is shed)", "256")
+      .add_option("fleet-seed", "fleet: arrival-process seed", "1")
+      .add_option("fleet-series-out",
+                  "fleet: write windowed fleet series (throughput, latency "
+                  "percentiles, shed/dead) as CSV or .json",
+                  "")
+      .add_option("fleet-series-window",
+                  "fleet: series window width in simulated seconds", "5");
   add_engine_option(args);
   add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
@@ -364,7 +409,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   obs::WindowedSeries series(args.get_double("series-window"), "t");
   if (!args.get("series-out").empty()) runtime.bind_series(&series);
 
-  const auto metrics = runtime.run(dataset.test());
+  std::vector<dist::InferenceTrace> traces;
+  traces.reserve(dataset.test().size());
+  for (const auto& sample : dataset.test()) {
+    traces.push_back(runtime.classify(sample));
+  }
+  const auto metrics = runtime.metrics();
   std::printf("accuracy %.1f%% over %lld samples\n", 100.0 * metrics.accuracy(),
               static_cast<long long>(metrics.samples));
   std::printf("exit counts:");
@@ -392,6 +442,72 @@ int cmd_simulate(int argc, const char* const* argv) {
     series.write(args.get("series-out"));
     std::printf("wrote %zu series windows to %s\n", series.window_count(),
                 args.get("series-out").c_str());
+  }
+
+  // Fleet queueing network: replay this run's traces as open-loop load.
+  const auto fleet_devices = static_cast<int>(args.get_int("fleet-devices"));
+  dist::FleetStats fleet;
+  obs::WindowedSeries fleet_series(args.get_double("fleet-series-window"),
+                                   "t");
+  if (fleet_devices > 0) {
+    dist::FleetConfig fleet_cfg;
+    fleet_cfg.num_devices = fleet_devices;
+    fleet_cfg.num_edges = static_cast<int>(args.get_int("fleet-edges"));
+    fleet_cfg.edge_servers =
+        static_cast<int>(args.get_int("fleet-edge-servers"));
+    fleet_cfg.cloud_servers =
+        static_cast<int>(args.get_int("fleet-cloud-servers"));
+    fleet_cfg.arrival_rate_hz = args.get_double("fleet-arrival-hz");
+    fleet_cfg.edge_service_s =
+        1e-3 * args.get_double("fleet-edge-service-ms");
+    fleet_cfg.cloud_service_s =
+        1e-3 * args.get_double("fleet-cloud-service-ms");
+    fleet_cfg.edge_cloud_latency_s = 1e-3 * args.get_double("fleet-hop-ms");
+    fleet_cfg.max_batch = static_cast<int>(args.get_int("fleet-batch"));
+    fleet_cfg.batch_growth = args.get_double("fleet-batch-growth");
+    fleet_cfg.queue_capacity = args.get_int("fleet-queue-cap");
+    fleet_cfg.policy = dist::parse_edge_policy(args.get("fleet-policy"));
+    fleet_cfg.seed = static_cast<std::uint64_t>(args.get_int("fleet-seed"));
+    // The last exit of this model is its cloud exit; earlier escalation
+    // tiers stop at the edge stations.
+    fleet_cfg.first_cloud_exit = std::max(1, cfg.num_exits() - 1);
+    const std::string arrivals_file = args.get("fleet-arrivals-file");
+    if (!arrivals_file.empty()) {
+      std::ifstream in(arrivals_file);
+      DDNN_CHECK(in.good(),
+                 "cannot read --fleet-arrivals-file '" << arrivals_file
+                                                       << "'");
+      double gap = 0.0;
+      while (in >> gap) fleet_cfg.interarrival_s.push_back(gap);
+      DDNN_CHECK(!fleet_cfg.interarrival_s.empty(),
+                 "--fleet-arrivals-file '" << arrivals_file
+                                           << "' holds no gaps");
+    }
+    const auto stream = args.get_int("fleet-stream");
+    fleet = dist::simulate_fleet(
+        traces, fleet_cfg, stream,
+        args.get("fleet-series-out").empty() ? nullptr : &fleet_series);
+    std::printf(
+        "\nfleet: %d devices x %d edges (%s), %lld arrivals over %.1f s\n",
+        fleet_cfg.num_devices, fleet_cfg.num_edges,
+        dist::to_string(fleet_cfg.policy).c_str(),
+        static_cast<long long>(fleet.arrivals), fleet.horizon_s);
+    std::printf(
+        "fleet: %.1f samples/s, latency p50 %.2f ms p95 %.2f ms max %.2f "
+        "ms; local %lld, escalated %lld, shed %lld, dead %lld\n",
+        fleet.throughput_hz, 1e3 * fleet.p50_latency_s,
+        1e3 * fleet.p95_latency_s, 1e3 * fleet.max_latency_s,
+        static_cast<long long>(fleet.local),
+        static_cast<long long>(fleet.escalated),
+        static_cast<long long>(fleet.shed),
+        static_cast<long long>(fleet.dead));
+    std::printf("%s", fleet.station_table().to_string().c_str());
+    if (!args.get("fleet-series-out").empty()) {
+      fleet_series.write(args.get("fleet-series-out"));
+      std::printf("wrote %zu fleet series windows to %s\n",
+                  fleet_series.window_count(),
+                  args.get("fleet-series-out").c_str());
+    }
   }
 
   obs::LedgerRecord rec = ledger_record("simulate", args);
@@ -426,6 +542,27 @@ int cmd_simulate(int argc, const char* const* argv) {
                  static_cast<double>(metrics.reliability.degraded_exits));
   rec.add_metric("runtime.dead",
                  static_cast<double>(metrics.reliability.dead_samples));
+  if (fleet_devices > 0) {
+    rec.add_info("fleet-devices", args.get("fleet-devices"));
+    rec.add_info("fleet-edges", args.get("fleet-edges"));
+    rec.add_info("fleet-policy", args.get("fleet-policy"));
+    if (!args.get("fleet-series-out").empty()) {
+      rec.add_info("series", args.get("fleet-series-out"));
+    }
+    rec.add_metric("fleet.arrivals", static_cast<double>(fleet.arrivals));
+    rec.add_metric("fleet.completed", static_cast<double>(fleet.completed));
+    rec.add_metric("fleet.local", static_cast<double>(fleet.local));
+    rec.add_metric("fleet.escalated", static_cast<double>(fleet.escalated));
+    rec.add_metric("fleet.shed", static_cast<double>(fleet.shed));
+    rec.add_metric("fleet.dead", static_cast<double>(fleet.dead));
+    rec.add_metric("fleet.throughput_hz", fleet.throughput_hz);
+    rec.add_metric("fleet.mean_latency_ms", 1e3 * fleet.mean_latency_s);
+    rec.add_metric("fleet.p50_latency_ms", 1e3 * fleet.p50_latency_s);
+    rec.add_metric("fleet.p95_latency_ms", 1e3 * fleet.p95_latency_s);
+    rec.add_metric("fleet.max_latency_ms", 1e3 * fleet.max_latency_s);
+    rec.add_metric("fleet.edge_util_mean", fleet.mean_edge_utilization());
+    rec.add_metric("fleet.cloud_util", fleet.cloud.utilization);
+  }
   finish_ledger(rec);
   report_profile();
   return 0;
