@@ -173,9 +173,13 @@ void BM_BinaryConv2dInfer(benchmark::State& state) {
   conv.set_training(false);
   const Tensor x = ops::sign(Tensor::randn(Shape{8, 4, 16, 16}, rng));
   infer::Workspace ws;
+  const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                infer::next_section_id(), "bench_binary_conv"};
+  auto body = [&](const std::vector<Tensor>& in, infer::Workspace& w) {
+    return std::vector<Tensor>{conv.infer(in[0], w)};
+  };
   for (auto _ : state) {
-    ws.reset();
-    benchmark::DoNotOptimize(conv.infer(x, ws).data());
+    benchmark::DoNotOptimize(infer::run_section(ws, desc, {x}, "", body));
   }
 }
 BENCHMARK(BM_BinaryConv2dInfer);
@@ -186,9 +190,13 @@ void BM_BinaryLinearInfer(benchmark::State& state) {
   fc.set_training(false);
   const Tensor x = ops::sign(Tensor::randn(Shape{8, 1024}, rng));
   infer::Workspace ws;
+  const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                infer::next_section_id(), "bench_binary_fc"};
+  auto body = [&](const std::vector<Tensor>& in, infer::Workspace& w) {
+    return std::vector<Tensor>{fc.infer(in[0], w)};
+  };
   for (auto _ : state) {
-    ws.reset();
-    benchmark::DoNotOptimize(fc.infer(x, ws).data());
+    benchmark::DoNotOptimize(infer::run_section(ws, desc, {x}, "", body));
   }
 }
 BENCHMARK(BM_BinaryLinearInfer);
@@ -290,12 +298,16 @@ void write_engine_comparison() {
     const Tensor x = ops::sign(Tensor::randn(Shape{8, 4, 16, 16}, rng));
     const Variable vx(x);
     infer::Workspace ws;
+    const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                  infer::next_section_id(), "cmp_binary_conv"};
+    auto body = [&](const std::vector<Tensor>& in, infer::Workspace& w) {
+      return std::vector<Tensor>{conv.infer(in[0], w)};
+    };
     rows.push_back(
         {"binary_conv",
          min_time_ms([&] { benchmark::DoNotOptimize(conv.forward(vx)); }),
          min_time_ms([&] {
-           ws.reset();
-           benchmark::DoNotOptimize(conv.infer(x, ws).data());
+           benchmark::DoNotOptimize(infer::run_section(ws, desc, {x}, "", body));
          })});
   }
   {
@@ -304,12 +316,16 @@ void write_engine_comparison() {
     const Tensor x = ops::sign(Tensor::randn(Shape{8, 1024}, rng));
     const Variable vx(x);
     infer::Workspace ws;
+    const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                  infer::next_section_id(), "cmp_binary_fc"};
+    auto body = [&](const std::vector<Tensor>& in, infer::Workspace& w) {
+      return std::vector<Tensor>{fc.infer(in[0], w)};
+    };
     rows.push_back(
         {"binary_fc",
          min_time_ms([&] { benchmark::DoNotOptimize(fc.forward(vx)); }),
          min_time_ms([&] {
-           ws.reset();
-           benchmark::DoNotOptimize(fc.infer(x, ws).data());
+           benchmark::DoNotOptimize(infer::run_section(ws, desc, {x}, "", body));
          })});
   }
   {

@@ -90,20 +90,21 @@ int count_active(const std::vector<Tensor>& branches,
   return n;
 }
 
-/// autograd::stack_max over the active subset.
+/// autograd::stack_max over the active subset. Acquire-first discipline:
+/// the output slot is taken (and the inputs noted) before any element is
+/// read, so the planner keeps it clear of every operand.
 Tensor infer_stack_max(const std::vector<Tensor>& branches,
                        const std::vector<bool>& active, infer::Workspace& ws) {
   count_active(branches, active);
-  Tensor out{};
-  bool first = true;
+  std::size_t first = 0;
+  while (!active[first]) ++first;
+  Tensor out = ws.acquire(branches[first].shape());
   for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (active[i]) ws.note_use(branches[i]);
+  }
+  std::copy_n(branches[first].data(), branches[first].numel(), out.data());
+  for (std::size_t i = first + 1; i < branches.size(); ++i) {
     if (!active[i]) continue;
-    if (first) {
-      out = ws.acquire(branches[i].shape());
-      std::copy_n(branches[i].data(), branches[i].numel(), out.data());
-      first = false;
-      continue;
-    }
     const float* px = branches[i].data();
     float* po = out.data();
     const std::int64_t n = out.numel();
@@ -121,11 +122,14 @@ Tensor infer_stack_mean(const std::vector<Tensor>& branches,
                         infer::Workspace& ws) {
   const int k = count_active(branches, active);
   const float inv = 1.0f / static_cast<float>(k);
-  Tensor out{};
+  std::size_t first = 0;
+  while (!active[first]) ++first;
+  Tensor out = ws.acquire_zero(branches[first].shape());
   for (std::size_t i = 0; i < branches.size(); ++i) {
-    if (!active[i]) continue;
-    if (!out.defined()) out = ws.acquire_zero(branches[i].shape());
-    ops::axpy_into(out, inv, branches[i]);
+    if (active[i]) ws.note_use(branches[i]);
+  }
+  for (std::size_t i = first; i < branches.size(); ++i) {
+    if (active[i]) ops::axpy_into(out, inv, branches[i]);
   }
   return out;
 }
@@ -147,6 +151,9 @@ Tensor infer_concat_axis1(const std::vector<Tensor>& branches,
   std::vector<std::int64_t> out_dims = s0.dims();
   out_dims[1] = total;
   Tensor out = ws.acquire(Shape(out_dims));
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (active[i]) ws.note_use(branches[i]);
+  }
   float* po = out.data();
   std::int64_t offset = 0;
   for (std::size_t i = 0; i < branches.size(); ++i) {
@@ -189,6 +196,9 @@ Tensor infer_gated_sum(const std::vector<Tensor>& branches,
   for (auto& w : weights) w = static_cast<float>(w / denom);
 
   Tensor out = ws.acquire_zero(branches[0].shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) ws.note_use(branches[i]);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (active[i]) ops::axpy_into(out, weights[i], branches[i]);
   }

@@ -20,15 +20,19 @@ bool plan_engine_active(const nn::Module& m) {
          !autograd::grad_enabled();
 }
 
-/// Wrap a workspace-backed tensor as a constant Variable. Workspace slots
-/// are recycled on the next section's reset(), so the value is deep-copied
-/// out of the arena.
-nn::Variable materialize(const Tensor& t) { return nn::Variable(t.clone()); }
-
 /// [N, ...] -> [N, prod] view (engine counterpart of autograd::flatten2d).
 Tensor flatten2d_view(const Tensor& t) {
   const std::int64_t n = t.dim(0);
   return t.reshape(Shape{n, t.numel() / n});
+}
+
+/// Activity mask as a plan signature ("1011"): masked sections get their
+/// own cached memory plan per active subset.
+std::string mask_sig(const std::vector<bool>& active) {
+  std::string s;
+  s.reserve(active.size());
+  for (bool a : active) s += a ? '1' : '0';
+  return s;
 }
 
 std::vector<Tensor> values_of(const std::vector<nn::Variable>& vars) {
@@ -61,6 +65,7 @@ DdnnModel::DdnnModel(DdnnConfig config) : config_(std::move(config)) {
     dev_channels = ch;
     add_child("device" + std::to_string(d), trunk.get());
     device_trunks_.push_back(std::move(trunk));
+    device_trunk_ids_.push_back(infer::next_section_id());
   }
 
   if (config_.has_local_exit) {
@@ -77,10 +82,12 @@ DdnnModel::DdnnModel(DdnnConfig config) : config_(std::move(config)) {
       }
       add_child("device_head" + std::to_string(d), head.get());
       device_heads_.push_back(std::move(head));
+      device_head_ids_.push_back(infer::next_section_id());
     }
     local_agg_ = std::make_unique<VectorAggregator>(
         config_.local_agg, n_dev, config_.num_classes, rng);
     add_child("local_agg", local_agg_.get());
+    local_agg_id_ = infer::next_section_id();
   }
 
   // ------------------------------------------------------------ edge tier
@@ -109,12 +116,14 @@ DdnnModel::DdnnModel(DdnnConfig config) : config_(std::move(config)) {
           /*binary_output=*/false);
       add_child("edge_head" + std::to_string(g), head.get());
       edge_heads_.push_back(std::move(head));
+      edge_ids_.push_back(infer::next_section_id());
     }
     if (config_.edge_groups.size() > 1) {
       edge_exit_agg_ = std::make_unique<VectorAggregator>(
           config_.local_agg, static_cast<int>(config_.edge_groups.size()),
           config_.num_classes, rng);
       add_child("edge_exit_agg", edge_exit_agg_.get());
+      edge_exit_id_ = infer::next_section_id();
     }
     cloud_in_channels = config_.edge_filters;
     cloud_in_size = config_.edge_out_size();
@@ -164,6 +173,7 @@ DdnnModel::DdnnModel(DdnnConfig config) : config_(std::move(config)) {
                                        /*binary_output=*/false);
   }
   add_child("cloud", cloud_trunk_.get());
+  cloud_id_ = infer::next_section_id();
 }
 
 DdnnOutputs DdnnModel::forward(const std::vector<Variable>& views) {
@@ -271,9 +281,14 @@ Variable DdnnModel::device_section_features(int device, const Variable& view) {
                                           << view.shape().to_string());
   auto& trunk = *device_trunks_[static_cast<std::size_t>(device)];
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    return materialize(trunk.infer(view.value(), ws));
+    auto outs = infer::run_section(
+        {infer::SectionTier::kDevice,
+         device_trunk_ids_[static_cast<std::size_t>(device)], "device_trunk"},
+        {view.value()}, /*extra_sig=*/"",
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          return std::vector<Tensor>{trunk.infer(in[0], ws)};
+        });
+    return Variable(std::move(outs[0]));
   }
   return trunk.forward(view);
 }
@@ -286,9 +301,14 @@ Variable DdnnModel::device_section_logits(int device,
              "device index out of range");
   auto& head = *device_heads_[static_cast<std::size_t>(device)];
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    return materialize(head.infer(flatten2d_view(features.value()), ws));
+    auto outs = infer::run_section(
+        {infer::SectionTier::kDevice,
+         device_head_ids_[static_cast<std::size_t>(device)], "device_head"},
+        {features.value()}, /*extra_sig=*/"",
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          return std::vector<Tensor>{head.infer(flatten2d_view(in[0]), ws)};
+        });
+    return Variable(std::move(outs[0]));
   }
   return head.forward(autograd::flatten2d(features));
 }
@@ -297,9 +317,13 @@ Variable DdnnModel::local_aggregate(const std::vector<Variable>& device_logits,
                                     const std::vector<bool>& active) {
   DDNN_CHECK(config_.has_local_exit, "model has no local exit");
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    return materialize(local_agg_->infer(values_of(device_logits), active, ws));
+    auto outs = infer::run_section(
+        {infer::SectionTier::kDevice, local_agg_id_, "local_agg"},
+        values_of(device_logits), mask_sig(active),
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          return std::vector<Tensor>{local_agg_->infer(in, active, ws)};
+        });
+    return Variable(std::move(outs[0]));
   }
   return local_agg_->forward(device_logits, active);
 }
@@ -310,15 +334,18 @@ DdnnModel::EdgeResult DdnnModel::edge_section(
   DDNN_PROF_SCOPE("edge_section");
   DDNN_CHECK(group < config_.edge_groups.size(), "edge group out of range");
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    const Tensor fused =
-        edge_in_aggs_[group]->infer(values_of(member_features), member_active,
-                                    ws);
-    const Tensor features = edge_trunks_[group]->infer(fused, ws);
-    const Tensor logits =
-        edge_heads_[group]->infer(flatten2d_view(features), ws);
-    return {materialize(features), materialize(logits)};
+    auto outs = infer::run_section(
+        {infer::SectionTier::kEdge, edge_ids_[group], "edge_section"},
+        values_of(member_features), mask_sig(member_active),
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          const Tensor fused =
+              edge_in_aggs_[group]->infer(in, member_active, ws);
+          const Tensor features = edge_trunks_[group]->infer(fused, ws);
+          const Tensor logits =
+              edge_heads_[group]->infer(flatten2d_view(features), ws);
+          return std::vector<Tensor>{features, logits};
+        });
+    return {Variable(std::move(outs[0])), Variable(std::move(outs[1]))};
   }
   const Variable fused =
       edge_in_aggs_[group]->forward(member_features, member_active);
@@ -334,10 +361,14 @@ Variable DdnnModel::edge_exit_aggregate(
   DDNN_CHECK(config_.has_edge(), "model has no edge tier");
   if (edge_exit_agg_) {
     if (plan_engine_active(*this)) {
-      auto& ws = infer::tls_workspace();
-      ws.reset();
-      return materialize(
-          edge_exit_agg_->infer(values_of(edge_logits), edge_active, ws));
+      auto outs = infer::run_section(
+          {infer::SectionTier::kEdge, edge_exit_id_, "edge_exit_agg"},
+          values_of(edge_logits), mask_sig(edge_active),
+          [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+            return std::vector<Tensor>{
+                edge_exit_agg_->infer(in, edge_active, ws)};
+          });
+      return Variable(std::move(outs[0]));
     }
     return edge_exit_agg_->forward(edge_logits, edge_active);
   }
@@ -350,10 +381,14 @@ Variable DdnnModel::cloud_section(const std::vector<Variable>& branches,
                                   const std::vector<bool>& active) {
   DDNN_PROF_SCOPE("cloud_section");
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    const Tensor fused = cloud_agg_->infer(values_of(branches), active, ws);
-    return materialize(cloud_trunk_->infer(fused, ws));
+    auto outs = infer::run_section(
+        {infer::SectionTier::kCloud, cloud_id_, "cloud_section"},
+        values_of(branches), mask_sig(active),
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          const Tensor fused = cloud_agg_->infer(in, active, ws);
+          return std::vector<Tensor>{cloud_trunk_->infer(fused, ws)};
+        });
+    return Variable(std::move(outs[0]));
   }
   return cloud_trunk_->forward(cloud_agg_->forward(branches, active));
 }
@@ -396,14 +431,19 @@ IndividualModel::IndividualModel(std::int64_t input_channels,
                                         /*binary_output=*/false);
   add_child("conv", conv_.get());
   add_child("head", head_.get());
+  section_id_ = infer::next_section_id();
 }
 
 Variable IndividualModel::forward(const Variable& views) {
   if (plan_engine_active(*this)) {
-    auto& ws = infer::tls_workspace();
-    ws.reset();
-    const Tensor features = conv_->infer(views.value(), ws);
-    return materialize(head_->infer(flatten2d_view(features), ws));
+    auto outs = infer::run_section(
+        {infer::SectionTier::kDevice, section_id_, "individual_model"},
+        {views.value()}, /*extra_sig=*/"",
+        [&](const std::vector<Tensor>& in, infer::Workspace& ws) {
+          const Tensor features = conv_->infer(in[0], ws);
+          return std::vector<Tensor>{head_->infer(flatten2d_view(features), ws)};
+        });
+    return Variable(std::move(outs[0]));
   }
   return head_->forward(autograd::flatten2d(conv_->forward(views)));
 }

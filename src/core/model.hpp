@@ -125,6 +125,15 @@ class DdnnModel : public nn::Module {
   // (binary by default, float with config.float_cloud).
   std::unique_ptr<FeatureMapAggregator> cloud_agg_;
   std::unique_ptr<nn::Sequential> cloud_trunk_;
+
+  // Process-unique plan-engine section ids (infer::next_section_id); each
+  // keys that section's memory-plan cache in the per-thread workspaces.
+  std::vector<int> device_trunk_ids_;
+  std::vector<int> device_head_ids_;
+  int local_agg_id_ = -1;
+  std::vector<int> edge_ids_;
+  int edge_exit_id_ = -1;
+  int cloud_id_ = -1;
 };
 
 /// Standalone single-device model for the paper's "Individual Accuracy"
@@ -143,6 +152,7 @@ class IndividualModel : public nn::Module {
  private:
   std::unique_ptr<nn::ConvPBlock> conv_;
   std::unique_ptr<nn::FCBlock> head_;
+  int section_id_ = -1;
 };
 
 }  // namespace ddnn::core

@@ -1,0 +1,174 @@
+#include "infer/planner.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::infer {
+
+namespace {
+
+std::atomic<int> g_next_section_id{0};
+std::atomic<std::int64_t> g_mem_budget{0};
+std::atomic<std::uint64_t> g_mem_budget_epoch{0};
+std::atomic<int> g_poison_override{-1};  // -1 = env, else 0/1
+
+std::atomic<std::int64_t> g_peak_device{0};
+std::atomic<std::int64_t> g_peak_edge{0};
+std::atomic<std::int64_t> g_peak_cloud{0};
+
+std::atomic<std::int64_t>& peak_slot(SectionTier tier) {
+  switch (tier) {
+    case SectionTier::kDevice: return g_peak_device;
+    case SectionTier::kEdge: return g_peak_edge;
+    case SectionTier::kCloud: return g_peak_cloud;
+  }
+  return g_peak_cloud;  // unreachable
+}
+
+bool env_poison() {
+  static const bool on = env_bool("DDNN_POISON", false);
+  return on;
+}
+
+}  // namespace
+
+std::string to_string(SectionTier tier) {
+  switch (tier) {
+    case SectionTier::kDevice: return "device";
+    case SectionTier::kEdge: return "edge";
+    case SectionTier::kCloud: return "cloud";
+  }
+  return "?";
+}
+
+bool intervals_overlap(const PlanInterval& a, const PlanInterval& b) {
+  return a.def <= b.last_use && b.def <= a.last_use;
+}
+
+MemoryPlan pack_plan(std::vector<PlanInterval> intervals) {
+  MemoryPlan plan;
+  plan.intervals = std::move(intervals);
+
+  // Live-peak lower bound: sweep acquire ticks, +numel at def, -numel after
+  // last_use.
+  int max_tick = 0;
+  for (const auto& iv : plan.intervals) {
+    DDNN_CHECK(iv.numel > 0 && iv.def >= 0 && iv.last_use >= iv.def,
+               "pack_plan: malformed interval");
+    max_tick = std::max(max_tick, iv.last_use);
+    plan.naive_floats += iv.numel;
+  }
+  std::vector<std::int64_t> delta(static_cast<std::size_t>(max_tick) + 2, 0);
+  for (const auto& iv : plan.intervals) {
+    delta[static_cast<std::size_t>(iv.def)] += iv.numel;
+    delta[static_cast<std::size_t>(iv.last_use) + 1] -= iv.numel;
+  }
+  std::int64_t live = 0;
+  for (std::int64_t d : delta) {
+    live += d;
+    plan.live_peak_floats = std::max(plan.live_peak_floats, live);
+  }
+
+  // Greedy best-fit decreasing: place big intervals first, each at the
+  // lowest offset free of every already-placed lifetime-overlapping one.
+  std::vector<std::size_t> order(plan.intervals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ia = plan.intervals[a];
+    const auto& ib = plan.intervals[b];
+    if (ia.numel != ib.numel) return ia.numel > ib.numel;
+    return ia.def < ib.def;
+  });
+  std::vector<std::size_t> placed;
+  placed.reserve(order.size());
+  for (std::size_t idx : order) {
+    auto& iv = plan.intervals[idx];
+    std::vector<const PlanInterval*> conflicts;
+    for (std::size_t p : placed) {
+      if (intervals_overlap(iv, plan.intervals[p])) {
+        conflicts.push_back(&plan.intervals[p]);
+      }
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const PlanInterval* a, const PlanInterval* b) {
+                return a->offset < b->offset;
+              });
+    std::int64_t off = 0;
+    for (const PlanInterval* c : conflicts) {
+      if (off + iv.numel <= c->offset) break;  // fits in the gap before c
+      off = std::max(off, c->offset + c->numel);
+    }
+    iv.offset = off;
+    plan.arena_floats = std::max(plan.arena_floats, off + iv.numel);
+    placed.push_back(idx);
+  }
+  return plan;
+}
+
+int next_section_id() {
+  return g_next_section_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_mem_budget(std::int64_t bytes) {
+  DDNN_CHECK(bytes >= 0, "mem budget must be >= 0, got " << bytes);
+  g_mem_budget.store(bytes, std::memory_order_relaxed);
+  g_mem_budget_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t mem_budget() {
+  return g_mem_budget.load(std::memory_order_relaxed);
+}
+
+std::uint64_t mem_budget_epoch() {
+  return g_mem_budget_epoch.load(std::memory_order_relaxed);
+}
+
+void set_poison(bool on) {
+  g_poison_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_poison_override() {
+  g_poison_override.store(-1, std::memory_order_relaxed);
+}
+
+bool poison_enabled() {
+  const int o = g_poison_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return env_poison();
+}
+
+std::int64_t PlanStats::peak(SectionTier tier) const {
+  switch (tier) {
+    case SectionTier::kDevice: return device_peak_bytes;
+    case SectionTier::kEdge: return edge_peak_bytes;
+    case SectionTier::kCloud: return cloud_peak_bytes;
+  }
+  return 0;  // unreachable
+}
+
+void note_plan_peak(SectionTier tier, std::int64_t bytes) {
+  auto& slot = peak_slot(tier);
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < bytes &&
+         !slot.compare_exchange_weak(cur, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+PlanStats plan_stats() {
+  PlanStats s;
+  s.device_peak_bytes = g_peak_device.load(std::memory_order_relaxed);
+  s.edge_peak_bytes = g_peak_edge.load(std::memory_order_relaxed);
+  s.cloud_peak_bytes = g_peak_cloud.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_plan_stats() {
+  g_peak_device.store(0, std::memory_order_relaxed);
+  g_peak_edge.store(0, std::memory_order_relaxed);
+  g_peak_cloud.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ddnn::infer

@@ -1,0 +1,106 @@
+// Static memory planner for the inference engine.
+//
+// A section's kernel chain is recorded once per (section, input-signature):
+// every workspace acquire() defines an interval, every note_use() extends
+// its lifetime, and pack_plan() assigns byte offsets so that intervals with
+// overlapping lifetimes never share storage. The packed arena size is the
+// section's activation peak — the number the paper's tier placement cares
+// about — and replaying the plan executes the whole section inside one
+// preallocated buffer with zero heap allocations.
+//
+// A hard memory budget (set_mem_budget, CLI --mem-budget) bounds that peak:
+// sections whose packed plan exceeds the budget are sliced along the batch
+// dimension (see run_section in workspace.hpp) into chunks whose plans fit.
+//
+// Poison mode (set_poison / DDNN_POISON=1) fills the arena with signaling
+// NaNs before every replay, so any stale view that escaped a previous
+// section invocation reads NaNs instead of silently-recycled data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddnn::infer {
+
+/// Which hierarchy tier a section executes on; selects the
+/// runtime.mem_peak.* stat the planner attributes its peak to.
+enum class SectionTier { kDevice, kEdge, kCloud };
+
+/// "device" / "edge" / "cloud".
+std::string to_string(SectionTier tier);
+
+/// Lifetime of one intermediate tensor, in acquire ticks. `def` is the tick
+/// of its acquire; `last_use` the tick of the most recent acquire at the
+/// time it was last noted as a kernel input (inclusive). Two intervals may
+/// share arena bytes iff [def, last_use] ranges are disjoint.
+struct PlanInterval {
+  std::int64_t numel = 0;
+  int def = 0;
+  int last_use = 0;
+  std::int64_t offset = 0;  ///< assigned by pack_plan, in floats
+};
+
+/// A packed section plan: offset-assigned intervals plus the three sizes
+/// the tests relate (packed <= naive, packed >= live peak).
+struct MemoryPlan {
+  std::vector<PlanInterval> intervals;
+  std::int64_t arena_floats = 0;      ///< packed peak (arena size)
+  std::int64_t naive_floats = 0;      ///< sum of all interval sizes
+  std::int64_t live_peak_floats = 0;  ///< max over ticks of live floats
+};
+
+/// Greedy best-fit decreasing offset assignment: intervals sorted by size
+/// (ties by def), each placed at the lowest offset that collides with no
+/// already-placed lifetime-overlapping interval. Always <= the naive
+/// sum-of-sizes layout and >= the live-peak lower bound; exhaustively
+/// optimal on the small fixtures checked in tests.
+MemoryPlan pack_plan(std::vector<PlanInterval> intervals);
+
+/// True when the two lifetimes intersect (inclusive ranges).
+bool intervals_overlap(const PlanInterval& a, const PlanInterval& b);
+
+/// Process-unique id for one model-section instance; keys the per-thread
+/// plan caches so sections of distinct model instances never collide.
+int next_section_id();
+
+// ----------------------------------------------------------------- budget
+
+/// Hard cap on a section's planned activation arena, in bytes; 0 means
+/// unlimited. Sections over the cap are batch-sliced (CLI --mem-budget).
+void set_mem_budget(std::int64_t bytes);
+std::int64_t mem_budget();
+
+/// Bumped on every set_mem_budget(); cached slicing decisions revalidate
+/// against it.
+std::uint64_t mem_budget_epoch();
+
+// ----------------------------------------------------------------- poison
+
+/// Fill arenas with signaling NaNs before each replay (also DDNN_POISON=1),
+/// so stale views escaping a section are caught instead of reading recycled
+/// data.
+void set_poison(bool on);
+/// Drop the set_poison override and fall back to the DDNN_POISON env value
+/// (lets test guards restore the environment's choice).
+void clear_poison_override();
+bool poison_enabled();
+
+// ------------------------------------------------------------- peak stats
+
+/// Largest executed per-section arena, per tier, since the last reset.
+/// Maxima are order-independent, so the numbers are identical across
+/// DDNN_THREADS and reruns.
+struct PlanStats {
+  std::int64_t device_peak_bytes = 0;
+  std::int64_t edge_peak_bytes = 0;
+  std::int64_t cloud_peak_bytes = 0;
+
+  std::int64_t peak(SectionTier tier) const;
+};
+
+void note_plan_peak(SectionTier tier, std::int64_t bytes);
+PlanStats plan_stats();
+void reset_plan_stats();
+
+}  // namespace ddnn::infer

@@ -37,6 +37,7 @@ float glorot_bound(std::int64_t fan_in, std::int64_t fan_out) {
 
 Tensor sign_tensor(const Tensor& x, infer::Workspace& ws) {
   Tensor out = ws.acquire(x.shape());
+  ws.note_use(x);
   const float* px = x.data();
   float* po = out.data();
   const std::int64_t n = x.numel();
@@ -46,12 +47,15 @@ Tensor sign_tensor(const Tensor& x, infer::Workspace& ws) {
 
 Tensor relu_tensor(const Tensor& x, infer::Workspace& ws) {
   Tensor out = ws.acquire(x.shape());
+  ws.note_use(x);
   const float* px = x.data();
   float* po = out.data();
   const std::int64_t n = x.numel();
-  const float inf = std::numeric_limits<float>::infinity();
+  // Bit-identical to the autograd path's clamp(x, 0, +inf): min(+inf, y) is
+  // the identity for every y max() can produce (max(0, NaN) is already 0
+  // under (a<b)?b:a, and +inf survives both), so only the max remains.
   for (std::int64_t i = 0; i < n; ++i) {
-    po[i] = std::min(inf, std::max(0.0f, px[i]));
+    po[i] = std::max(0.0f, px[i]);
   }
   return out;
 }
@@ -88,11 +92,15 @@ Variable Linear::forward(const Variable& x) {
   return autograd::linear(x, weight_, bias_);
 }
 
-Tensor Linear::infer(const Tensor& x, infer::Workspace&) {
+Tensor Linear::infer(const Tensor& x, infer::Workspace& ws) {
   // Full-precision path: call the exact kernels autograd::linear uses so
   // the rounding (and therefore the bits) cannot diverge.
-  Tensor out = ops::matmul_nt(x, weight_.value());
-  if (bias_.defined()) out = ops::add_row_vector(out, bias_.value());
+  DDNN_CHECK(x.ndim() == 2 && x.dim(1) == in_,
+             "Linear::infer: bad input shape " << x.shape().to_string());
+  Tensor out = ws.acquire(Shape{x.dim(0), out_});
+  ws.note_use(x);
+  ops::matmul_nt_into(x, weight_.value(), out);
+  if (bias_.defined()) ops::add_row_vector_inplace(out, bias_.value());
   return out;
 }
 
@@ -115,6 +123,7 @@ Tensor BinaryLinear::infer(const Tensor& x, infer::Workspace& ws) {
              "BinaryLinear::infer: bad input shape " << x.shape().to_string());
   const bitgemm::PackedSigns& w = packed_.get(weight_, out_, in_);
   Tensor out = ws.acquire(Shape{x.dim(0), out_});
+  ws.note_use(x);
   if (bitgemm::all_pm1(x)) {
     bitgemm::xnor_linear(x, w.bits, out);
   } else {
@@ -155,13 +164,21 @@ Tensor Conv2d::infer(const Tensor& x, infer::Workspace& ws) {
                    .stride = stride_,
                    .pad = pad_};
   const std::int64_t n = x.dim(0), f = wt.dim(0);
-  // Same lowering as autograd::conv2d: im2col, float GEMM, bias broadcast.
-  const Tensor cols = im2col(x, g);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  // Same lowering as autograd::conv2d: im2col, float GEMM, bias broadcast —
+  // with the two GEMM scratch matrices drawn from the workspace so the
+  // planner sees (and bounds) the conv's true working set.
+  Tensor cols = ws.acquire(Shape{n * oh * ow, g.patch_size()});
+  ws.note_use(x);
+  im2col_into(x, g, cols);
   const Tensor wmat = wt.reshape(Shape{f, g.patch_size()});
-  Tensor outmat = ops::matmul_nt(cols, wmat);
-  if (bias_.defined()) outmat = ops::add_row_vector(outmat, bias_.value());
-  Tensor out = ws.acquire(Shape{n, f, g.out_h(), g.out_w()});
-  rows_to_nchw_into(outmat, n, f, g.out_h(), g.out_w(), out);
+  Tensor outmat = ws.acquire(Shape{n * oh * ow, f});
+  ws.note_use(cols);
+  ops::matmul_nt_into(cols, wmat, outmat);
+  if (bias_.defined()) ops::add_row_vector_inplace(outmat, bias_.value());
+  Tensor out = ws.acquire(Shape{n, f, oh, ow});
+  ws.note_use(outmat);
+  rows_to_nchw_into(outmat, n, f, oh, ow, out);
   return out;
 }
 
@@ -200,6 +217,7 @@ Tensor BinaryConv2d::infer(const Tensor& x, infer::Workspace& ws) {
   const bitgemm::PackedSigns& w =
       packed_.get(weight_, wt.dim(0), g.patch_size());
   Tensor out = ws.acquire(Shape{x.dim(0), wt.dim(0), g.out_h(), g.out_w()});
+  ws.note_use(x);
   if (bitgemm::all_pm1(x)) {
     bitgemm::xnor_conv2d(x, g, w.bits, out);
   } else {
@@ -224,6 +242,7 @@ Tensor MaxPool2d::infer(const Tensor& x, infer::Workspace& ws) {
   const std::int64_t ow = (w + 2 * pad_ - kernel_) / stride_ + 1;
   DDNN_CHECK(oh > 0 && ow > 0, "MaxPool2d::infer: empty output");
   Tensor out = ws.acquire(Shape{n, c, oh, ow});
+  ws.note_use(x);
   // Same window scan as autograd::max_pool2d, minus argmax bookkeeping;
   // comparisons are exact, so the selected values match bit-for-bit.
   const float* px = x.data();
@@ -294,6 +313,11 @@ Tensor BatchNorm::infer(const Tensor& x, infer::Workspace& ws) {
   Tensor inv_std = ws.acquire(Shape{features_});
   Tensor x_hat = ws.acquire(x.shape());
   Tensor out = ws.acquire(x.shape());
+  ws.note_use(x);
+  // batch_norm_apply interleaves writes to x_hat/out with reads of x_hat
+  // and inv_std, so all three must stay distinct for the whole kernel.
+  ws.note_use(inv_std);
+  ws.note_use(x_hat);
   ops::batch_norm_apply(x, gamma_.value(), beta_.value(), running_mean_,
                         running_var_, eps_, inv_std, x_hat, out);
   return out;

@@ -596,6 +596,34 @@ std::string render_report_html(const ReportOptions& options) {
     }
   }
 
+  // ------------------------------------------------------------ peak memory
+  // Planned activation peaks (runtime.mem_peak.*) of the newest run that
+  // recorded them: the per-tier arena sizes the memory planner committed to.
+  {
+    const LedgerRecord* newest = nullptr;
+    for (const auto& rec : ledger) {
+      for (const auto& [key, value] : rec.metrics) {
+        if (key.rfind("runtime.mem_peak.", 0) == 0) {
+          newest = &rec;
+          break;
+        }
+      }
+    }
+    if (newest != nullptr) {
+      os << "<h2>Peak memory</h2>\n"
+         << "<p class=\"note\">planned activation arena peak per hierarchy "
+            "tier (latest <code>"
+         << html_escape(newest->command) << "</code> run)</p>\n"
+         << "<table>\n<tr><th>tier</th><th>peak bytes</th></tr>\n";
+      for (const auto& [key, value] : newest->metrics) {
+        if (key.rfind("runtime.mem_peak.", 0) != 0) continue;
+        os << "<tr><td>" << html_escape(key.substr(17)) << "</td><td>"
+           << fmt_short(value) << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+  }
+
   // -------------------------------------------------------- series exports
   // Every ledger record that points at a series file gets its charts; the
   // files are then excluded from the generic CSV section below.

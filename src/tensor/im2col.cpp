@@ -22,17 +22,28 @@ void check_geometry(const Tensor& x, const Conv2dGeometry& g) {
 }  // namespace
 
 Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
+  check_geometry(x, g);
+  Tensor cols(Shape{x.dim(0) * g.out_h() * g.out_w(), g.patch_size()});
+  im2col_into(x, g, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& x, const Conv2dGeometry& g, Tensor& cols) {
   DDNN_PROF_SCOPE("im2col");
   check_geometry(x, g);
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t patch = g.patch_size();
-  Tensor cols(Shape{n * oh * ow, patch});
+  DDNN_CHECK(cols.ndim() == 2 && cols.dim(0) == n * oh * ow &&
+                 cols.dim(1) == patch,
+             "im2col_into: bad cols shape " << cols.shape().to_string());
   float* pc = cols.data();
   const float* px = x.data();
   const std::int64_t chw = g.in_channels * g.in_h * g.in_w;
   // Each image writes a disjoint block of `cols` rows, so the batch loop
-  // parallelizes without any cross-thread accumulation.
+  // parallelizes without any cross-thread accumulation. Every element is
+  // written (padded positions get an explicit 0): the destination may be a
+  // recycled planner arena.
   parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t b = b0; b < b1; ++b) {
       const float* img = px + b * chw;
@@ -46,9 +57,9 @@ Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
               const std::int64_t iy = oy * g.stride - g.pad + ky;
               for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
                 const std::int64_t ix = ox * g.stride - g.pad + kx;
-                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
-                  row[idx] = chan[iy * g.in_w + ix];
-                }
+                row[idx] = (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                               ? chan[iy * g.in_w + ix]
+                               : 0.0f;
               }
             }
           }
@@ -56,7 +67,6 @@ Tensor im2col(const Tensor& x, const Conv2dGeometry& g) {
       }
     }
   });
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, const Conv2dGeometry& g, std::int64_t batch) {

@@ -36,6 +36,11 @@ struct Conv2dGeometry {
 /// positions contribute 0.
 Tensor im2col(const Tensor& x, const Conv2dGeometry& g);
 
+/// im2col writing into a caller-provided cols tensor. Unlike im2col (which
+/// relies on zero-initialized storage), every element is written — padded
+/// positions get an explicit 0 — so it is safe on a dirty planner arena.
+void im2col_into(const Tensor& x, const Conv2dGeometry& g, Tensor& cols);
+
 /// Adjoint of im2col: scatters cols back into an [N, C, H, W] tensor,
 /// accumulating overlapping contributions.
 Tensor col2im(const Tensor& cols, const Conv2dGeometry& g, std::int64_t batch);

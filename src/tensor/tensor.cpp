@@ -37,12 +37,12 @@ Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
 
 float& Tensor::operator[](std::int64_t i) {
   DDNN_ASSERT(defined() && i >= 0 && i < numel());
-  return (*data_)[static_cast<std::size_t>(i)];
+  return (*data_)[static_cast<std::size_t>(offset_ + i)];
 }
 
 float Tensor::operator[](std::int64_t i) const {
   DDNN_ASSERT(defined() && i >= 0 && i < numel());
-  return (*data_)[static_cast<std::size_t>(i)];
+  return (*data_)[static_cast<std::size_t>(offset_ + i)];
 }
 
 float& Tensor::at(std::int64_t i, std::int64_t j) {
@@ -69,7 +69,7 @@ float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
 
 Tensor Tensor::clone() const {
   DDNN_CHECK(defined(), "clone() of undefined tensor");
-  return Tensor(shape_, *data_);
+  return Tensor(shape_, std::vector<float>(data(), data() + numel()));
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -80,12 +80,45 @@ Tensor Tensor::reshape(Shape new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
+  t.offset_ = offset_;
+  return t;
+}
+
+Tensor Tensor::view_into(const Tensor& storage, std::int64_t offset,
+                         Shape shape) {
+  DDNN_CHECK(storage.defined(), "view_into() of undefined storage");
+  DDNN_CHECK(offset >= 0 && offset + shape.numel() <= storage.numel(),
+             "view [" << offset << ", " << offset + shape.numel()
+                      << ") exceeds storage of " << storage.numel()
+                      << " floats");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = storage.data_;
+  t.offset_ = storage.offset_ + offset;
+  return t;
+}
+
+Tensor Tensor::narrow0(std::int64_t start, std::int64_t len) const {
+  DDNN_CHECK(defined() && ndim() >= 1, "narrow0() needs a defined tensor");
+  DDNN_CHECK(start >= 0 && len >= 1 && start + len <= shape_[0],
+             "narrow0 [" << start << ", " << start + len << ") out of dim0 "
+                         << shape_[0]);
+  const std::int64_t stride0 = shape_.numel() / shape_[0];
+  std::vector<std::int64_t> dims = shape_.dims();
+  dims[0] = len;
+  Shape ns(std::move(dims));
+  Tensor t;
+  t.shape_ = std::move(ns);
+  t.data_ = data_;
+  t.offset_ = offset_ + start * stride0;
   return t;
 }
 
 void Tensor::fill(float value) {
   DDNN_CHECK(defined(), "fill() of undefined tensor");
-  for (auto& x : *data_) x = value;
+  float* p = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = value;
 }
 
 bool Tensor::allclose(const Tensor& other, float tol) const {

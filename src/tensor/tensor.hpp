@@ -3,6 +3,13 @@
 // Copying a Tensor is cheap and *shares* the underlying buffer (like a
 // reference); use clone() for a deep copy. This matches the needs of the
 // autograd tape, where many nodes view the same activation buffer.
+//
+// A tensor may also be an *offset view* into a larger buffer (view_into /
+// narrow0): it stays contiguous and row-major, but data() starts `offset_`
+// floats into the shared storage and all element accessors, fill(), span()
+// and clone() honour the view's own numel() rather than the storage size.
+// The inference memory planner uses offset views to lay every intermediate
+// of a section into one packed arena.
 #pragma once
 
 #include <memory>
@@ -47,10 +54,14 @@ class Tensor {
   std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
   std::size_t ndim() const { return shape_.ndim(); }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
-  std::span<float> span() { return {data_->data(), data_->size()}; }
-  std::span<const float> span() const { return {data_->data(), data_->size()}; }
+  float* data() { return data_->data() + offset_; }
+  const float* data() const { return data_->data() + offset_; }
+  std::span<float> span() {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
+  std::span<const float> span() const {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
 
   /// Flat element access with bounds checking.
   float& operator[](std::int64_t i);
@@ -65,8 +76,16 @@ class Tensor {
   /// Deep copy.
   Tensor clone() const;
 
-  /// View with a new shape of equal numel (shares storage).
+  /// View with a new shape of equal numel (shares storage and offset).
   Tensor reshape(Shape new_shape) const;
+
+  /// View of `shape` starting `offset` floats into `storage`'s viewed range.
+  /// Shares storage; offset + shape.numel() must fit inside storage.numel().
+  static Tensor view_into(const Tensor& storage, std::int64_t offset,
+                          Shape shape);
+
+  /// Contiguous view of rows [start, start+len) along dim 0 (shares storage).
+  Tensor narrow0(std::int64_t start, std::int64_t len) const;
 
   void fill(float value);
   void zero() { fill(0.0f); }
@@ -78,6 +97,7 @@ class Tensor {
  private:
   Shape shape_;
   std::shared_ptr<std::vector<float>> data_;
+  std::int64_t offset_ = 0;  ///< start of this view, in floats, into *data_
 };
 
 }  // namespace ddnn

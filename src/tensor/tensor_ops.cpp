@@ -165,11 +165,18 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape{a.dim(0), b.dim(0)});
+  matmul_nt_into(a, b, c);
+  return c;
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
   DDNN_PROF_SCOPE("matmul_nt");
   DDNN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt needs 2-D operands");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DDNN_CHECK(b.dim(1) == k, "matmul_nt: inner dims " << k << " vs " << b.dim(1));
-  Tensor c(Shape{m, n});
+  DDNN_CHECK(c.ndim() == 2 && c.dim(0) == m && c.dim(1) == n,
+             "matmul_nt_into: bad output shape " << c.shape().to_string());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -185,7 +192,6 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       }
     }
   });
-  return c;
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -262,6 +268,15 @@ Tensor add_row_vector(const Tensor& x, const Tensor& b) {
     for (std::int64_t j = 0; j < n; ++j) out.at(i, j) = x.at(i, j) + b[j];
   }
   return out;
+}
+
+void add_row_vector_inplace(Tensor& x, const Tensor& b) {
+  DDNN_CHECK(x.ndim() == 2 && b.ndim() == 1, "add_row_vector: [m,n] + [n]");
+  DDNN_CHECK(x.dim(1) == b.dim(0), "add_row_vector: width mismatch");
+  const std::int64_t m = x.dim(0), n = x.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) x.at(i, j) = x.at(i, j) + b[j];
+  }
 }
 
 Tensor sum_rows(const Tensor& x) {

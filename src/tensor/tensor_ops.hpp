@@ -39,6 +39,9 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// C[m,n] = A[m,k] * B[n,k]^T
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// matmul_nt writing into a caller-provided [m,n] tensor (every element is
+/// overwritten — safe on a dirty planner arena). Same kernel, same bits.
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
 
 Tensor transpose2d(const Tensor& a);
 
@@ -58,6 +61,9 @@ Tensor softmax_rows(const Tensor& a);
 
 /// X[m,n] + b[n] broadcast over rows.
 Tensor add_row_vector(const Tensor& x, const Tensor& b);
+/// In-place row broadcast: x[i,j] = x[i,j] + b[j]. Bit-identical to
+/// add_row_vector (same expression, same order).
+void add_row_vector_inplace(Tensor& x, const Tensor& b);
 
 /// Column-wise sum of a [m, n] matrix -> [n]. (Gradient of the broadcast.)
 Tensor sum_rows(const Tensor& x);

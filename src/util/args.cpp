@@ -90,6 +90,28 @@ double ArgParser::get_double(const std::string& name) const {
   return parsed;
 }
 
+std::int64_t ArgParser::get_int_at_least(const std::string& name,
+                                         std::int64_t lo) const {
+  const std::int64_t v = get_int(name);
+  DDNN_CHECK(v >= lo,
+             "--" << name << " must be >= " << lo << ", got " << v);
+  return v;
+}
+
+double ArgParser::get_double_at_least(const std::string& name,
+                                      double lo) const {
+  const double v = get_double(name);
+  DDNN_CHECK(v >= lo, "--" << name << " must be >= " << lo << ", got " << v);
+  return v;
+}
+
+double ArgParser::get_double_greater_than(const std::string& name,
+                                          double lo) const {
+  const double v = get_double(name);
+  DDNN_CHECK(v > lo, "--" << name << " must be > " << lo << ", got " << v);
+  return v;
+}
+
 std::string ArgParser::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nusage: " << program_ << " [options]\n\noptions:\n";

@@ -31,6 +31,14 @@ class ArgParser {
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
 
+  // Range-validated getters: reject out-of-range values with an error that
+  // names the flag, so "--fleet-devices -3" fails loudly instead of feeding
+  // a nonsense count into the simulator.
+  std::int64_t get_int_at_least(const std::string& name, std::int64_t lo) const;
+  double get_double_at_least(const std::string& name, double lo) const;
+  /// Exclusive lower bound (rates and budgets that must be strictly > lo).
+  double get_double_greater_than(const std::string& name, double lo) const;
+
   const std::vector<std::string>& positionals() const { return positionals_; }
 
   std::string usage() const;

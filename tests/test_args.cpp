@@ -77,6 +77,43 @@ TEST(ArgParser, TypedGettersValidate) {
   EXPECT_THROW(p.has_flag("epochs"), Error);  // option, not a flag
 }
 
+TEST(ArgParser, RangeValidatedGettersRejectOutOfRangeNamingTheFlag) {
+  ArgParser p("prog", "test");
+  p.add_option("mem-budget", "", "0")
+      .add_option("fleet-devices", "", "0")
+      .add_option("fleet-edges", "", "4")
+      .add_option("fleet-arrival-hz", "", "200")
+      .add_option("fleet-batch-growth", "", "0.25");
+  const auto argv = argv_of({"prog", "--mem-budget", "-5", "--fleet-edges",
+                             "0", "--fleet-arrival-hz=0",
+                             "--fleet-batch-growth=-0.1"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+
+  // In-range values pass through.
+  EXPECT_EQ(p.get_int_at_least("fleet-devices", 0), 0);
+
+  // Out-of-range values fail loudly, naming the offending flag.
+  try {
+    p.get_int_at_least("mem-budget", 0);
+    FAIL() << "negative --mem-budget must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--mem-budget"), std::string::npos);
+  }
+  EXPECT_THROW(p.get_int_at_least("fleet-edges", 1), Error);
+  EXPECT_THROW(p.get_double_greater_than("fleet-arrival-hz", 0.0), Error);
+  EXPECT_THROW(p.get_double_at_least("fleet-batch-growth", 0.0), Error);
+}
+
+TEST(ArgParser, RangeValidatedGettersStillRejectNonNumericInput) {
+  ArgParser p("prog", "test");
+  p.add_option("mem-budget", "", "0").add_option("fleet-arrival-hz", "", "1");
+  const auto argv =
+      argv_of({"prog", "--mem-budget=lots", "--fleet-arrival-hz=fast"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(p.get_int_at_least("mem-budget", 0), Error);
+  EXPECT_THROW(p.get_double_greater_than("fleet-arrival-hz", 0.0), Error);
+}
+
 TEST(ArgParser, UsageListsOptionsAndDefaults) {
   ArgParser p("prog", "The test tool.");
   p.add_option("epochs", "training epochs", "40").add_flag("verbose", "talk");

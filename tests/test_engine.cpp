@@ -5,7 +5,9 @@
 // cache must track every in-place parameter update.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -85,26 +87,118 @@ TEST(Engine, OverrideWinsAndClears) {
 
 // ---------------------------------------------------------------- workspace
 
-TEST(Workspace, ReusesSlotStorageAcrossResets) {
+/// Restores poison to the DDNN_POISON env default when a test scope ends.
+struct PoisonGuard {
+  explicit PoisonGuard(bool on) { infer::set_poison(on); }
+  ~PoisonGuard() { infer::clear_poison_override(); }
+};
+
+/// Restores an unlimited memory budget when a test scope ends.
+struct BudgetGuard {
+  explicit BudgetGuard(std::int64_t bytes) { infer::set_mem_budget(bytes); }
+  ~BudgetGuard() { infer::set_mem_budget(0); }
+};
+
+/// Doubles the input then adds one, drawing both intermediates from the
+/// workspace with the acquire-then-note_use kernel discipline.
+std::vector<Tensor> double_plus_one(const std::vector<Tensor>& in,
+                                    infer::Workspace& ws) {
+  Tensor mid = ws.acquire(in[0].shape());
+  ws.note_use(in[0]);
+  for (std::int64_t i = 0; i < mid.numel(); ++i) mid[i] = in[0][i] * 2.0f;
+  Tensor out = ws.acquire(in[0].shape());
+  ws.note_use(mid);
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = mid[i] + 1.0f;
+  return {out};
+}
+
+TEST(Workspace, AlternatingBatchSignaturesReplayWithoutAllocating) {
   infer::Workspace ws;
-  Tensor a = ws.acquire(Shape{4, 8});
-  Tensor z = ws.acquire_zero(Shape{3, 3});
-  EXPECT_EQ(ws.slots(), 2u);
-  for (std::int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z[i], 0.0f);
+  const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                infer::next_section_id(), "ws_alternate"};
+  Rng rng(7);
+  const Tensor big = Tensor::randn(Shape{6, 4}, rng);
+  const Tensor small = Tensor::randn(Shape{2, 4}, rng);
 
-  const float* storage = a.data();
-  ws.reset();
-  // Same numel, different shape: the slot's storage is reused as a view.
-  Tensor b = ws.acquire(Shape{8, 4});
-  EXPECT_EQ(b.data(), storage);
-  EXPECT_EQ(b.shape(), Shape({8, 4}));
-  EXPECT_EQ(ws.slots(), 2u);
+  // First sight of each batch shape records a plan and allocates its arena.
+  const auto big_ref = infer::run_section(ws, desc, {big}, "", double_plus_one);
+  const auto small_ref =
+      infer::run_section(ws, desc, {small}, "", double_plus_one);
+  EXPECT_EQ(ws.plans(), 2u);
+  const std::size_t warm = ws.alloc_count();
 
-  ws.reset();
-  // Different numel: the slot reallocates but no new slot is added.
-  Tensor c = ws.acquire(Shape{5, 5});
-  EXPECT_EQ(c.numel(), 25);
-  EXPECT_EQ(ws.slots(), 2u);
+  // The bug this pins: alternating batch shapes used to reallocate every
+  // workspace slot on every pass. Warm passes must replay the per-signature
+  // plans bit-identically with zero new allocations.
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto b = infer::run_section(ws, desc, {big}, "", double_plus_one);
+    const auto s = infer::run_section(ws, desc, {small}, "", double_plus_one);
+    expect_bitwise_equal(b[0], big_ref[0]);
+    expect_bitwise_equal(s[0], small_ref[0]);
+  }
+  EXPECT_EQ(ws.alloc_count(), warm);
+  EXPECT_EQ(ws.plans(), 2u);
+}
+
+TEST(Workspace, PoisonCatchesViewLeakedPastSectionEnd) {
+  PoisonGuard poison(true);
+  infer::Workspace ws;
+  const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                infer::next_section_id(), "ws_leak"};
+  Tensor leaked;
+  auto leaky = [&leaked](const std::vector<Tensor>& in, infer::Workspace& w) {
+    auto outs = double_plus_one(in, w);
+    leaked = outs[0];  // contract violation: keeps an arena view alive
+    return outs;
+  };
+  Rng rng(8);
+  const Tensor x = Tensor::randn(Shape{3, 5}, rng);
+
+  infer::run_section(ws, desc, {x}, "", leaky);         // record pass
+  const auto outs = infer::run_section(ws, desc, {x}, "", leaky);  // replay
+  // The section's real outputs are deep copies and stay finite...
+  for (std::int64_t i = 0; i < outs[0].numel(); ++i) {
+    EXPECT_FALSE(std::isnan(outs[0][i])) << i;
+  }
+  // ...but the escaped arena view reads signaling NaNs, not recycled data.
+  ASSERT_EQ(leaked.numel(), x.numel());
+  for (std::int64_t i = 0; i < leaked.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(leaked[i])) << i;
+  }
+}
+
+// ---------------------------------------- activation kernels on non-finite
+
+TEST(Kernels, ActivationsMatchAutogradBitwiseOnNonFiniteInput) {
+  Tensor x(Shape{2, 4});
+  const float vals[] = {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity(),
+                        -0.0f,
+                        0.0f,
+                        -3.5f,
+                        2.25f,
+                        1e30f};
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = vals[i];
+
+  autograd::NoGradGuard no_grad;
+  const Tensor relu_ref = autograd::relu(Variable(x)).value();
+  const Tensor sign_ref = autograd::binarize(Variable(x)).value();
+
+  infer::Workspace ws;
+  const infer::SectionDesc desc{infer::SectionTier::kDevice,
+                                infer::next_section_id(), "nonfinite_act"};
+  auto body = [](const std::vector<Tensor>& in, infer::Workspace& w) {
+    return std::vector<Tensor>{nn::relu_tensor(in[0], w),
+                               nn::sign_tensor(in[0], w)};
+  };
+  // Record and replay paths must both match the autograd forward bit for
+  // bit — including NaN -> 0 under relu's (a < b) ? b : a semantics.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto outs = infer::run_section(ws, desc, {x}, "", body);
+    expect_bitwise_equal(outs[0], relu_ref);
+    expect_bitwise_equal(outs[1], sign_ref);
+  }
 }
 
 // --------------------------------------------------- bitpack validation
@@ -280,6 +374,74 @@ TEST(EngineParity, AggregationSchemesBitIdenticalAcrossEngines) {
           run_engine(model, views, mask, infer::EngineKind::kPlan);
       expect_outputs_bitwise_equal(ref, got);
     }
+  }
+}
+
+TEST(EngineParity, MemBudgetSlicingBitIdenticalToUnbudgetedRun) {
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesEdgesCloud);
+  cfg.validate();
+  DdnnModel model(cfg);
+  model.set_training(false);
+  const auto views = parity_views(cfg.num_devices);
+  const std::vector<bool> all(static_cast<std::size_t>(cfg.num_devices), true);
+
+  // Unbudgeted reference, plus the full-batch peak the budget must undercut.
+  const auto ref = run_engine(model, views, all, infer::EngineKind::kAutograd);
+  infer::reset_plan_stats();
+  const auto full = run_engine(model, views, all, infer::EngineKind::kPlan);
+  expect_outputs_bitwise_equal(ref, full);
+  const auto full_stats = infer::plan_stats();
+  const std::int64_t full_peak =
+      std::max({full_stats.device_peak_bytes, full_stats.edge_peak_bytes,
+                full_stats.cloud_peak_bytes});
+  ASSERT_GT(full_peak, 0);
+
+  // Single-row plans bound what the minimal slice needs, so a budget at the
+  // single-row peak is feasible — and (batch 2) strictly below full_peak.
+  infer::reset_plan_stats();
+  const auto row_views = parity_views(cfg.num_devices, 6);
+  std::vector<Variable> one_row;
+  for (const auto& v : row_views) {
+    one_row.emplace_back(v.value().narrow0(0, 1).clone());
+  }
+  run_engine(model, one_row, all, infer::EngineKind::kPlan);
+  const auto row_stats = infer::plan_stats();
+  const std::int64_t budget =
+      std::max({row_stats.device_peak_bytes, row_stats.edge_peak_bytes,
+                row_stats.cloud_peak_bytes});
+  ASSERT_GT(budget, 0);
+  ASSERT_LT(budget, full_peak);
+
+  BudgetGuard guard(budget);
+  for (const int threads : {1, 4}) {
+    PoolSizeGuard pool(threads);
+    infer::reset_plan_stats();
+    const auto sliced = run_engine(model, views, all, infer::EngineKind::kPlan);
+    expect_outputs_bitwise_equal(ref, sliced);
+    // Every executed section stayed under the budget.
+    const auto stats = infer::plan_stats();
+    EXPECT_LE(stats.device_peak_bytes, budget);
+    EXPECT_LE(stats.edge_peak_bytes, budget);
+    EXPECT_LE(stats.cloud_peak_bytes, budget);
+  }
+}
+
+TEST(EngineParity, PoisonModeKeepsEverySectionBitIdentical) {
+  // Audits all plan-engine sections: with poisoned arenas, any kernel that
+  // read recycled or unwritten workspace bytes would surface NaNs and break
+  // parity with the autograd forward.
+  PoisonGuard poison(true);
+  auto cfg = DdnnConfig::preset(HierarchyPreset::kDevicesEdgesCloud);
+  cfg.validate();
+  DdnnModel model(cfg);
+  model.set_training(false);
+  const auto views = parity_views(cfg.num_devices, 9);
+  std::vector<bool> mask(static_cast<std::size_t>(cfg.num_devices), true);
+  mask[0] = false;
+  const auto ref = run_engine(model, views, mask, infer::EngineKind::kAutograd);
+  for (int pass = 0; pass < 2; ++pass) {  // record pass, then poisoned replay
+    const auto got = run_engine(model, views, mask, infer::EngineKind::kPlan);
+    expect_outputs_bitwise_equal(ref, got);
   }
 }
 

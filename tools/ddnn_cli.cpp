@@ -25,6 +25,7 @@
 #include "dist/queueing.hpp"
 #include "dist/runtime.hpp"
 #include "infer/engine.hpp"
+#include "infer/planner.hpp"
 #include "nn/serialize.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +35,7 @@
 #include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/results.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace ddnn;
@@ -103,6 +105,37 @@ std::string select_engine(const ArgParser& args) {
     infer::set_engine_kind(infer::parse_engine_kind(flag));
   }
   return infer::to_string(infer::engine_kind());
+}
+
+void add_mem_budget_option(ArgParser& args) {
+  args.add_option("mem-budget",
+                  "hard cap on any section's planned activation arena in "
+                  "bytes (0 = unlimited); over-budget sections are "
+                  "batch-sliced to fit",
+                  "0");
+}
+
+/// Apply --mem-budget (validated: >= 0) and clear the per-tier peak stats so
+/// this run reports only its own planned peaks.
+void apply_mem_budget(const ArgParser& args) {
+  infer::set_mem_budget(args.get_int_at_least("mem-budget", 0));
+  infer::reset_plan_stats();
+}
+
+/// Export the per-tier planned activation peaks of this run as metrics
+/// gauges and ledger metrics (runtime.mem_peak.{device,edge,cloud}; 0 for
+/// tiers the hierarchy does not run). Byte-identical across reruns and
+/// thread counts: plans are deterministic and the stats are pure maxima.
+void record_mem_peaks(obs::LedgerRecord& rec) {
+  const auto stats = infer::plan_stats();
+  for (const auto tier :
+       {infer::SectionTier::kDevice, infer::SectionTier::kEdge,
+        infer::SectionTier::kCloud}) {
+    const std::string name = "runtime.mem_peak." + infer::to_string(tier);
+    const double bytes = static_cast<double>(stats.peak(tier));
+    obs::global_metrics().gauge(name).set(bytes);
+    rec.add_metric(name, bytes);
+  }
 }
 
 void add_profile_flag(ArgParser& args) {
@@ -218,9 +251,11 @@ int cmd_eval(int argc, const char* const* argv) {
       .add_option("threshold", "local exit threshold T (-1 = grid search)",
                   "0.8");
   add_engine_option(args);
+  add_mem_budget_option(args);
   add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
   apply_profile_flag(args);
+  apply_mem_budget(args);
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
@@ -233,6 +268,7 @@ int cmd_eval(int argc, const char* const* argv) {
   obs::LedgerRecord rec = ledger_record("eval", args);
   rec.add_info("engine", infer::to_string(infer::engine_kind()));
   rec.add_info("model", args.get("model"));
+  record_mem_peaks(rec);
   for (std::size_t e = 0; e < eval.num_exits(); ++e) {
     std::printf("%-5s accuracy (100%% exit there): %.1f%%\n",
                 eval.exit_names[e].c_str(),
@@ -353,9 +389,11 @@ int cmd_simulate(int argc, const char* const* argv) {
       .add_option("fleet-series-window",
                   "fleet: series window width in simulated seconds", "5");
   add_engine_option(args);
+  add_mem_budget_option(args);
   add_profile_flag(args);
   if (!args.parse(argc, argv)) return 0;
   apply_profile_flag(args);
+  apply_mem_budget(args);
 
   const auto cfg = config_from(args);
   const auto dataset = dataset_from(args);
@@ -406,7 +444,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   if (!args.get("metrics-out").empty()) {
     runtime.bind_metrics(&obs::global_metrics());
   }
-  obs::WindowedSeries series(args.get_double("series-window"), "t");
+  obs::WindowedSeries series(args.get_double_greater_than("series-window", 0.0),
+                             "t");
   if (!args.get("series-out").empty()) runtime.bind_series(&series);
 
   std::vector<dist::InferenceTrace> traces;
@@ -429,6 +468,27 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::printf("reliability:\n%s",
                 metrics.reliability.to_table().to_string().c_str());
   }
+  {
+    // Planned activation peak per hierarchy node. Devices (and edge
+    // stations) run identical plans, so each node of a tier reports that
+    // tier's packed arena peak.
+    const auto plan_stats = infer::plan_stats();
+    Table peaks({"node", "tier", "planned peak B"});
+    for (int d = 0; d < cfg.num_devices; ++d) {
+      peaks.add_row(
+          {"device" + std::to_string(d + 1), "device",
+           Table::num(static_cast<double>(plan_stats.device_peak_bytes), 0)});
+    }
+    for (std::size_t g = 0; g < cfg.edge_groups.size(); ++g) {
+      peaks.add_row(
+          {"edge" + std::to_string(g + 1), "edge",
+           Table::num(static_cast<double>(plan_stats.edge_peak_bytes), 0)});
+    }
+    peaks.add_row(
+        {"cloud", "cloud",
+         Table::num(static_cast<double>(plan_stats.cloud_peak_bytes), 0)});
+    std::printf("planned activation peaks:\n%s", peaks.to_string().c_str());
+  }
   if (!args.get("trace-out").empty()) {
     tracer.write_json(args.get("trace-out"));
     std::printf("wrote %zu spans to %s\n", tracer.spans().size(),
@@ -445,27 +505,33 @@ int cmd_simulate(int argc, const char* const* argv) {
   }
 
   // Fleet queueing network: replay this run's traces as open-loop load.
-  const auto fleet_devices = static_cast<int>(args.get_int("fleet-devices"));
+  const auto fleet_devices =
+      static_cast<int>(args.get_int_at_least("fleet-devices", 0));
   dist::FleetStats fleet;
-  obs::WindowedSeries fleet_series(args.get_double("fleet-series-window"),
-                                   "t");
+  obs::WindowedSeries fleet_series(
+      args.get_double_greater_than("fleet-series-window", 0.0), "t");
   if (fleet_devices > 0) {
     dist::FleetConfig fleet_cfg;
     fleet_cfg.num_devices = fleet_devices;
-    fleet_cfg.num_edges = static_cast<int>(args.get_int("fleet-edges"));
+    fleet_cfg.num_edges =
+        static_cast<int>(args.get_int_at_least("fleet-edges", 1));
     fleet_cfg.edge_servers =
-        static_cast<int>(args.get_int("fleet-edge-servers"));
+        static_cast<int>(args.get_int_at_least("fleet-edge-servers", 1));
     fleet_cfg.cloud_servers =
-        static_cast<int>(args.get_int("fleet-cloud-servers"));
-    fleet_cfg.arrival_rate_hz = args.get_double("fleet-arrival-hz");
+        static_cast<int>(args.get_int_at_least("fleet-cloud-servers", 1));
+    fleet_cfg.arrival_rate_hz =
+        args.get_double_greater_than("fleet-arrival-hz", 0.0);
     fleet_cfg.edge_service_s =
-        1e-3 * args.get_double("fleet-edge-service-ms");
+        1e-3 * args.get_double_at_least("fleet-edge-service-ms", 0.0);
     fleet_cfg.cloud_service_s =
-        1e-3 * args.get_double("fleet-cloud-service-ms");
-    fleet_cfg.edge_cloud_latency_s = 1e-3 * args.get_double("fleet-hop-ms");
-    fleet_cfg.max_batch = static_cast<int>(args.get_int("fleet-batch"));
-    fleet_cfg.batch_growth = args.get_double("fleet-batch-growth");
-    fleet_cfg.queue_capacity = args.get_int("fleet-queue-cap");
+        1e-3 * args.get_double_at_least("fleet-cloud-service-ms", 0.0);
+    fleet_cfg.edge_cloud_latency_s =
+        1e-3 * args.get_double_at_least("fleet-hop-ms", 0.0);
+    fleet_cfg.max_batch =
+        static_cast<int>(args.get_int_at_least("fleet-batch", 1));
+    fleet_cfg.batch_growth =
+        args.get_double_at_least("fleet-batch-growth", 0.0);
+    fleet_cfg.queue_capacity = args.get_int_at_least("fleet-queue-cap", 1);
     fleet_cfg.policy = dist::parse_edge_policy(args.get("fleet-policy"));
     fleet_cfg.seed = static_cast<std::uint64_t>(args.get_int("fleet-seed"));
     // The last exit of this model is its cloud exit; earlier escalation
@@ -483,7 +549,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "--fleet-arrivals-file '" << arrivals_file
                                            << "' holds no gaps");
     }
-    const auto stream = args.get_int("fleet-stream");
+    const auto stream = args.get_int_at_least("fleet-stream", 1);
     fleet = dist::simulate_fleet(
         traces, fleet_cfg, stream,
         args.get("fleet-series-out").empty() ? nullptr : &fleet_series);
@@ -513,6 +579,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   obs::LedgerRecord rec = ledger_record("simulate", args);
   rec.add_info("engine", infer::to_string(infer::engine_kind()));
   rec.add_info("threshold", args.get("threshold"));
+  record_mem_peaks(rec);
   rec.add_info("fault-seed", args.get("fault-seed"));
   if (faulty) {
     rec.add_info("drop", args.get("drop"));
