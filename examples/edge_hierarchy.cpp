@@ -57,6 +57,11 @@ int main() {
            {0.0, 0.0}, {0.5, 0.8}, {0.8, 0.8}, {0.8, 1.0}, {1.0, 1.0}}) {
     const auto policy = core::apply_policy(eval, {tl, te});
     dist::HierarchyRuntime runtime(model, {tl, te}, devices);
+    // Every message crosses the Transport seam. SimTransport is the
+    // byte-identical simulator path; swap in a SocketTransport (or run
+    // `ddnn serve`) to deploy the same hierarchy over real TCP.
+    dist::SimTransport transport;
+    runtime.set_transport(&transport);
     runtime.run(dataset.test());
     table.add_row(
         {Table::num(tl, 1), Table::num(te, 1),

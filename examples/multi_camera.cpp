@@ -47,8 +47,13 @@ int main() {
                       });
   model.set_training(false);
 
-  // Deploy onto the simulated hierarchy and stream the test samples.
+  // Deploy onto the simulated hierarchy and stream the test samples. All
+  // wire traffic crosses the Transport seam: SimTransport here is the
+  // deterministic simulator path, and the identical node graph runs over
+  // real TCP via `ddnn serve` (dist/serve.hpp).
   dist::HierarchyRuntime runtime(model, {0.8}, devices);
+  dist::SimTransport transport;
+  runtime.set_transport(&transport);
   std::printf("streaming %zu samples through the hierarchy (T = 0.8)...\n\n",
               dataset.test().size());
   core::ConfusionMatrix confusion(3);

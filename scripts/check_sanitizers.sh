@@ -14,15 +14,16 @@ build="${2:-${src}/build-asan}"
 
 cmake -S "${src}" -B "${build}" -DDDNN_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${build}" -j --target test_fault test_dist test_engine test_obs \
-  test_planner >/dev/null
+cmake --build "${build}" -j --target test_fault test_dist test_transport \
+  test_engine test_obs test_planner >/dev/null
 
 # Leak checking needs ptrace, which containers often deny; the point here is
 # heap/stack corruption and UB, so keep leaks off and halt on everything else.
 export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-for bin in test_fault test_dist test_engine test_obs test_planner; do
+for bin in test_fault test_dist test_transport test_engine test_obs \
+    test_planner; do
   echo "== sanitizers: ${bin}"
   "${build}/tests/${bin}" --gtest_brief=1
 done

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Loopback end-to-end check for `ddnn serve`: the simulator is the oracle.
+#
+# Trains a tiny preset-e model, records the simulator's per-sample decisions
+# (`ddnn simulate --decisions-out`), then runs the same model as three real
+# processes — cloud, edge, device driver — over TCP loopback and compares
+# the driver's decisions CSV byte-for-byte: same exits, predictions,
+# entropies and delivered bytes (only latency may differ, and it is not in
+# the CSV). Two rounds:
+#
+#   1. healthy     — every sample takes the simulator's exact route;
+#   2. blackholed  — the edge accepts frames and never answers, forcing the
+#                    driver's timeout + degradation ladder; the oracle is a
+#                    simulator run with a whole-run edge outage.
+#
+# Ports are OS-assigned ephemerals written to port files, so parallel ctest
+# jobs never collide. All children are killed on exit, pass or fail.
+#
+# Usage: check_serve_e2e.sh <ddnn-binary> [workdir]
+set -euo pipefail
+
+ddnn="${1:?usage: check_serve_e2e.sh <ddnn-binary> [workdir]}"
+work="${2:-serve_e2e_tmp}"
+
+model_flags=(--preset e --filters 2)
+export DDNN_RESULTS_DIR=off DDNN_CACHE_DIR=off
+
+rm -rf "${work}"
+mkdir -p "${work}"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+wait_port_file() {
+  local file="$1"
+  for _ in $(seq 1 100); do
+    [ -s "${file}" ] && return 0
+    sleep 0.1
+  done
+  echo "error: ${file} never appeared — server failed to start" >&2
+  return 1
+}
+
+echo "== serve e2e: train + simulate oracle"
+"${ddnn}" train "${model_flags[@]}" --epochs 1 \
+  --out "${work}/model.ddnn" >/dev/null
+"${ddnn}" simulate "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --decisions-out "${work}/sim.csv" >/dev/null
+"${ddnn}" simulate "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --outage 0:1000000 --decisions-out "${work}/sim_outage.csv" >/dev/null
+
+echo "== serve e2e: round 1 — healthy 3-process hierarchy"
+"${ddnn}" serve --role cloud "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --listen 0 --port-file "${work}/cloud.port" --idle-timeout 120 \
+  >"${work}/cloud.log" 2>&1 &
+pids+=($!)
+wait_port_file "${work}/cloud.port"
+"${ddnn}" serve --role edge "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --listen 0 --port-file "${work}/edge.port" \
+  --cloud "127.0.0.1:$(cat "${work}/cloud.port")" --idle-timeout 120 \
+  >"${work}/edge.log" 2>&1 &
+pids+=($!)
+wait_port_file "${work}/edge.port"
+"${ddnn}" serve --role device "${model_flags[@]}" \
+  --model "${work}/model.ddnn" \
+  --edge "127.0.0.1:$(cat "${work}/edge.port")" \
+  --cloud "127.0.0.1:$(cat "${work}/cloud.port")" \
+  --decisions-out "${work}/serve.csv" >"${work}/driver.log" 2>&1
+cmp "${work}/sim.csv" "${work}/serve.csv" || {
+  echo "error: healthy serve run diverged from the simulator" >&2
+  diff "${work}/sim.csv" "${work}/serve.csv" | head -10 >&2
+  exit 1
+}
+echo "   healthy round: decisions byte-identical to the simulator"
+
+echo "== serve e2e: round 2 — blackholed edge forces the timeout ladder"
+"${ddnn}" serve --role cloud "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --listen 0 --port-file "${work}/cloud2.port" --idle-timeout 120 \
+  >"${work}/cloud2.log" 2>&1 &
+pids+=($!)
+wait_port_file "${work}/cloud2.port"
+"${ddnn}" serve --role edge "${model_flags[@]}" --model "${work}/model.ddnn" \
+  --listen 0 --port-file "${work}/edge2.port" --blackhole \
+  --idle-timeout 120 >"${work}/edge2.log" 2>&1 &
+pids+=($!)
+wait_port_file "${work}/edge2.port"
+"${ddnn}" serve --role device "${model_flags[@]}" \
+  --model "${work}/model.ddnn" \
+  --edge "127.0.0.1:$(cat "${work}/edge2.port")" \
+  --cloud "127.0.0.1:$(cat "${work}/cloud2.port")" \
+  --decision-timeout 2 \
+  --decisions-out "${work}/serve_outage.csv" >"${work}/driver2.log" 2>&1
+cmp "${work}/sim_outage.csv" "${work}/serve_outage.csv" || {
+  echo "error: degraded serve run diverged from the outage simulation" >&2
+  diff "${work}/sim_outage.csv" "${work}/serve_outage.csv" | head -10 >&2
+  exit 1
+}
+# The round only proves something if the degradation route actually fired.
+degraded=$(awk -F, 'NR > 1 && $6 == 1' "${work}/serve_outage.csv" | wc -l)
+if [ "${degraded}" -eq 0 ]; then
+  echo "error: blackholed round produced no degraded samples" >&2
+  exit 1
+fi
+echo "   blackholed round: ${degraded} degraded samples, byte-identical to" \
+  "the outage simulation"
+echo "serve e2e passed"

@@ -32,10 +32,15 @@ Message encode_class_scores(const Tensor& scores) {
 Tensor decode_class_scores(const Message& msg, std::int64_t num_classes) {
   DDNN_CHECK(msg.kind == MessageKind::kClassScores,
              "expected class-scores, got " << to_string(msg.kind));
+  DDNN_CHECK(num_classes > 0,
+             "class-scores decode needs a positive class count, got "
+                 << num_classes);
   DDNN_CHECK(msg.payload.size() ==
                  static_cast<std::size_t>(num_classes) * sizeof(float),
-             "class-scores payload " << msg.payload.size() << " B for "
-                                     << num_classes << " classes");
+             "truncated or oversized class-scores payload: "
+                 << msg.payload.size() << " B, want "
+                 << num_classes * sizeof(float) << " B for " << num_classes
+                 << " classes");
   Tensor t(Shape{1, num_classes});
   std::memcpy(t.data(), msg.payload.data(), msg.payload.size());
   return t;
@@ -59,6 +64,12 @@ Message encode_binary_feature_map(const Tensor& features) {
 Tensor decode_binary_feature_map(const Message& msg, Shape shape) {
   DDNN_CHECK(msg.kind == MessageKind::kBinaryFeatureMap,
              "expected binary-features, got " << to_string(msg.kind));
+  DDNN_CHECK(static_cast<std::int64_t>(msg.payload.size()) ==
+                 packed_size_bytes(shape.numel()),
+             "truncated or oversized binary-features payload: "
+                 << msg.payload.size() << " B, want "
+                 << packed_size_bytes(shape.numel()) << " B for shape "
+                 << shape.to_string());
   return unpack_signs(msg.payload, std::move(shape));
 }
 
@@ -79,7 +90,9 @@ Tensor decode_raw_image(const Message& msg, Shape shape) {
   DDNN_CHECK(msg.kind == MessageKind::kRawImage,
              "expected raw-image, got " << to_string(msg.kind));
   DDNN_CHECK(static_cast<std::int64_t>(msg.payload.size()) == shape.numel(),
-             "raw-image payload size mismatch");
+             "truncated or oversized raw-image payload: "
+                 << msg.payload.size() << " B, want " << shape.numel()
+                 << " B for shape " << shape.to_string());
   Tensor t(std::move(shape));
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(msg.payload[static_cast<std::size_t>(i)]) /

@@ -8,8 +8,6 @@ namespace ddnn::dist {
 using core::DdnnConfig;
 using core::Variable;
 
-namespace {
-
 /// Shape of a single-sample device feature tensor under `cfg`.
 Shape device_feature_shape(const DdnnConfig& cfg) {
   if (cfg.device_conv_blocks == 0) {
@@ -23,8 +21,6 @@ Shape edge_feature_shape(const DdnnConfig& cfg) {
   const std::int64_t s = cfg.edge_out_size();
   return Shape{1, cfg.edge_filters, s, s};
 }
-
-}  // namespace
 
 DeviceNode::DeviceNode(int id, core::DdnnModel& model, int branch)
     : id_(id), model_(model), branch_(branch) {

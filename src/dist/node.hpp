@@ -14,6 +14,13 @@
 
 namespace ddnn::dist {
 
+/// Shape of a single-sample device feature tensor under `cfg` (the raw view
+/// shape when the device runs no NN blocks). Out-of-band wire knowledge:
+/// both endpoints of a feature message derive it from the shared config.
+Shape device_feature_shape(const core::DdnnConfig& cfg);
+/// Shape of a single-sample edge feature tensor under `cfg`.
+Shape edge_feature_shape(const core::DdnnConfig& cfg);
+
 /// An end device: senses one view, runs its trunk + local exit head.
 class DeviceNode {
  public:

@@ -9,20 +9,10 @@
 
 namespace ddnn::dist {
 
-namespace {
-
-/// argmax + normalized entropy of a [1, C] score vector.
-struct Decision {
-  std::int64_t prediction;
-  double entropy;
-};
-
-Decision decide(const Tensor& logits) {
+ExitDecision decide_exit(const Tensor& logits) {
   const Tensor probs = ops::softmax_rows(logits);
   return {ops::argmax_rows(probs)[0], core::normalized_entropy_row(probs, 0)};
 }
-
-}  // namespace
 
 HierarchyRuntime::HierarchyRuntime(core::DdnnModel& model,
                                    std::vector<double> thresholds,
@@ -32,7 +22,8 @@ HierarchyRuntime::HierarchyRuntime(core::DdnnModel& model,
       thresholds_(std::move(thresholds)),
       device_map_(std::move(device_map)),
       config_(config),
-      cloud_(model) {
+      cloud_(model),
+      sim_transport_(config.reliability) {
   const auto& cfg = model_.config();
   DDNN_CHECK(!cfg.float_devices,
              "float-device models have no 1-bit wire format; the distributed "
@@ -92,9 +83,20 @@ void HierarchyRuntime::set_fault_plan(FaultPlan plan) {
     DDNN_CHECK(o.group < n_groups, "edge outage group out of range");
   }
   injector_.emplace(std::move(plan));
+  transport().set_fault_injector(fault_injector());
 }
 
-void HierarchyRuntime::clear_fault_plan() { injector_.reset(); }
+void HierarchyRuntime::clear_fault_plan() {
+  injector_.reset();
+  transport().set_fault_injector(nullptr);
+}
+
+void HierarchyRuntime::set_transport(Transport* transport) {
+  transport_ = transport;
+  // The new transport inherits the installed fault oracle (a no-op for
+  // transports that ignore injectors, e.g. real sockets).
+  this->transport().set_fault_injector(fault_injector());
+}
 
 void HierarchyRuntime::reset_metrics() {
   metrics_ = {};
@@ -146,6 +148,24 @@ void HierarchyRuntime::bind_metrics(obs::MetricsRegistry* registry) {
       &registry->histogram("runtime.sample_latency_ms", 0.0, 1000.0, 100);
   bound_.sample_bytes =
       &registry->histogram("runtime.sample_bytes", 0.0, 1048576.0, 64);
+  // Per-destination reliability breakdown. The link.<name>.bytes counters
+  // share names with the bind_series() columns deliberately:
+  // scripts/check_trace.py reconciles same-named pairs exactly.
+  auto add_links = [&](const std::vector<Link>& links) {
+    for (const auto& link : links) {
+      BoundMetrics::LinkCounters c;
+      c.attempts = &registry->counter("link." + link.name() + ".attempts");
+      c.retries = &registry->counter("link." + link.name() + ".retries");
+      c.timeouts = &registry->counter("link." + link.name() + ".timeouts");
+      c.bytes = &registry->counter("link." + link.name() + ".bytes");
+      bound_.links[&link] = c;
+    }
+  };
+  add_links(dev_gateway_links_);
+  add_links(dev_uplink_links_);
+  add_links(edge_coord_links_);
+  add_links(edge_cloud_links_);
+  add_links(dev_cloud_links_);
 }
 
 void HierarchyRuntime::bind_series(obs::WindowedSeries* series) {
@@ -221,11 +241,12 @@ Table HierarchyRuntime::link_report() const {
   return table;
 }
 
-std::optional<Message> HierarchyRuntime::edge_features_at_cloud(
-    std::size_t g, const std::vector<std::optional<Message>>& features) {
-  const auto& cfg = model_.config();
+std::optional<Message> edge_section_at_cloud(
+    core::DdnnModel& model, std::size_t g,
+    const std::vector<std::optional<Message>>& features) {
+  const auto& cfg = model.config();
   autograd::NoGradGuard no_grad;
-  const Shape shape = devices_.front().feature_shape();
+  const Shape shape = device_feature_shape(cfg);
   std::vector<core::Variable> members;
   std::vector<bool> active;
   bool any = false;
@@ -241,17 +262,17 @@ std::optional<Message> HierarchyRuntime::edge_features_at_cloud(
     }
   }
   if (!any) return std::nullopt;
-  const auto result = model_.edge_section(g, members, active);
+  const auto result = model.edge_section(g, members, active);
   return encode_binary_feature_map(result.features.value());
 }
 
-Tensor HierarchyRuntime::cloud_forward_from_raw(
-    const std::vector<std::optional<Message>>& raws) {
-  const auto& cfg = model_.config();
+Tensor cloud_forward_from_raw_views(
+    core::DdnnModel& model, const std::vector<std::optional<Message>>& raws) {
+  const auto& cfg = model.config();
   autograd::NoGradGuard no_grad;
   const Shape view_shape{1, cfg.input_channels, cfg.input_size,
                          cfg.input_size};
-  const Shape feature_shape = devices_.front().feature_shape();
+  const Shape feature_shape = device_feature_shape(cfg);
   std::vector<core::Variable> feats;
   std::vector<bool> active;
   for (std::size_t b = 0; b < raws.size(); ++b) {
@@ -259,7 +280,7 @@ Tensor HierarchyRuntime::cloud_forward_from_raw(
       const core::Variable input(decode_raw_image(*raws[b], view_shape));
       feats.emplace_back(cfg.device_conv_blocks == 0
                              ? input
-                             : model_.device_section_features(
+                             : model.device_section_features(
                                    static_cast<int>(b), input));
       active.push_back(true);
     } else {
@@ -267,9 +288,9 @@ Tensor HierarchyRuntime::cloud_forward_from_raw(
       active.push_back(false);
     }
   }
-  if (!cfg.has_edge()) return model_.cloud_section(feats, active).value();
+  if (!cfg.has_edge()) return model.cloud_section(feats, active).value();
 
-  const Shape edge_shape = edges_.front().feature_shape();
+  const Shape edge_shape = edge_feature_shape(cfg);
   std::vector<core::Variable> branches;
   std::vector<bool> branch_active;
   for (std::size_t g = 0; g < cfg.edge_groups.size(); ++g) {
@@ -282,7 +303,7 @@ Tensor HierarchyRuntime::cloud_forward_from_raw(
       any = any || active[static_cast<std::size_t>(d)];
     }
     if (any) {
-      branches.push_back(model_.edge_section(g, members, member_active)
+      branches.push_back(model.edge_section(g, members, member_active)
                              .features);
       branch_active.push_back(true);
     } else {
@@ -290,7 +311,7 @@ Tensor HierarchyRuntime::cloud_forward_from_raw(
       branch_active.push_back(false);
     }
   }
-  return model_.cloud_section(branches, branch_active).value();
+  return model.cloud_section(branches, branch_active).value();
 }
 
 InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
@@ -383,8 +404,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
   auto send = [&](Link& link, const Message& msg, int branch,
                   double& stage_latency, int track, const char* span_name,
                   double t_off = 0.0) -> bool {
-    ReliableChannel channel(link, inj, config_.reliability);
-    const SendResult res = channel.send(msg, sidx);
+    const SendResult res = transport().send(link, msg, sidx);
     metrics_.reliability.drops += res.dropped_attempts;
     metrics_.reliability.retries += res.attempts - 1;
     trace.retries += res.attempts - 1;
@@ -401,6 +421,11 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       bound_.drops->add(res.dropped_attempts);
       bound_.retries->add(res.attempts - 1);
       if (!res.delivered) bound_.timeouts->add(1);
+      const auto& lc = bound_.links.at(&link);
+      lc.attempts->add(res.attempts);
+      lc.retries->add(res.attempts - 1);
+      if (!res.delivered) lc.timeouts->add(1);
+      if (res.delivered) lc.bytes->add(msg.payload_bytes());
     }
     if (series_.series) {
       obs::WindowedSeries& ws = *series_.series;
@@ -477,7 +502,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     trace.latency_s += stage_latency;
     if (delivered > 0) {
       const Tensor fused = gateway_->aggregate(scores);
-      const Decision d = decide(fused);
+      const ExitDecision d = decide_exit(fused);
       if (tr) {
         tr->add("gateway_fuse", "compute", gateway_track(),
                 base + trace.latency_s, 0.0)
@@ -571,7 +596,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       }
       const Tensor fused =
           model_.edge_exit_aggregate(edge_logits, active).value();
-      const Decision d = decide(fused);
+      const ExitDecision d = decide_exit(fused);
       if (tr) {
         tr->add("edge_exit_fuse", "compute", coord_track(),
                 base + trace.latency_s, 0.0)
@@ -593,7 +618,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     cloud_branches.resize(n_groups);
     for (std::size_t g = 0; g < n_groups; ++g) {
       if (!edge_up[g]) {
-        cloud_branches[g] = edge_features_at_cloud(g, features);
+        cloud_branches[g] = edge_section_at_cloud(model_, g, features);
         if (tr) {
           tr->add("edge_section_at_cloud", "compute", cloud_track(),
                   base + trace.latency_s, 0.0)
@@ -642,7 +667,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       trace.dead = true;
       return commit(-1, -1, 1.0);
     }
-    const Decision d = decide(cloud_forward_from_raw(raws));
+    const ExitDecision d = decide_exit(cloud_forward_from_raw_views(model_, raws));
     if (tr) {
       tr->add("cloud_classify", "compute", cloud_track(),
               base + trace.latency_s, config_.cloud_compute_s)
@@ -653,7 +678,7 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
     return commit(cloud_exit, d.prediction, d.entropy);
   }
   const Tensor logits = cloud_.process(cloud_branches, 1);
-  const Decision d = decide(logits);
+  const ExitDecision d = decide_exit(logits);
   if (tr) {
     tr->add("cloud_classify", "compute", cloud_track(),
             base + trace.latency_s, config_.cloud_compute_s)

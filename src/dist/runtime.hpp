@@ -42,6 +42,7 @@
 #include "dist/fault.hpp"
 #include "dist/link.hpp"
 #include "dist/node.hpp"
+#include "dist/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -74,6 +75,29 @@ struct InferenceTrace {
   bool dead = false;             // nothing reached any classifier
   int retries = 0;               // re-transmissions spent on this sample
 };
+
+/// argmax + normalized entropy of a [1, C] score vector — the decision rule
+/// every exit applies to its fused scores. Shared by the simulator and the
+/// served hierarchy (dist/serve.cpp) so the two paths cannot drift.
+struct ExitDecision {
+  std::int64_t prediction = 0;
+  double entropy = 0.0;
+};
+ExitDecision decide_exit(const Tensor& logits);
+
+/// Edge-outage fallback shared by the simulator and the served cloud
+/// (dist/serve.cpp): run edge group `g`'s section on whatever member device
+/// features arrived. Returns the feature message the cloud would have
+/// received from that edge, or nullopt when no member delivered.
+std::optional<Message> edge_section_at_cloud(
+    core::DdnnModel& model, std::size_t g,
+    const std::vector<std::optional<Message>>& features);
+
+/// Raw-offload fallback shared by the simulator and the served cloud: run
+/// the full network on delivered raw views (indexed by model branch).
+/// Returns the final [1, C] scores.
+Tensor cloud_forward_from_raw_views(
+    core::DdnnModel& model, const std::vector<std::optional<Message>>& raws);
 
 /// Aggregate statistics over a run.
 struct RuntimeMetrics {
@@ -125,6 +149,15 @@ class HierarchyRuntime {
 
   const FaultInjector* fault_injector() const {
     return injector_ ? &*injector_ : nullptr;
+  }
+
+  /// Route every send through `transport` (not owned; null restores the
+  /// builtin SimTransport). The installed fault injector follows the active
+  /// transport, so set_fault_plan/clear_fault_plan keep working across
+  /// swaps.
+  void set_transport(Transport* transport);
+  Transport& transport() {
+    return transport_ != nullptr ? *transport_ : sim_transport_;
   }
 
   /// Classify one multi-view sample; updates metrics. Never throws for
@@ -218,6 +251,10 @@ class HierarchyRuntime {
   std::optional<FaultInjector> injector_;
   std::int64_t sample_index_ = 0;  // fault-timeline clock
 
+  /// Default transport (the simulator path) and the active override.
+  SimTransport sim_transport_;
+  Transport* transport_ = nullptr;  // not owned; null = sim_transport_
+
   obs::SpanTracer* tracer_ = nullptr;  // not owned
   /// Pre-registered metric handles (all null when no registry is bound).
   struct BoundMetrics {
@@ -234,6 +271,16 @@ class HierarchyRuntime {
     obs::Gauge* total_latency_s = nullptr;
     obs::Histogram* latency_ms = nullptr;
     obs::Histogram* sample_bytes = nullptr;
+    /// Per-destination reliability counters (link.<name>.attempts/retries/
+    /// timeouts/bytes), so `ddnn report` can break retries down by link on
+    /// any transport. Keyed by Link address (link vectors never grow).
+    struct LinkCounters {
+      obs::Counter* attempts = nullptr;
+      obs::Counter* retries = nullptr;
+      obs::Counter* timeouts = nullptr;
+      obs::Counter* bytes = nullptr;
+    };
+    std::map<const Link*, LinkCounters> links;
   };
   BoundMetrics bound_;
   /// Pre-registered series column ids (series_ null when unbound). Link
@@ -271,18 +318,6 @@ class HierarchyRuntime {
 
   /// Edge group index for a model branch (-1 when no edge tier).
   int group_of(int branch) const;
-
-  /// Edge outage fallback: the cloud runs edge group `g`'s section itself
-  /// on whatever member features arrived over the fallback links. Returns
-  /// the edge feature message the cloud would have received, or nullopt
-  /// when no member delivered.
-  std::optional<Message> edge_features_at_cloud(
-      std::size_t g, const std::vector<std::optional<Message>>& features);
-
-  /// Raw-offload fallback: run the full network in the cloud on delivered
-  /// raw views. Returns the final [1, C] scores.
-  Tensor cloud_forward_from_raw(
-      const std::vector<std::optional<Message>>& raws);
 };
 
 }  // namespace ddnn::dist

@@ -1,0 +1,858 @@
+#include "dist/serve.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/inference.hpp"
+#include "dist/node.hpp"
+#include "infer/workspace.hpp"
+#include "util/error.hpp"
+
+namespace ddnn::dist {
+namespace {
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ------------------------------------------------------ protocol payloads
+
+struct DecisionPayload {
+  std::int64_t sample = 0;
+  std::int32_t exit_taken = -1;
+  std::int64_t prediction = -1;
+  double entropy = 1.0;
+  std::int64_t upstream_bytes = 0;
+  bool degraded = false;
+};
+
+Frame decision_frame(const DecisionPayload& d) {
+  Frame frame;
+  frame.kind = FrameKind::kDecision;
+  PayloadWriter w;
+  w.i64(d.sample);
+  w.i32(d.exit_taken);
+  w.i64(d.prediction);
+  w.f64(d.entropy);
+  w.i64(d.upstream_bytes);
+  w.u8(d.degraded ? 1 : 0);
+  frame.payload = w.take();
+  return frame;
+}
+
+DecisionPayload decode_decision(const Frame& frame) {
+  PayloadReader r(frame.payload.data(), frame.payload.size(), "decision");
+  DecisionPayload d;
+  d.sample = r.i64();
+  d.exit_taken = r.i32();
+  d.prediction = r.i64();
+  d.entropy = r.f64();
+  d.upstream_bytes = r.i64();
+  d.degraded = r.u8() != 0;
+  return d;
+}
+
+Frame classify_frame(std::int64_t sample, ClassifyMode mode) {
+  Frame frame;
+  frame.kind = FrameKind::kClassify;
+  PayloadWriter w;
+  w.i64(sample);
+  w.u8(static_cast<std::uint8_t>(mode));
+  frame.payload = w.take();
+  return frame;
+}
+
+Frame hello_frame(const std::string& role, const std::string& signature) {
+  Frame frame;
+  frame.kind = FrameKind::kHello;
+  PayloadWriter w;
+  w.str(role);
+  w.str(signature);
+  frame.payload = w.take();
+  return frame;
+}
+
+// ----------------------------------------------------------- server loop
+
+/// One accepted connection plus the per-sample frames it has delivered and
+/// not yet consumed by a Classify. sample -> branch -> Message.
+struct ServedConn {
+  std::shared_ptr<FrameConn> conn;
+  std::map<std::int64_t, std::map<std::int32_t, Message>> pending;
+};
+
+/// Shared edge/cloud skeleton: listen (writing the bound port to the port
+/// file for the process that spawned us), poll every connection, feed
+/// complete frames to `handle(ServedConn&, Frame&)`, exit when every peer
+/// has disconnected (or the idle timeout fires). Servers are
+/// single-threaded: each request runs to completion on the accept thread,
+/// so per-thread == per-connection inference workspaces (infer/workspace).
+class FrameServer {
+ public:
+  FrameServer(const char* role, const ServeOptions& opts)
+      : role_(role), opts_(opts), listener_(opts.listen_port) {
+    if (!opts_.port_file.empty()) {
+      std::ofstream out(opts_.port_file);
+      DDNN_CHECK(out.good(),
+                 "cannot write port file '" << opts_.port_file << "'");
+      out << listener_.port() << "\n";
+    }
+    std::printf("ddnn serve [%s]: listening on 127.0.0.1:%d%s\n", role_,
+                listener_.port(), opts_.blackhole ? " (blackhole)" : "");
+    std::fflush(stdout);
+  }
+
+  int port() const { return listener_.port(); }
+
+  template <typename Handler>
+  int run(Handler&& handle) {
+    double last_activity = wall_s();
+    bool saw_conn = false;
+    while (true) {
+      // One poll over the listener and every live connection.
+      std::vector<pollfd> fds;
+      fds.push_back({listener_.fd(), POLLIN, 0});
+      for (auto& sc : conns_) {
+        if (!sc.conn->closed()) fds.push_back({sc.conn->fd(), POLLIN, 0});
+      }
+      ::poll(fds.data(), fds.size(), 100);
+
+      if (auto conn = listener_.accept(0.0)) {
+        conns_.push_back(ServedConn{std::move(conn), {}});
+        saw_conn = true;
+        last_activity = wall_s();
+      }
+      for (auto& sc : conns_) {
+        if (sc.conn->closed()) continue;
+        std::vector<Frame> frames;
+        try {
+          frames = sc.conn->poll_frames();
+        } catch (const ddnn::Error& e) {
+          std::fprintf(stderr, "ddnn serve [%s]: dropping peer: %s\n", role_,
+                       e.what());
+          sc.conn->close();
+          continue;
+        }
+        if (!frames.empty()) last_activity = wall_s();
+        for (Frame& frame : frames) {
+          if (opts_.blackhole) continue;  // read everything, answer nothing
+          if (frame.kind == FrameKind::kBye) {
+            sc.conn->close();
+            break;
+          }
+          try {
+            handle(sc, frame);
+          } catch (const ddnn::Error& e) {
+            std::fprintf(stderr, "ddnn serve [%s]: request failed: %s\n",
+                         role_, e.what());
+          }
+        }
+        if (!sc.conn->closed()) sc.conn->flush(opts_.reliability.timeout_s);
+      }
+      conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                  [](const ServedConn& sc) {
+                                    return sc.conn->closed();
+                                  }),
+                   conns_.end());
+      if (saw_conn && conns_.empty()) break;  // every peer hung up
+      if (wall_s() - last_activity > opts_.idle_timeout_s) {
+        std::fprintf(stderr, "ddnn serve [%s]: idle for %.0f s, exiting\n",
+                     role_, opts_.idle_timeout_s);
+        return saw_conn ? 0 : 1;
+      }
+    }
+    std::printf("ddnn serve [%s]: all peers disconnected, exiting\n", role_);
+    return 0;
+  }
+
+  /// ACK a data frame and stash its Message under (sample, branch).
+  void accept_data(ServedConn& sc, const Frame& frame) {
+    MessageMeta meta;
+    Message msg = frame_message(frame, &meta);
+    sc.pending[meta.sample][meta.branch] = std::move(msg);
+    // Bound the stash: a sample the driver abandoned (timeout ladder) would
+    // otherwise pin its features forever.
+    while (sc.pending.size() > 64) sc.pending.erase(sc.pending.begin());
+    Frame ack;
+    ack.kind = FrameKind::kAck;
+    ack.seq = frame.seq;
+    sc.conn->queue(ack);
+  }
+
+  /// Answer a Hello with our own (role, signature); a mismatched model is a
+  /// loud failure on both ends instead of silently-diverging inference.
+  void answer_hello(ServedConn& sc, const Frame& frame,
+                    const std::string& signature) {
+    PayloadReader r(frame.payload.data(), frame.payload.size(), "hello");
+    const std::string peer_role = r.str();
+    const std::string peer_sig = r.str();
+    DDNN_CHECK(peer_sig == signature,
+               "model mismatch: peer '" << peer_role << "' runs " << peer_sig
+                                        << ", this " << role_ << " runs "
+                                        << signature);
+    Frame reply = hello_frame(role_, signature);
+    reply.seq = frame.seq;
+    sc.conn->queue(reply);
+  }
+
+  /// Collect sample `s`'s pending messages into a branch-indexed vector and
+  /// drop the stash (plus anything older — those samples were abandoned).
+  std::vector<std::optional<Message>> take_sample(ServedConn& sc,
+                                                  std::int64_t s,
+                                                  std::size_t branches) {
+    std::vector<std::optional<Message>> out(branches);
+    const auto it = sc.pending.find(s);
+    if (it != sc.pending.end()) {
+      for (auto& [branch, msg] : it->second) {
+        if (branch >= 0 && static_cast<std::size_t>(branch) < branches) {
+          out[static_cast<std::size_t>(branch)] = std::move(msg);
+        }
+      }
+    }
+    sc.pending.erase(sc.pending.begin(), sc.pending.upper_bound(s));
+    return out;
+  }
+
+ private:
+  const char* role_;
+  const ServeOptions& opts_;
+  Listener listener_;
+  std::vector<ServedConn> conns_;
+};
+
+}  // namespace
+
+std::string model_signature(const core::DdnnModel& model) {
+  const auto& cfg = model.config();
+  std::ostringstream os;
+  os << "devices=" << cfg.num_devices << ";filters=" << cfg.device_filters
+     << ";classes=" << cfg.num_classes << ";exits=" << cfg.num_exits()
+     << ";local_exit=" << (cfg.has_local_exit ? 1 : 0) << ";groups=";
+  for (const auto& g : cfg.edge_groups) os << g.size() << ",";
+  return os.str();
+}
+
+void write_decisions_csv(const std::string& path,
+                         const std::vector<InferenceTrace>& traces) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  DDNN_CHECK(f != nullptr, "cannot write decisions CSV '" << path << "'");
+  std::fprintf(f, "sample,exit,prediction,entropy,bytes,degraded,dead\n");
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const InferenceTrace& t = traces[i];
+    // %.17g round-trips doubles exactly: byte-identical files mean
+    // bit-identical decisions.
+    std::fprintf(f, "%zu,%d,%lld,%.17g,%lld,%d,%d\n", i, t.exit_taken,
+                 static_cast<long long>(t.prediction), t.entropy,
+                 static_cast<long long>(t.bytes_sent), t.degraded ? 1 : 0,
+                 t.dead ? 1 : 0);
+  }
+  std::fclose(f);
+}
+
+// ------------------------------------------------------------------ cloud
+
+int serve_cloud(core::DdnnModel& model, const ServeOptions& opts) {
+  const auto& cfg = model.config();
+  CloudNode cloud(model);
+  FrameServer server("cloud", opts);
+  const std::string signature = model_signature(model);
+  const std::size_t n_dev = static_cast<std::size_t>(cfg.num_devices);
+  const std::size_t n_groups = cfg.edge_groups.size();
+
+  return server.run([&](ServedConn& sc, const Frame& frame) {
+    if (frame.kind == FrameKind::kHello) {
+      server.answer_hello(sc, frame, signature);
+      return;
+    }
+    if (is_data_kind(frame.kind)) {
+      server.accept_data(sc, frame);
+      return;
+    }
+    if (frame.kind != FrameKind::kClassify) return;
+
+    PayloadReader r(frame.payload.data(), frame.payload.size(), "classify");
+    const std::int64_t sample = r.i64();
+    const auto mode = static_cast<ClassifyMode>(r.u8());
+
+    DecisionPayload d;
+    d.sample = sample;
+    d.degraded = mode != ClassifyMode::kNormal;
+    if (mode == ClassifyMode::kNormal) {
+      // Features from the tier directly below: edge branches when the
+      // hierarchy has an edge tier, device branches otherwise — the
+      // simulator's healthy stage-6 path.
+      const std::size_t branches = cfg.has_edge() ? n_groups : n_dev;
+      auto feats = server.take_sample(sc, sample, branches);
+      const bool any = std::any_of(feats.begin(), feats.end(),
+                                   [](const auto& m) { return m.has_value(); });
+      if (any) {
+        const ExitDecision dec = decide_exit(cloud.process(feats, 1));
+        d.exit_taken = cfg.num_exits() - 1;
+        d.prediction = dec.prediction;
+        d.entropy = dec.entropy;
+      }
+    } else if (mode == ClassifyMode::kEdgeAtCloud) {
+      // Edge outage route: device features arrived directly; this process
+      // runs every edge group's section itself, then classifies — the same
+      // computation the simulator's whole-tier outage performs.
+      auto feats = server.take_sample(sc, sample, n_dev);
+      std::vector<std::optional<Message>> branches(n_groups);
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        branches[g] = edge_section_at_cloud(model, g, feats);
+      }
+      const bool any =
+          std::any_of(branches.begin(), branches.end(),
+                      [](const auto& m) { return m.has_value(); });
+      if (any) {
+        const ExitDecision dec = decide_exit(cloud.process(branches, 1));
+        d.exit_taken = cfg.num_exits() - 1;
+        d.prediction = dec.prediction;
+        d.entropy = dec.entropy;
+      }
+    } else if (mode == ClassifyMode::kRawOffload) {
+      auto raws = server.take_sample(sc, sample, n_dev);
+      const bool any = std::any_of(raws.begin(), raws.end(),
+                                   [](const auto& m) { return m.has_value(); });
+      if (any) {
+        const ExitDecision dec =
+            decide_exit(cloud_forward_from_raw_views(model, raws));
+        d.exit_taken = cfg.num_exits() - 1;
+        d.prediction = dec.prediction;
+        d.entropy = dec.entropy;
+      }
+    }
+    sc.conn->queue(decision_frame(d));
+  });
+}
+
+// ------------------------------------------------------------------- edge
+
+int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
+  const auto& cfg = model.config();
+  DDNN_CHECK(cfg.has_edge(), "edge role on a hierarchy without an edge tier");
+  DDNN_CHECK(cfg.edge_groups.size() == 1,
+             "ddnn serve runs one edge process; multi-edge presets are "
+             "simulator-only for now");
+  EdgeNode edge(0, model);
+  const std::string signature = model_signature(model);
+  const std::size_t n_dev = static_cast<std::size_t>(cfg.num_devices);
+  const int edge_exit_index = cfg.has_local_exit ? 1 : 0;
+  const double threshold =
+      opts.thresholds.at(static_cast<std::size_t>(edge_exit_index));
+
+  // Upstream leg: this process is itself a SocketTransport client of the
+  // cloud. The Link mirrors the simulator's edge->cloud backhaul so the
+  // delivered-byte accounting reported in Decision.upstream_bytes matches.
+  SocketTransport uplink(opts.reliability);
+  Link edge_cloud_link("edge0->cloud", RuntimeConfig{}.edge_link);
+  if (!opts.blackhole) {
+    DDNN_CHECK(!opts.cloud_addr.empty(), "edge role needs --cloud host:port");
+    auto cloud_conn = connect_to(opts.cloud_addr, opts.connect_timeout_s);
+    DDNN_CHECK(cloud_conn != nullptr,
+               "cannot reach the cloud at " << opts.cloud_addr);
+    uplink.attach(edge_cloud_link.name(), cloud_conn);
+    uplink.attach("cloud-ctl", cloud_conn);
+    DDNN_CHECK(uplink.post("cloud-ctl", hello_frame("edge", signature)),
+               "cloud handshake send failed");
+    const auto reply =
+        uplink.await("cloud-ctl", FrameKind::kHello, opts.connect_timeout_s);
+    DDNN_CHECK(reply.has_value(), "cloud handshake timed out");
+  }
+
+  FrameServer server("edge", opts);
+  const int rc = server.run([&](ServedConn& sc, const Frame& frame) {
+    if (frame.kind == FrameKind::kHello) {
+      server.answer_hello(sc, frame, signature);
+      return;
+    }
+    if (is_data_kind(frame.kind)) {
+      server.accept_data(sc, frame);
+      return;
+    }
+    if (frame.kind != FrameKind::kClassify) return;
+
+    PayloadReader r(frame.payload.data(), frame.payload.size(), "classify");
+    const std::int64_t sample = r.i64();
+    r.u8();  // mode: an edge only serves the normal route
+
+    DecisionPayload d;
+    d.sample = sample;
+    auto feats = server.take_sample(sc, sample, n_dev);
+    std::vector<std::optional<Message>> members;
+    bool any = false;
+    for (int dev : cfg.edge_groups[0]) {
+      members.push_back(feats[static_cast<std::size_t>(dev)]);
+      any = any || members.back().has_value();
+    }
+    if (!any) {  // classify without a single delivered feature
+      sc.conn->queue(decision_frame(d));
+      return;
+    }
+
+    // Trunk + fused edge exit, exactly the simulator's stages 3-4. The
+    // score message's bytes are charged as upstream traffic: the simulator
+    // sends them to the edge-exit coordinator over a real link.
+    Message scores = edge.process(members, 1);
+    d.upstream_bytes += scores.payload_bytes();
+    std::vector<core::Variable> logits;
+    logits.emplace_back(decode_class_scores(scores, cfg.num_classes));
+    const Tensor fused =
+        model.edge_exit_aggregate(logits, {true}).value();
+    const ExitDecision dec = decide_exit(fused);
+    if (core::should_exit(dec.entropy, threshold)) {
+      d.exit_taken = edge_exit_index;
+      d.prediction = dec.prediction;
+      d.entropy = dec.entropy;
+      sc.conn->queue(decision_frame(d));
+      return;
+    }
+
+    // Stage 5: escalate this edge's features to the cloud and relay its
+    // Decision, adding the bytes spent on the way up.
+    const Message features = edge.feature_message();
+    const SendResult sent = uplink.send(edge_cloud_link, features, sample);
+    if (sent.delivered &&
+        uplink.post("cloud-ctl", classify_frame(sample,
+                                                ClassifyMode::kNormal))) {
+      d.upstream_bytes += features.payload_bytes();
+      const double deadline = wall_s() + opts.decision_timeout_s;
+      while (wall_s() < deadline) {
+        const auto reply = uplink.await("cloud-ctl", FrameKind::kDecision,
+                                        deadline - wall_s());
+        if (!reply.has_value()) break;
+        DecisionPayload cloud_d = decode_decision(*reply);
+        if (cloud_d.sample != sample) continue;  // stale abandoned sample
+        d.exit_taken = cloud_d.exit_taken;
+        d.prediction = cloud_d.prediction;
+        d.entropy = cloud_d.entropy;
+        d.degraded = d.degraded || cloud_d.degraded;
+        d.upstream_bytes += cloud_d.upstream_bytes;
+        break;
+      }
+    }
+    sc.conn->queue(decision_frame(d));  // exit stays -1 if the cloud failed
+  });
+  if (!opts.blackhole && !uplink.channel_down("cloud-ctl")) {
+    Frame bye;
+    bye.kind = FrameKind::kBye;
+    uplink.post("cloud-ctl", bye);
+  }
+  return rc;
+}
+
+// ----------------------------------------------------------------- driver
+
+namespace {
+
+/// Driver-side registry handles (mirrors HierarchyRuntime::bind_metrics so
+/// `ddnn report` reads the served path with the same names, including the
+/// per-destination link.* reliability breakdown).
+struct DriverMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Counter* samples = nullptr;
+  obs::Counter* bytes_total = nullptr;
+  obs::Counter* correct = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* drops = nullptr;
+  obs::Counter* timeouts = nullptr;
+  obs::Counter* degraded = nullptr;
+  obs::Counter* dead = nullptr;
+  obs::Gauge* arena_bytes = nullptr;
+  struct LinkCounters {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  std::map<const Link*, LinkCounters> links;
+
+  void bind(obs::MetricsRegistry* reg, const std::vector<Link*>& all_links) {
+    registry = reg;
+    if (reg == nullptr) return;
+    samples = &reg->counter("runtime.samples");
+    bytes_total = &reg->counter("runtime.bytes_total");
+    correct = &reg->counter("runtime.correct");
+    retries = &reg->counter("runtime.retries");
+    drops = &reg->counter("runtime.drops");
+    timeouts = &reg->counter("runtime.timeouts");
+    degraded = &reg->counter("runtime.degraded");
+    dead = &reg->counter("runtime.dead");
+    arena_bytes = &reg->gauge("serve.arena_bytes");
+    for (const Link* link : all_links) {
+      LinkCounters c;
+      c.attempts = &reg->counter("link." + link->name() + ".attempts");
+      c.retries = &reg->counter("link." + link->name() + ".retries");
+      c.timeouts = &reg->counter("link." + link->name() + ".timeouts");
+      c.bytes = &reg->counter("link." + link->name() + ".bytes");
+      links[link] = c;
+    }
+  }
+};
+
+}  // namespace
+
+DriveResult drive_hierarchy(core::DdnnModel& model,
+                            const std::vector<data::MvmcSample>& samples,
+                            const std::vector<int>& device_map,
+                            const ServeOptions& opts) {
+  const auto& cfg = model.config();
+  DDNN_CHECK(!cfg.float_devices,
+             "float-device models have no 1-bit wire format");
+  DDNN_CHECK(static_cast<int>(opts.thresholds.size()) + 1 == cfg.num_exits(),
+             "need one threshold per non-final exit");
+  DDNN_CHECK(cfg.edge_groups.size() <= 1,
+             "ddnn serve runs one edge process; multi-edge presets are "
+             "simulator-only for now");
+  DDNN_CHECK(!opts.cloud_addr.empty(), "driver needs --cloud host:port");
+  const std::size_t n_dev = static_cast<std::size_t>(cfg.num_devices);
+  const std::string signature = model_signature(model);
+  const RuntimeConfig link_cfg{};  // the simulator's link parameters
+
+  // Device-tier state: nodes, the colocated gateway, and the same Link
+  // names/configs the simulator uses so byte accounting lines up.
+  std::vector<DeviceNode> devices;
+  std::vector<Link> gw_links;
+  std::vector<Link> up_links;
+  std::vector<Link> fb_links;
+  for (std::size_t b = 0; b < n_dev; ++b) {
+    devices.emplace_back(static_cast<int>(b), model, static_cast<int>(b));
+    gw_links.emplace_back("device" + std::to_string(b) + "->gateway",
+                          link_cfg.device_link);
+    const std::string up_target = cfg.has_edge() ? "edge" : "cloud";
+    up_links.emplace_back("device" + std::to_string(b) + "->" + up_target,
+                          link_cfg.device_link);
+    if (cfg.has_edge()) {
+      fb_links.emplace_back("device" + std::to_string(b) + "->cloud(fallback)",
+                            link_cfg.device_link);
+    }
+  }
+  std::optional<GatewayNode> gateway;
+  if (cfg.has_local_exit) gateway.emplace(model);
+
+  // Wire up the transport: every cloud-bound channel shares one socket,
+  // every edge-bound channel shares another.
+  SocketTransport transport(opts.reliability);
+  transport.set_fail_fast(opts.fail_fast);
+  auto cloud_conn = connect_to(opts.cloud_addr, opts.connect_timeout_s);
+  DDNN_CHECK(cloud_conn != nullptr,
+             "cannot reach the cloud at " << opts.cloud_addr);
+  transport.attach("cloud-ctl", cloud_conn);
+  for (auto& l : fb_links) transport.attach(l.name(), cloud_conn);
+  if (!cfg.has_edge()) {
+    for (auto& l : up_links) transport.attach(l.name(), cloud_conn);
+  }
+  DDNN_CHECK(transport.post("cloud-ctl", hello_frame("driver", signature)),
+             "cloud handshake send failed");
+  DDNN_CHECK(transport.await("cloud-ctl", FrameKind::kHello,
+                             opts.connect_timeout_s)
+                 .has_value(),
+             "cloud handshake timed out");
+
+  bool edge_up = false;
+  if (cfg.has_edge()) {
+    DDNN_CHECK(!opts.edge_addr.empty(), "driver needs --edge host:port");
+    if (auto edge_conn = connect_to(opts.edge_addr, opts.connect_timeout_s)) {
+      transport.attach("edge-ctl", edge_conn);
+      for (auto& l : up_links) transport.attach(l.name(), edge_conn);
+      // A silent edge (down, blackholed) fails the handshake and the run
+      // degrades from sample 0 — the served twin of a whole-run outage.
+      edge_up = transport.post("edge-ctl", hello_frame("driver", signature)) &&
+                transport
+                    .await("edge-ctl", FrameKind::kHello,
+                           opts.decision_timeout_s)
+                    .has_value();
+    }
+    if (!edge_up) {
+      std::fprintf(stderr,
+                   "ddnn serve [driver]: edge unreachable, degrading to "
+                   "cloud-only routes\n");
+    }
+  }
+
+  DriveResult result;
+  result.metrics.exit_counts.assign(
+      static_cast<std::size_t>(cfg.num_exits()), 0);
+  result.metrics.device_bytes.assign(n_dev, 0);
+  DriverMetrics dm;
+  {
+    std::vector<Link*> all;
+    for (auto& l : gw_links) all.push_back(&l);
+    for (auto& l : up_links) all.push_back(&l);
+    for (auto& l : fb_links) all.push_back(&l);
+    dm.bind(opts.metrics, all);
+  }
+  obs::SpanTracer* tr = opts.tracer;
+  if (tr != nullptr) {
+    tr->set_track_name(0, "samples");
+    tr->set_track_name(1, "driver-net");
+  }
+  const int cloud_exit = cfg.num_exits() - 1;
+  const double run_start = wall_s();
+  const std::int64_t limit =
+      opts.max_samples < 0
+          ? static_cast<std::int64_t>(samples.size())
+          : std::min<std::int64_t>(opts.max_samples,
+                                   static_cast<std::int64_t>(samples.size()));
+
+  // Await the Decision for `sidx` on a control channel; stale decisions for
+  // abandoned samples are discarded.
+  auto await_decision =
+      [&](const std::string& ctl,
+          std::int64_t sidx) -> std::optional<DecisionPayload> {
+    const double deadline = wall_s() + opts.decision_timeout_s;
+    while (wall_s() < deadline) {
+      const auto reply =
+          transport.await(ctl, FrameKind::kDecision, deadline - wall_s());
+      if (!reply.has_value()) return std::nullopt;
+      DecisionPayload d = decode_decision(*reply);
+      if (d.sample == sidx) return d;
+    }
+    return std::nullopt;
+  };
+
+  for (std::int64_t sidx = 0; sidx < limit; ++sidx) {
+    const data::MvmcSample& sample = samples[static_cast<std::size_t>(sidx)];
+    const double t0 = wall_s();
+    InferenceTrace trace;
+
+    // Book the finished trace (same shape as the simulator's commit).
+    auto commit = [&](int exit_taken, std::int64_t prediction,
+                      double entropy) {
+      trace.exit_taken = exit_taken;
+      trace.prediction = prediction;
+      trace.entropy = entropy;
+      trace.latency_s = wall_s() - t0;
+      RuntimeMetrics& m = result.metrics;
+      if (exit_taken >= 0) {
+        ++m.exit_counts[static_cast<std::size_t>(exit_taken)];
+      }
+      ++m.samples;
+      m.total_bytes += trace.bytes_sent;
+      m.total_latency_s += trace.latency_s;
+      if (trace.degraded) ++m.reliability.degraded_exits;
+      if (trace.dead) ++m.reliability.dead_samples;
+      if (trace.prediction == sample.label) ++m.correct;
+      if (tr != nullptr) {
+        tr->add("sample", "sample", 0, t0 - run_start, trace.latency_s)
+            .with("sample_index", sidx)
+            .with("exit", exit_taken)
+            .with("prediction", prediction)
+            .with("label", sample.label)
+            .with("entropy", entropy)
+            .with("bytes", trace.bytes_sent)
+            .with("degraded", trace.degraded)
+            .with("dead", trace.dead);
+      }
+      if (dm.registry != nullptr) {
+        dm.samples->add(1);
+        dm.bytes_total->add(trace.bytes_sent);
+        if (trace.prediction == sample.label) dm.correct->add(1);
+        if (trace.degraded) dm.degraded->add(1);
+        if (trace.dead) dm.dead->add(1);
+        dm.arena_bytes->set(
+            static_cast<double>(infer::thread_arena_bytes()));
+      }
+      result.traces.push_back(trace);
+    };
+
+    // A delivered local send (device and gateway are colocated; the frame
+    // still crosses the simulated gateway link for byte parity).
+    auto local_send = [&](Link& link, const Message& msg, int branch) {
+      link.transmit(msg);
+      trace.bytes_sent += msg.payload_bytes();
+      result.metrics.device_bytes[static_cast<std::size_t>(branch)] +=
+          msg.payload_bytes();
+      if (dm.registry != nullptr) {
+        const auto& lc = dm.links.at(&link);
+        lc.attempts->add(1);
+        lc.bytes->add(msg.payload_bytes());
+      }
+    };
+
+    // Account one socket SendResult exactly like the simulator's send().
+    auto book_send = [&](Link& link, const Message& msg,
+                         const SendResult& res, int branch) {
+      result.metrics.reliability.drops += res.dropped_attempts;
+      result.metrics.reliability.retries += res.attempts - 1;
+      trace.retries += res.attempts - 1;
+      if (res.delivered) {
+        trace.bytes_sent += msg.payload_bytes();
+        if (branch >= 0) {
+          result.metrics.device_bytes[static_cast<std::size_t>(branch)] +=
+              msg.payload_bytes();
+        }
+      } else {
+        ++result.metrics.reliability.timeouts;
+      }
+      if (dm.registry != nullptr) {
+        dm.drops->add(res.dropped_attempts);
+        dm.retries->add(res.attempts - 1);
+        if (!res.delivered) dm.timeouts->add(1);
+        const auto& lc = dm.links.at(&link);
+        lc.attempts->add(res.attempts);
+        lc.retries->add(res.attempts - 1);
+        if (!res.delivered) lc.timeouts->add(1);
+        if (res.delivered) lc.bytes->add(msg.payload_bytes());
+      }
+      if (tr != nullptr) {
+        tr->add("send", "net", 1, wall_s() - run_start, res.latency_s)
+            .with("link", link.name())
+            .with("sample_index", sidx)
+            .with("attempts", res.attempts)
+            .with("delivered", res.delivered);
+      }
+    };
+
+    // Batched uplink flush of one message per device over `links`; returns
+    // how many were delivered.
+    auto send_all = [&](std::vector<Link>& links,
+                        const std::vector<Message>& msgs) {
+      std::vector<SocketTransport::BatchItem> batch;
+      for (std::size_t b = 0; b < n_dev; ++b) {
+        batch.push_back({&links[b], &msgs[b], sidx,
+                         static_cast<std::int32_t>(b)});
+      }
+      const auto results = transport.send_batch(batch);
+      int delivered = 0;
+      for (std::size_t b = 0; b < n_dev; ++b) {
+        book_send(links[b], msgs[b], results[b], static_cast<int>(b));
+        if (results[b].delivered) ++delivered;
+      }
+      return delivered;
+    };
+
+    // --- Stage 0: every device senses its view and runs its section.
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      devices[b].sense(
+          sample.views.at(static_cast<std::size_t>(device_map[b])));
+    }
+
+    // --- Stage 1: local exit at the colocated gateway.
+    int exit_index = 0;
+    if (cfg.has_local_exit) {
+      std::vector<std::optional<Message>> scores(n_dev);
+      for (std::size_t b = 0; b < n_dev; ++b) {
+        Message msg = devices[b].scores_message();
+        local_send(gw_links[b], msg, static_cast<int>(b));
+        scores[b] = std::move(msg);
+      }
+      const ExitDecision d = decide_exit(gateway->aggregate(scores));
+      if (core::should_exit(d.entropy, opts.thresholds[0])) {
+        commit(0, d.prediction, d.entropy);
+        continue;
+      }
+      exit_index = 1;
+    }
+
+    // --- Stage 2: escalate features over real sockets, then ask the tier
+    // above to decide. Fallbacks mirror the simulator's ladder.
+    std::vector<Message> feats;
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      feats.push_back(devices[b].feature_message());
+    }
+
+    bool decided = false;
+    bool try_edge_at_cloud = false;
+    if (cfg.has_edge() && edge_up) {
+      if (send_all(up_links, feats) > 0 &&
+          transport.post("edge-ctl",
+                         classify_frame(sidx, ClassifyMode::kNormal))) {
+        if (const auto d = await_decision("edge-ctl", sidx)) {
+          if (d->exit_taken >= 0) {
+            trace.bytes_sent += d->upstream_bytes;
+            trace.degraded = trace.degraded || d->degraded;
+            commit(d->exit_taken, d->prediction, d->entropy);
+            decided = true;
+          } else {
+            try_edge_at_cloud = true;  // the edge could not reach a verdict
+          }
+        } else {
+          edge_up = false;  // silent edge: degrade for the rest of the run
+          try_edge_at_cloud = true;
+        }
+      } else {
+        edge_up = edge_up && !transport.channel_down("edge-ctl");
+        try_edge_at_cloud = true;
+      }
+    } else if (cfg.has_edge()) {
+      try_edge_at_cloud = true;
+    }
+
+    if (!decided && cfg.has_edge() && try_edge_at_cloud) {
+      // Edge unreachable: features go straight to the cloud, which runs the
+      // edge section itself (the simulator's outage route).
+      trace.degraded = true;
+      if (send_all(fb_links, feats) > 0 &&
+          transport.post("cloud-ctl",
+                         classify_frame(sidx, ClassifyMode::kEdgeAtCloud))) {
+        if (const auto d = await_decision("cloud-ctl", sidx)) {
+          if (d->exit_taken >= 0) {
+            commit(d->exit_taken, d->prediction, d->entropy);
+            decided = true;
+          }
+        }
+      }
+    }
+    if (!decided && !cfg.has_edge()) {
+      if (send_all(up_links, feats) > 0 &&
+          transport.post("cloud-ctl",
+                         classify_frame(sidx, ClassifyMode::kNormal))) {
+        if (const auto d = await_decision("cloud-ctl", sidx)) {
+          if (d->exit_taken >= 0) {
+            trace.degraded = trace.degraded || d->degraded;
+            commit(d->exit_taken, d->prediction, d->entropy);
+            decided = true;
+          }
+        }
+      }
+    }
+
+    if (!decided) {
+      // Last-resort raw offload over the cloud-bound links, then dead.
+      trace.degraded = true;
+      std::vector<Message> raws;
+      for (std::size_t b = 0; b < n_dev; ++b) {
+        raws.push_back(devices[b].raw_image_message());
+      }
+      std::vector<Link>& to_cloud = cfg.has_edge() ? fb_links : up_links;
+      if (send_all(to_cloud, raws) > 0 &&
+          transport.post("cloud-ctl",
+                         classify_frame(sidx, ClassifyMode::kRawOffload))) {
+        if (const auto d = await_decision("cloud-ctl", sidx)) {
+          if (d->exit_taken >= 0) {
+            commit(cloud_exit, d->prediction, d->entropy);
+            decided = true;
+          }
+        }
+      }
+      if (!decided) {
+        trace.dead = true;
+        commit(-1, -1, 1.0);
+      }
+    }
+  }
+
+  Frame bye;
+  bye.kind = FrameKind::kBye;
+  if (cfg.has_edge() && !transport.channel_down("edge-ctl")) {
+    transport.post("edge-ctl", bye);
+  }
+  transport.post("cloud-ctl", bye);
+
+  if (!opts.decisions_out.empty()) {
+    write_decisions_csv(opts.decisions_out, result.traces);
+  }
+  return result;
+}
+
+}  // namespace ddnn::dist

@@ -1,0 +1,121 @@
+// `ddnn serve`: the simulated hierarchy as real device/edge/cloud processes.
+//
+// The simulator (dist/runtime.hpp) executes every tier in one process with a
+// simulated clock; this header runs the SAME partitioned model as separate
+// OS processes connected by SocketTransport frames (dist/transport.hpp):
+//
+//   driver (device role)          edge process           cloud process
+//   ── DeviceNodes + gateway ──►  EdgeNode trunk/exit ─► CloudNode classify
+//      feature frames + Classify     escalation             Decision
+//      ◄─────────── Decision ◄──── relay ◄──────────────────┘
+//
+// The simulator stays the oracle: per-sample exits, predictions, entropies
+// and delivered bytes are bit-identical between `ddnn simulate` and a
+// loopback 3-process `ddnn serve` run on the same model + samples (proven
+// by the serve_loopback_e2e CTest) — the codecs are lossless, the plan
+// engine is deterministic, and both paths share decide_exit() and the
+// degradation helpers. Only latency differs: serve measures wall clock.
+//
+// Degradation mirrors the simulator's ladder with real failures instead of
+// injected ones: an edge that never ACKs (down, or started with
+// --blackhole) routes device features straight to the cloud, which runs the
+// edge section itself (mode kEdgeAtCloud); a cloud that cannot be fed
+// features receives quantized raw views (mode kRawOffload); a sample no
+// tier can classify yields the same flagged dead trace (exit_taken = -1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/mvmc.hpp"
+#include "dist/runtime.hpp"
+#include "dist/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ddnn::dist {
+
+/// How the cloud/edge should interpret a Classify request's stored frames.
+enum class ClassifyMode : std::uint8_t {
+  kNormal = 0,      ///< features from the tier directly below
+  kEdgeAtCloud = 1, ///< device features; cloud runs the edge section itself
+  kRawOffload = 2,  ///< raw views; cloud runs the whole network
+};
+
+struct ServeOptions {
+  /// Servers: TCP listen port (0 = OS-assigned ephemeral port) and an
+  /// optional file the bound port is written to — how parallel test jobs
+  /// discover each other without colliding.
+  int listen_port = 0;
+  std::string port_file;
+  /// Driver: edge tier address (empty for hierarchies without an edge).
+  std::string edge_addr;
+  /// Driver and edge: cloud address (always required).
+  std::string cloud_addr;
+
+  /// One normalized-entropy threshold per non-final exit.
+  std::vector<double> thresholds;
+  /// Timeout/retry/backoff for every framed send (same struct the
+  /// simulator's ReliableChannel uses).
+  ReliabilityConfig reliability{};
+  /// Driver/edge: how long to wait for a Decision before treating the tier
+  /// above as unreachable.
+  double decision_timeout_s = 5.0;
+  double connect_timeout_s = 10.0;
+  /// Servers: exit after this much silence (keeps CI runs from hanging).
+  double idle_timeout_s = 120.0;
+
+  /// Driver: classify only the first N test samples (-1 = all).
+  std::int64_t max_samples = -1;
+  /// Driver: after a channel's first undelivered send, fail its later sends
+  /// immediately instead of waiting out the timeout ladder every sample.
+  bool fail_fast = true;
+  /// Servers: accept frames and never respond — the forced-timeout
+  /// degradation hook the e2e test points at the edge tier.
+  bool blackhole = false;
+
+  /// Driver artifacts: per-sample decisions CSV (the parity artifact the
+  /// e2e test compares against `ddnn simulate --decisions-out`), wall-clock
+  /// spans, metrics registry.
+  std::string decisions_out;
+  obs::SpanTracer* tracer = nullptr;          // not owned
+  obs::MetricsRegistry* metrics = nullptr;    // not owned
+};
+
+/// Run the cloud tier: listen, ACK feature/raw frames, answer Classify
+/// requests with Decision frames (running the edge section or the whole
+/// network itself for the degraded modes). Returns a process exit code.
+int serve_cloud(core::DdnnModel& model, const ServeOptions& opts);
+
+/// Run the edge tier: ACK device feature frames, run the edge trunk + fused
+/// edge exit on Classify, escalate undecided samples to the cloud and relay
+/// its Decision (adding the bytes this tier sent upstream).
+int serve_edge(core::DdnnModel& model, const ServeOptions& opts);
+
+/// The device tier doubles as the driver: hosts the DeviceNodes and the
+/// gateway fuse locally (they are colocated in the paper's deployment too),
+/// streams escalations over real sockets, and collects one InferenceTrace
+/// per sample — the same struct the simulator produces, with wall-clock
+/// latency.
+struct DriveResult {
+  RuntimeMetrics metrics;
+  std::vector<InferenceTrace> traces;
+};
+DriveResult drive_hierarchy(core::DdnnModel& model,
+                            const std::vector<data::MvmcSample>& samples,
+                            const std::vector<int>& device_map,
+                            const ServeOptions& opts);
+
+/// Per-sample decisions CSV shared by `ddnn simulate --decisions-out` and
+/// the serve driver: sample,exit,prediction,entropy,bytes,degraded,dead.
+/// Entropy prints with enough digits to round-trip doubles exactly, so two
+/// byte-identical files mean bit-identical decisions.
+void write_decisions_csv(const std::string& path,
+                         const std::vector<InferenceTrace>& traces);
+
+/// Model-identity handshake payload: both ends of a connection must derive
+/// the same signature from their --preset/--devices/--filters flags.
+std::string model_signature(const core::DdnnModel& model);
+
+}  // namespace ddnn::dist

@@ -1,0 +1,326 @@
+// Transport abstraction: how a Message moves between hierarchy nodes.
+//
+// Every place the runtime moves a Message — device→gateway scores,
+// device→edge/cloud features, edge→cloud escalation, raw-image fallback —
+// goes through one seam:
+//
+//   SendResult Transport::send(Link&, const Message&, sample_index)
+//
+// with two implementations:
+//
+//   * SimTransport    — the deterministic simulator path. Wraps the existing
+//                       Link latency model, FaultInjector and ReliableChannel
+//                       (timeout + bounded retry + jittered backoff) and is
+//                       byte- and latency-identical to the pre-seam runtime:
+//                       the simulator stays the oracle every determinism
+//                       CTest pins.
+//   * SocketTransport — real TCP. Each logical channel (Link::name()) is
+//                       attached to a FrameConn; send() wraps the Message
+//                       codec in a versioned length-prefixed frame
+//                       (magic/version/kind/seq/length/CRC32), flushes it
+//                       through a nonblocking fd and waits for the peer's
+//                       ACK, reusing ReliabilityConfig timeout/retry/backoff
+//                       semantics. send_batch() queues frames across
+//                       channels and flushes each connection once (batched
+//                       uplink flushes), then collects the pipelined ACKs.
+//
+// The frame layer is the served hierarchy's whole wire contract
+// (docs/ARCHITECTURE.md "Transport layer"); `ddnn serve` (dist/serve.hpp)
+// speaks nothing but these frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/fault.hpp"
+#include "dist/link.hpp"
+#include "dist/message.hpp"
+
+namespace ddnn::dist {
+
+// ------------------------------------------------------------- interface
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reliable delivery of `msg` on the logical channel identified by
+  /// `link`, applying the implementation's timeout/retry/backoff policy.
+  /// Delivered traffic (and dropped attempts) is accounted into `link`'s
+  /// stats; `latency_s` is simulated seconds (sim) or measured wall seconds
+  /// (socket).
+  virtual SendResult send(Link& link, const Message& msg,
+                          std::int64_t sample_index) = 0;
+
+  /// Runtime notification that the fault oracle changed (null = cleared).
+  /// Real-network transports ignore this: their faults are injected by the
+  /// network itself, not drawn from a plan.
+  virtual void set_fault_injector(const FaultInjector* injector) {
+    (void)injector;
+  }
+
+  /// Implementation name ("sim", "socket") for logs and ledger records.
+  virtual const char* name() const = 0;
+};
+
+/// The simulator path: ReliableChannel over the Link's latency model, faults
+/// drawn from the installed injector. With no injector every send delivers
+/// on the first attempt at plain link latency — exactly the seed behavior.
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(ReliabilityConfig config = {});
+
+  SendResult send(Link& link, const Message& msg,
+                  std::int64_t sample_index) override;
+  void set_fault_injector(const FaultInjector* injector) override {
+    injector_ = injector;
+  }
+  const char* name() const override { return "sim"; }
+
+  const FaultInjector* fault_injector() const { return injector_; }
+
+ private:
+  ReliabilityConfig config_;
+  const FaultInjector* injector_ = nullptr;
+};
+
+// ------------------------------------------------------------ frame codec
+
+/// "DDNN" little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x4E4E4444u;
+inline constexpr std::uint8_t kFrameVersion = 1;
+/// magic(4) version(1) kind(1) reserved(2) seq(8) length(4) crc32(4); the
+/// CRC covers header bytes [4, 20) plus the payload, so corruption anywhere
+/// but the magic/CRC fields themselves fails the checksum (and those two
+/// have their own equality checks).
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Sanity bound on a frame payload (largest legitimate payload — a raw
+/// image batch — is orders of magnitude smaller).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameKind : std::uint8_t {
+  // Control plane.
+  kHello = 1,     ///< handshake: role + model signature; peer echoes
+  kAck = 2,       ///< delivery ack; seq echoes the acked data frame
+  kClassify = 3,  ///< "decide this sample": [i64 sample][u8 mode]
+  kDecision = 4,  ///< exit decision for a sample (see DecisionPayload)
+  kBye = 5,       ///< orderly shutdown
+
+  // Data plane: a Message plus routing metadata, payload =
+  // [i64 sample][i32 branch] ++ Message::payload.
+  kClassScores = 16,
+  kBinaryFeatureMap = 17,
+  kRawImage = 18,
+};
+
+const char* to_string(FrameKind kind);
+bool is_data_kind(FrameKind kind);
+FrameKind frame_kind_of(MessageKind kind);
+MessageKind message_kind_of(FrameKind kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kAck;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `n` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Header + payload wire bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decode one complete frame. Throws ddnn::Error naming the defect on bad
+/// magic/version/kind, on a declared payload length that disagrees with the
+/// buffer, and on a checksum mismatch (the CRC spans version through
+/// payload, so a single flipped bit anywhere in the frame is rejected).
+Frame decode_frame(const std::uint8_t* data, std::size_t n);
+
+/// Total wire size (header + declared payload) from a complete header.
+/// Validates magic/version and bounds the declared length, so a corrupt
+/// length field fails loudly instead of asking for gigabytes.
+std::size_t frame_size_from_header(const std::uint8_t* header);
+
+// Bounds-checked little-endian payload IO. Readers throw ddnn::Error naming
+// the truncation instead of walking off the buffer.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void bytes(const std::uint8_t* data, std::size_t n);
+  void str(const std::string& s);  ///< u32 length prefix + bytes
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class PayloadReader {
+ public:
+  PayloadReader(const std::uint8_t* data, std::size_t n, const char* what);
+  std::uint8_t u8();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  /// Everything not yet consumed.
+  std::vector<std::uint8_t> rest();
+  std::size_t remaining() const { return n_ - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+/// Wrap a Message (+ routing metadata) into a data frame / unwrap it back.
+Frame make_message_frame(const Message& msg, std::int64_t sample,
+                         std::int32_t branch);
+struct MessageMeta {
+  std::int64_t sample = 0;
+  std::int32_t branch = 0;
+};
+Message frame_message(const Frame& frame, MessageMeta* meta);
+
+// --------------------------------------------------------------- sockets
+
+/// A connected stream socket speaking frames. The fd is nonblocking; writes
+/// queue into an out-buffer flushed with poll()-driven partial writes, reads
+/// accumulate into an in-buffer parsed into complete frames — large
+/// messages survive arbitrary read/write fragmentation.
+class FrameConn {
+ public:
+  explicit FrameConn(int fd);  ///< takes ownership; sets O_NONBLOCK
+  ~FrameConn();
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  int fd() const { return fd_; }
+  bool closed() const { return fd_ < 0; }
+  void close();
+
+  /// Queue a frame; no syscall until flush().
+  void queue(const Frame& frame);
+  /// Drive queued bytes out. Returns false when `timeout_s` elapses first;
+  /// throws ddnn::Error on a connection error.
+  bool flush(double timeout_s);
+  bool write_frame(const Frame& frame, double timeout_s);
+
+  /// Next frame within `timeout_s` (nullopt on timeout or orderly EOF —
+  /// check closed() to tell them apart). Throws on protocol violations.
+  std::optional<Frame> read_frame(double timeout_s);
+
+  /// Consume whatever is readable right now without blocking; parsed
+  /// complete frames land in arrival order.
+  std::vector<Frame> poll_frames();
+
+  std::size_t queued_bytes() const { return out_.size() - out_pos_; }
+
+ private:
+  bool fill_from_socket(double timeout_s);  ///< one poll+read round
+  std::optional<Frame> parse_one();
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
+};
+
+/// Listening TCP socket on 127.0.0.1 (port 0 = OS-assigned ephemeral port —
+/// the port-allocation story that lets parallel ctest jobs never collide;
+/// the bound port is read back via port()).
+class Listener {
+ public:
+  explicit Listener(int port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int port() const { return port_; }
+  int fd() const { return fd_; }
+
+  /// Accept one connection within `timeout_s` (nullptr on timeout).
+  std::shared_ptr<FrameConn> accept(double timeout_s);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connect to "host:port" within `timeout_s`; nullptr on failure.
+std::shared_ptr<FrameConn> connect_to(const std::string& host_port,
+                                      double timeout_s);
+
+/// Real-TCP transport: logical channels (Link names) attached to
+/// connections; several channels may share one connection (all six device
+/// uplinks ride the single device→edge socket).
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(ReliabilityConfig config = {});
+
+  void attach(const std::string& channel, std::shared_ptr<FrameConn> conn);
+  void detach(const std::string& channel);
+  bool attached(const std::string& channel) const;
+  std::shared_ptr<FrameConn> conn(const std::string& channel) const;
+
+  /// Fail sends on a channel immediately after its first undelivered send
+  /// (circuit breaker), instead of waiting out the timeout ladder every
+  /// sample. Off by default.
+  void set_fail_fast(bool on) { fail_fast_ = on; }
+  bool channel_down(const std::string& channel) const;
+
+  /// One frame: queue + flush + await ACK, retrying per ReliabilityConfig
+  /// (each retry re-sends the frame after jitter-free backoff sleep).
+  SendResult send(Link& link, const Message& msg,
+                  std::int64_t sample_index) override;
+  const char* name() const override { return "socket"; }
+
+  /// Batched uplink flush: queue every frame first (one buffered write
+  /// burst per connection), then collect the pipelined ACKs in order.
+  struct BatchItem {
+    Link* link = nullptr;
+    const Message* msg = nullptr;
+    std::int64_t sample = 0;
+    std::int32_t branch = 0;
+  };
+  std::vector<SendResult> send_batch(const std::vector<BatchItem>& items);
+
+  /// Fire a control frame down a channel (no ACK semantics). Returns false
+  /// when the channel is unattached/down or the flush times out.
+  bool post(const std::string& channel, const Frame& frame);
+
+  /// Wait for the next frame of `kind` on `channel`, buffering any other
+  /// non-ACK traffic into the channel's inbox. nullopt on timeout.
+  std::optional<Frame> await(const std::string& channel, FrameKind kind,
+                             double timeout_s);
+
+  const ReliabilityConfig& reliability() const { return config_; }
+
+ private:
+  struct Channel {
+    std::shared_ptr<FrameConn> conn;
+    bool down = false;
+  };
+  Channel* find(const std::string& channel);
+  const Channel* find(const std::string& channel) const;
+  /// Read frames until an ACK for `seq` arrives or the deadline passes;
+  /// non-ACK frames are stashed into the connection's inbox.
+  bool await_ack(FrameConn& conn, std::uint64_t seq, double timeout_s);
+
+  ReliabilityConfig config_;
+  bool fail_fast_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::string, Channel> channels_;
+  std::map<const FrameConn*, std::deque<Frame>> inbox_;
+};
+
+}  // namespace ddnn::dist

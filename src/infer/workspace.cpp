@@ -275,9 +275,19 @@ std::vector<Tensor> run_section(const SectionDesc& desc,
   return run_section(tls_workspace(), desc, inputs, extra_sig, body);
 }
 
+std::int64_t Workspace::arena_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& [key, entry] : plans_) {
+    bytes += entry.plan.arena_floats * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
 Workspace& tls_workspace() {
   static thread_local Workspace ws;
   return ws;
 }
+
+std::int64_t thread_arena_bytes() { return tls_workspace().arena_bytes(); }
 
 }  // namespace ddnn::infer

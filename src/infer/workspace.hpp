@@ -83,6 +83,10 @@ class Workspace {
   /// Cached plans (tests/diagnostics).
   std::size_t plans() const { return plans_.size(); }
 
+  /// Total bytes of all cached plan arenas — this workspace's resident
+  /// planned-activation footprint.
+  std::int64_t arena_bytes() const;
+
   /// Drop all cached plans and arenas (tests).
   void clear_plans();
 
@@ -157,5 +161,10 @@ std::vector<Tensor> run_section(
 /// The calling thread's workspace (one arena set per thread, so
 /// batch-parallel evaluation workers never share plans or storage).
 Workspace& tls_workspace();
+
+/// arena_bytes() of the calling thread's workspace — what a server that
+/// pins each connection to one thread reports as its per-connection
+/// activation footprint (`ddnn serve`).
+std::int64_t thread_arena_bytes();
 
 }  // namespace ddnn::infer

@@ -24,6 +24,7 @@
 #include "data/ppm.hpp"
 #include "dist/queueing.hpp"
 #include "dist/runtime.hpp"
+#include "dist/serve.hpp"
 #include "infer/engine.hpp"
 #include "infer/planner.hpp"
 #include "nn/serialize.hpp"
@@ -339,6 +340,11 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "(load in Perfetto)",
                   "")
       .add_option("metrics-out", "write the metrics registry as JSON", "")
+      .add_option("decisions-out",
+                  "write per-sample decisions CSV "
+                  "(sample,exit,prediction,entropy,bytes,degraded,dead) — "
+                  "the parity artifact `ddnn serve` drivers compare against",
+                  "")
       .add_option("series-out",
                   "write windowed time series (exit fractions, per-link "
                   "bytes, faults, latency percentiles) as CSV or .json",
@@ -503,6 +509,11 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::printf("wrote %zu series windows to %s\n", series.window_count(),
                 args.get("series-out").c_str());
   }
+  if (!args.get("decisions-out").empty()) {
+    dist::write_decisions_csv(args.get("decisions-out"), traces);
+    std::printf("wrote %zu decisions to %s\n", traces.size(),
+                args.get("decisions-out").c_str());
+  }
 
   // Fleet queueing network: replay this run's traces as open-loop load.
   const auto fleet_devices =
@@ -635,6 +646,153 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  ArgParser args("ddnn serve",
+                 "Run one tier of the hierarchy as a real process over TCP "
+                 "loopback frames. `--role cloud` and `--role edge` serve; "
+                 "`--role device` hosts the devices + gateway, drives the "
+                 "test set through the stack and reports the same metrics "
+                 "as `ddnn simulate` (with wall-clock latency).");
+  add_model_options(args);
+  args.add_option("role", "tier to run: device|edge|cloud", "")
+      .add_option("model", "weight file from `ddnn train`", "model.ddnn")
+      .add_option("threshold", "exit threshold for every non-final exit",
+                  "0.8")
+      .add_option("listen",
+                  "serving roles: TCP port to listen on (0 = OS-assigned)",
+                  "0")
+      .add_option("port-file",
+                  "serving roles: write the bound port to this file", "")
+      .add_option("edge", "device role: edge address host:port", "")
+      .add_option("cloud", "device/edge roles: cloud address host:port", "")
+      .add_option("retries", "retry budget per send", "2")
+      .add_option("timeout-ms", "per-attempt ACK timeout (ms)", "250")
+      .add_option("decision-timeout",
+                  "seconds to wait for a Decision before degrading", "5")
+      .add_option("idle-timeout",
+                  "serving roles: exit after this many idle seconds", "120")
+      .add_option("max-samples",
+                  "device role: classify only the first N test samples "
+                  "(-1 = all)",
+                  "-1")
+      .add_flag("blackhole",
+                "serving roles: accept frames, never respond (forces the "
+                "peers' timeout/degradation routes)")
+      .add_option("decisions-out",
+                  "device role: write per-sample decisions CSV for parity "
+                  "checks against `ddnn simulate --decisions-out`",
+                  "")
+      .add_option("trace-out",
+                  "device role: write wall-clock spans as Chrome trace JSON",
+                  "")
+      .add_option("metrics-out",
+                  "device role: write the metrics registry as JSON", "");
+  add_engine_option(args);
+  add_mem_budget_option(args);
+  add_profile_flag(args);
+  if (!args.parse(argc, argv)) return 0;
+  apply_profile_flag(args);
+  apply_mem_budget(args);
+
+  const std::string role = args.get("role");
+  DDNN_CHECK(role == "device" || role == "edge" || role == "cloud",
+             "--role must be device, edge or cloud (got '" << role << "')");
+
+  const auto cfg = config_from(args);
+  core::DdnnModel model(cfg);
+  nn::load_state(model, args.get("model"));
+  model.set_training(false);  // eval-mode BN; also enables the plan engine
+  std::printf("inference engine: %s\n", select_engine(args).c_str());
+
+  dist::ServeOptions opts;
+  opts.listen_port = static_cast<int>(args.get_int_at_least("listen", 0));
+  opts.port_file = args.get("port-file");
+  opts.edge_addr = args.get("edge");
+  opts.cloud_addr = args.get("cloud");
+  opts.thresholds.assign(static_cast<std::size_t>(cfg.num_exits()) - 1,
+                         args.get_double("threshold"));
+  opts.reliability.max_retries = static_cast<int>(args.get_int("retries"));
+  opts.reliability.timeout_s =
+      1e-3 * args.get_double_greater_than("timeout-ms", 0.0);
+  opts.decision_timeout_s =
+      args.get_double_greater_than("decision-timeout", 0.0);
+  opts.idle_timeout_s = args.get_double_greater_than("idle-timeout", 0.0);
+  opts.max_samples = args.get_int("max-samples");
+  opts.blackhole = args.has_flag("blackhole");
+  opts.decisions_out = args.get("decisions-out");
+
+  if (role == "cloud") return dist::serve_cloud(model, opts);
+  if (role == "edge") return dist::serve_edge(model, opts);
+
+  // Device role: the driver. Same dataset, thresholds and summary lines as
+  // `ddnn simulate`, so runs are directly comparable.
+  const auto dataset = dataset_from(args);
+  obs::SpanTracer tracer;
+  if (!args.get("trace-out").empty()) opts.tracer = &tracer;
+  if (!args.get("metrics-out").empty()) opts.metrics = &obs::global_metrics();
+
+  const auto result = dist::drive_hierarchy(model, dataset.test(),
+                                            device_map_from(cfg), opts);
+  const auto& metrics = result.metrics;
+  std::printf("accuracy %.1f%% over %lld samples\n",
+              100.0 * metrics.accuracy(),
+              static_cast<long long>(metrics.samples));
+  std::printf("exit counts:");
+  for (const auto c : metrics.exit_counts) {
+    std::printf(" %lld", static_cast<long long>(c));
+  }
+  std::printf("\nmean latency %.2f ms, %.1f B/sample/device, total %lld B\n",
+              1e3 * metrics.mean_latency_s(),
+              metrics.device_bytes_per_sample(0),
+              static_cast<long long>(metrics.total_bytes));
+  if (metrics.reliability.any()) {
+    std::printf("reliability:\n%s",
+                metrics.reliability.to_table().to_string().c_str());
+  }
+  if (!args.get("trace-out").empty()) {
+    tracer.write_json(args.get("trace-out"));
+    std::printf("wrote %zu spans to %s\n", tracer.spans().size(),
+                args.get("trace-out").c_str());
+  }
+  if (!args.get("metrics-out").empty()) {
+    obs::global_metrics().write_json(args.get("metrics-out"));
+    std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
+  }
+  if (!opts.decisions_out.empty()) {
+    std::printf("wrote %zu decisions to %s\n", result.traces.size(),
+                opts.decisions_out.c_str());
+  }
+
+  obs::LedgerRecord rec = ledger_record("serve", args);
+  rec.add_info("role", role);
+  rec.add_info("engine", infer::to_string(infer::engine_kind()));
+  rec.add_info("threshold", args.get("threshold"));
+  rec.add_info("transport", "socket");
+  record_mem_peaks(rec);
+  rec.add_metric("runtime.samples", static_cast<double>(metrics.samples));
+  rec.add_metric("runtime.accuracy", metrics.accuracy());
+  rec.add_metric("runtime.bytes_total",
+                 static_cast<double>(metrics.total_bytes));
+  rec.add_metric("runtime.mean_latency_ms", 1e3 * metrics.mean_latency_s());
+  for (std::size_t e = 0; e < metrics.exit_counts.size(); ++e) {
+    rec.add_metric("runtime.exit." + model.exit_names()[e],
+                   static_cast<double>(metrics.exit_counts[e]));
+  }
+  rec.add_metric("runtime.drops",
+                 static_cast<double>(metrics.reliability.drops));
+  rec.add_metric("runtime.retries",
+                 static_cast<double>(metrics.reliability.retries));
+  rec.add_metric("runtime.timeouts",
+                 static_cast<double>(metrics.reliability.timeouts));
+  rec.add_metric("runtime.degraded",
+                 static_cast<double>(metrics.reliability.degraded_exits));
+  rec.add_metric("runtime.dead",
+                 static_cast<double>(metrics.reliability.dead_samples));
+  finish_ledger(rec);
+  report_profile();
+  return 0;
+}
+
 int cmd_report(int argc, const char* const* argv) {
   ArgParser args("ddnn report",
                  "Render the run ledger, series exports and result CSVs "
@@ -697,7 +855,7 @@ int cmd_dataset(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ddnn <train|eval|simulate|dataset|report> [options]\n"
+      "usage: ddnn <train|eval|simulate|serve|dataset|report> [options]\n"
       "run `ddnn <command> --help` for command options\n";
   if (argc < 2) {
     std::printf("%s", usage.c_str());
@@ -708,6 +866,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(argc - 1, argv + 1);
     if (command == "eval") return cmd_eval(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "dataset") return cmd_dataset(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::printf("unknown command '%s'\n%s", command.c_str(), usage.c_str());
