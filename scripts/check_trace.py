@@ -4,15 +4,27 @@ cross-check its span sums against a metrics JSON export.
 
 Usage:
     check_trace.py trace.json [metrics.json] [--series series.csv]
+                   [--served] [--oracle sim_trace.json]
 
 Schema checks (always):
   * top level is {"displayTimeUnit": ..., "traceEvents": [...]}
-  * every event is "M" (thread_name metadata) or "X" (complete span) with
-    integer pid/tid and, for "X", string name/cat plus numeric ts/dur >= 0
-  * every "X" event's tid has a thread_name metadata entry
-  * per-sample: child spans nest inside their root "sample" span's window,
-    and the delivered bytes summed over its send:* spans equal the root's
-    "bytes" arg exactly
+  * every event is "M" (thread_name/process_name metadata) or "X" (complete
+    span) with integer pid/tid and, for "X", string name/cat plus numeric
+    ts/dur >= 0
+  * every "X" event's (pid, tid) has a thread_name metadata entry
+  * per-sample: the delivered bytes summed over a sample's send:* spans
+    equal the root "sample" span's "bytes" arg exactly
+
+Simulator traces are one sequential timeline, so a child belongs to the
+sample whose [ts, ts+dur] window contains it. Merged served traces
+(`ddnn trace-merge`) interleave spans from several wall-clock processes;
+pass --served to group children by their "sample_index" arg instead (every
+hop of a served sample is stamped with its distributed trace identity).
+
+--oracle compares a served trace's per-sample span tree against a simulator
+trace of the same model/dataset: for every sample index, the exit taken,
+the degraded/dead flags and the multiset of child span names must match
+exactly. This is the serve-vs-simulate parity check at span granularity.
 
 Metrics cross-checks (with metrics.json, produced by --metrics-out):
   * span count == runtime.samples
@@ -66,12 +78,14 @@ def check_schema(trace):
             if not isinstance(ev.get(key), int):
                 fail(f"{where}: {key} must be an integer")
         if ph == "M":
-            if ev.get("name") != "thread_name":
-                fail(f"{where}: metadata event must be thread_name")
+            if ev.get("name") not in ("thread_name", "process_name"):
+                fail(f"{where}: metadata event must be thread_name or "
+                     "process_name")
             name = ev.get("args", {}).get("name")
             if not isinstance(name, str) or not name:
-                fail(f"{where}: thread_name needs args.name")
-            named_tracks.add(ev["tid"])
+                fail(f"{where}: {ev['name']} needs args.name")
+            if ev["name"] == "thread_name":
+                named_tracks.add((ev["pid"], ev["tid"]))
             continue
         for key in ("name", "cat"):
             if not isinstance(ev.get(key), str) or not ev[key]:
@@ -84,13 +98,53 @@ def check_schema(trace):
             fail(f"{where}: args must be an object")
         spans.append(ev)
     for s in spans:
-        if s["tid"] not in named_tracks:
-            fail(f"span {s['name']!r} on unnamed track {s['tid']}")
+        if (s["pid"], s["tid"]) not in named_tracks:
+            fail(f"span {s['name']!r} on unnamed track "
+                 f"{s['pid']}/{s['tid']}")
     return spans
 
 
-def check_samples(spans):
+def group_children(spans, served):
+    """Map root sample span -> its child spans.
+
+    Simulator timelines are sequential simulated time, so containment in the
+    root's [ts, ts+dur] window identifies a child. Merged served traces
+    interleave wall clocks across processes; there every child carries the
+    sample_index it served, so grouping is by identity, not geometry.
+    """
     samples = [s for s in spans if s["name"] == "sample"]
+    children = [s for s in spans if s["name"] != "sample"]
+    by_root = {}
+    if served:
+        by_index = {}
+        for c in children:
+            idx = c.get("args", {}).get("sample_index")
+            if not isinstance(idx, int):
+                fail(f"served child span {c['name']!r} lacks an integer "
+                     "args.sample_index")
+            by_index.setdefault(idx, []).append(c)
+        for root in samples:
+            by_root[id(root)] = by_index.get(
+                root["args"]["sample_index"], [])
+    else:
+        # Samples run back-to-back, so a zero-duration child emitted at the
+        # very end of its sample (e.g. a local exit's gateway_fuse) also sits
+        # at the start of the next window. Assign each child to the earliest
+        # containing window, exactly once.
+        ordered = sorted(samples, key=lambda s: s["ts"])
+        for root in ordered:
+            by_root[id(root)] = []
+        for c in children:
+            for root in ordered:
+                lo, hi = root["ts"], root["ts"] + root["dur"]
+                if c["ts"] >= lo - EPS_US and c["ts"] + c["dur"] <= hi + EPS_US:
+                    by_root[id(root)].append(c)
+                    break
+    return samples, by_root
+
+
+def check_samples(spans, served=False):
+    samples, by_root = group_children(spans, served)
     if not samples:
         fail("no sample spans")
     required = ("sample_index", "exit", "prediction", "label", "entropy",
@@ -100,14 +154,8 @@ def check_samples(spans):
         for key in required:
             if key not in args:
                 fail(f"sample span missing args.{key}")
-    children = [s for s in spans if s["name"] != "sample"]
     for root in samples:
-        lo, hi = root["ts"], root["ts"] + root["dur"]
-        inside = [c for c in children
-                  if c["ts"] >= lo - EPS_US and
-                  c["ts"] + c["dur"] <= hi + EPS_US]
-        # The timeline is sequential, so a child belongs to exactly the
-        # sample whose window contains it.
+        inside = by_root[id(root)]
         send_bytes = sum(c["args"]["bytes"] for c in inside
                          if c["name"].startswith("send:"))
         if send_bytes != root["args"]["bytes"]:
@@ -117,7 +165,44 @@ def check_samples(spans):
         if root["args"]["dead"] == 0 and not inside:
             fail(f"sample {root['args']['sample_index']}: classified but "
                  "has no child spans")
-    return samples
+    return samples, by_root
+
+
+def sample_shapes(samples, by_root):
+    """sample_index -> (exit, degraded, dead, sorted child span names)."""
+    shapes = {}
+    for root in samples:
+        a = root["args"]
+        idx = a["sample_index"]
+        if idx in shapes:
+            fail(f"duplicate sample span for index {idx}")
+        names = sorted(c["name"] for c in by_root[id(root)])
+        shapes[idx] = (a["exit"], a["degraded"], a["dead"], names)
+    return shapes
+
+
+def check_oracle(served_shapes, oracle_path):
+    """Served span tree == simulator span tree, per sample."""
+    oracle_spans = check_schema(load(oracle_path))
+    oracle_samples, oracle_children = group_children(oracle_spans,
+                                                     served=False)
+    oracle_shapes = sample_shapes(oracle_samples, oracle_children)
+    if set(served_shapes) != set(oracle_shapes):
+        only_served = sorted(set(served_shapes) - set(oracle_shapes))
+        only_oracle = sorted(set(oracle_shapes) - set(served_shapes))
+        fail(f"sample index mismatch vs oracle: served-only {only_served}, "
+             f"oracle-only {only_oracle}")
+    for idx in sorted(served_shapes):
+        s_exit, s_deg, s_dead, s_names = served_shapes[idx]
+        o_exit, o_deg, o_dead, o_names = oracle_shapes[idx]
+        if (s_exit, s_deg, s_dead) != (o_exit, o_deg, o_dead):
+            fail(f"sample {idx}: served (exit={s_exit}, degraded={s_deg}, "
+                 f"dead={s_dead}) vs oracle (exit={o_exit}, "
+                 f"degraded={o_deg}, dead={o_dead})")
+        if s_names != o_names:
+            fail(f"sample {idx}: served span tree {s_names} vs oracle "
+                 f"{o_names}")
+    return len(served_shapes)
 
 
 def check_metrics(samples, metrics):
@@ -193,33 +278,48 @@ def check_series(series_path, metrics):
     return checked
 
 
+def take_option(argv, flag):
+    if flag not in argv:
+        return None
+    i = argv.index(flag)
+    if i + 1 >= len(argv):
+        print(__doc__)
+        sys.exit(2)
+    value = argv[i + 1]
+    del argv[i:i + 2]
+    return value
+
+
 def main():
     argv = sys.argv[1:]
-    series_path = None
-    if "--series" in argv:
-        i = argv.index("--series")
-        if i + 1 >= len(argv):
-            print(__doc__)
-            sys.exit(2)
-        series_path = argv[i + 1]
-        del argv[i:i + 2]
+    series_path = take_option(argv, "--series")
+    oracle_path = take_option(argv, "--oracle")
+    served = "--served" in argv
+    if served:
+        argv.remove("--served")
     if len(argv) not in (1, 2) or (series_path and len(argv) != 2):
         print(__doc__)
         sys.exit(2)
+    if oracle_path and not served:
+        fail("--oracle requires --served (the oracle is the simulator "
+             "timeline; the subject must be a served trace)")
     trace = load(argv[0])
     spans = check_schema(trace)
-    samples = check_samples(spans)
+    samples, by_root = check_samples(spans, served=served)
+    notes = []
+    if oracle_path:
+        n = check_oracle(sample_shapes(samples, by_root), oracle_path)
+        notes.append(f"{n} samples match the simulator oracle")
     if len(argv) == 2:
         metrics = load(argv[1])
         check_metrics(samples, metrics)
-        extra = ""
+        notes.append("metrics cross-check passed")
         if series_path:
             n = check_series(series_path, metrics)
-            extra = f", {n} series columns reconciled"
-        print(f"check_trace: OK ({len(samples)} samples, "
-              f"{len(spans)} spans, metrics cross-check passed{extra})")
-    else:
-        print(f"check_trace: OK ({len(samples)} samples, {len(spans)} spans)")
+            notes.append(f"{n} series columns reconciled")
+    extra = (", " + ", ".join(notes)) if notes else ""
+    print(f"check_trace: OK ({len(samples)} samples, "
+          f"{len(spans)} spans{extra})")
 
 
 if __name__ == "__main__":

@@ -62,24 +62,43 @@ DecisionPayload decode_decision(const Frame& frame) {
   return d;
 }
 
-Frame classify_frame(std::int64_t sample, ClassifyMode mode) {
+Frame classify_frame(std::int64_t sample, ClassifyMode mode,
+                     const TraceContext& trace = TraceContext{}) {
   Frame frame;
   frame.kind = FrameKind::kClassify;
   PayloadWriter w;
   w.i64(sample);
   w.u8(static_cast<std::uint8_t>(mode));
+  w.u64(trace.trace_id);
+  w.u64(trace.parent_span);
   frame.payload = w.take();
   return frame;
 }
 
-Frame hello_frame(const std::string& role, const std::string& signature) {
+/// `t_send` is the sender's wall clock at send time; the Hello round trip
+/// doubles as an NTP-style clock-offset probe (offset = (t0 + t3)/2 - t1)
+/// that trace-merge uses to align per-process span timelines.
+Frame hello_frame(const std::string& role, const std::string& signature,
+                  double t_send) {
   Frame frame;
   frame.kind = FrameKind::kHello;
   PayloadWriter w;
   w.str(role);
   w.str(signature);
+  w.f64(t_send);
   frame.payload = w.take();
   return frame;
+}
+
+/// The span name the simulator gives a hop carrying this message kind —
+/// served traces must match the oracle's span-tree shape name-for-name.
+const char* send_span_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kClassScores: return "send:scores";
+    case MessageKind::kBinaryFeatureMap: return "send:features";
+    case MessageKind::kRawImage: return "send:raw_image";
+  }
+  return "send";
 }
 
 // ----------------------------------------------------------- server loop
@@ -89,6 +108,12 @@ Frame hello_frame(const std::string& role, const std::string& signature) {
 struct ServedConn {
   std::shared_ptr<FrameConn> conn;
   std::map<std::int64_t, std::map<std::int32_t, Message>> pending;
+  /// Sent at least one non-Stats frame — a hierarchy peer, counted by the
+  /// serve.connections gauge. Stats pollers observe the event loop and must
+  /// not perturb what they measure.
+  bool saw_data = false;
+  /// Out-queue depth gauge (serve.conn<N>.queued_bytes), N = accept order.
+  obs::Gauge* queued = nullptr;
 };
 
 /// Shared edge/cloud skeleton: listen (writing the bound port to the port
@@ -101,6 +126,13 @@ class FrameServer {
  public:
   FrameServer(const char* role, const ServeOptions& opts)
       : role_(role), opts_(opts), listener_(opts.listen_port) {
+    if (opts_.metrics != nullptr) {
+      frames_in_ = &opts_.metrics->counter("serve.frames_in");
+      bytes_in_ = &opts_.metrics->counter("serve.bytes_in");
+      loop_lag_ms_ = &opts_.metrics->gauge("serve.loop.lag_ms");
+      connections_ = &opts_.metrics->gauge("serve.connections");
+      queued_bytes_ = &opts_.metrics->gauge("serve.queued_bytes");
+    }
     if (!opts_.port_file.empty()) {
       std::ofstream out(opts_.port_file);
       DDNN_CHECK(out.good(),
@@ -127,9 +159,22 @@ class FrameServer {
       }
       ::poll(fds.data(), fds.size(), 100);
 
+      // Runtime-health gauges only move on hierarchy activity (accepts,
+      // data/control frames, peer departures), never on Stats polls: once
+      // the driver finishes, the registry freezes and a final poll returns
+      // bytes identical to the --metrics-out file written at exit.
+      const double handle_start = wall_s();
+      bool activity = false;
       if (auto conn = listener_.accept(0.0)) {
-        conns_.push_back(ServedConn{std::move(conn), {}});
+        ServedConn sc{std::move(conn), {}, false, nullptr};
+        if (opts_.metrics != nullptr) {
+          sc.queued = &opts_.metrics->gauge(
+              "serve.conn" + std::to_string(accepted_) + ".queued_bytes");
+        }
+        ++accepted_;
+        conns_.push_back(std::move(sc));
         saw_conn = true;
+        activity = true;
         last_activity = wall_s();
       }
       for (auto& sc : conns_) {
@@ -146,6 +191,17 @@ class FrameServer {
         if (!frames.empty()) last_activity = wall_s();
         for (Frame& frame : frames) {
           if (opts_.blackhole) continue;  // read everything, answer nothing
+          if (frame.kind == FrameKind::kStats) {
+            answer_stats(sc, frame);
+            continue;
+          }
+          sc.saw_data = true;
+          activity = true;
+          if (frames_in_ != nullptr) {
+            frames_in_->add(1);
+            bytes_in_->add(static_cast<std::int64_t>(kFrameHeaderBytes +
+                                                     frame.payload.size()));
+          }
           if (frame.kind == FrameKind::kBye) {
             sc.conn->close();
             break;
@@ -159,11 +215,16 @@ class FrameServer {
         }
         if (!sc.conn->closed()) sc.conn->flush(opts_.reliability.timeout_s);
       }
+      bool data_peer_left = false;
       conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
-                                  [](const ServedConn& sc) {
-                                    return sc.conn->closed();
+                                  [&](const ServedConn& sc) {
+                                    if (!sc.conn->closed()) return false;
+                                    data_peer_left |= sc.saw_data;
+                                    return true;
                                   }),
                    conns_.end());
+      activity = activity || data_peer_left;
+      if (activity && opts_.metrics != nullptr) update_gauges(handle_start);
       if (saw_conn && conns_.empty()) break;  // every peer hung up
       if (wall_s() - last_activity > opts_.idle_timeout_s) {
         std::fprintf(stderr, "ddnn serve [%s]: idle for %.0f s, exiting\n",
@@ -190,7 +251,9 @@ class FrameServer {
   }
 
   /// Answer a Hello with our own (role, signature); a mismatched model is a
-  /// loud failure on both ends instead of silently-diverging inference.
+  /// loud failure on both ends instead of silently-diverging inference. The
+  /// reply timestamp is this process's clock at handling time — the t1 of
+  /// the sender's NTP-style offset estimate.
   void answer_hello(ServedConn& sc, const Frame& frame,
                     const std::string& signature) {
     PayloadReader r(frame.payload.data(), frame.payload.size(), "hello");
@@ -200,8 +263,21 @@ class FrameServer {
                "model mismatch: peer '" << peer_role << "' runs " << peer_sig
                                         << ", this " << role_ << " runs "
                                         << signature);
-    Frame reply = hello_frame(role_, signature);
+    Frame reply = hello_frame(role_, signature, wall_s());
     reply.seq = frame.seq;
+    sc.conn->queue(reply);
+  }
+
+  /// Live telemetry: reply with a MetricsRegistry snapshot. Deliberately
+  /// side-effect-free so polling cannot change what it observes.
+  void answer_stats(ServedConn& sc, const Frame& frame) {
+    Frame reply;
+    reply.kind = FrameKind::kStats;
+    reply.seq = frame.seq;
+    PayloadWriter w;
+    w.str(opts_.metrics != nullptr ? opts_.metrics->to_json()
+                                   : std::string("{\n  \"metrics\": []\n}\n"));
+    reply.payload = w.take();
     sc.conn->queue(reply);
   }
 
@@ -224,10 +300,30 @@ class FrameServer {
   }
 
  private:
+  void update_gauges(double handle_start) {
+    loop_lag_ms_->set((wall_s() - handle_start) * 1e3);
+    std::int64_t open_data = 0;
+    double total_queued = 0.0;
+    for (const ServedConn& sc : conns_) {
+      const double q = static_cast<double>(sc.conn->queued_bytes());
+      if (sc.queued != nullptr) sc.queued->set(q);
+      total_queued += q;
+      if (sc.saw_data && !sc.conn->closed()) ++open_data;
+    }
+    connections_->set(static_cast<double>(open_data));
+    queued_bytes_->set(total_queued);
+  }
+
   const char* role_;
   const ServeOptions& opts_;
   Listener listener_;
   std::vector<ServedConn> conns_;
+  int accepted_ = 0;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Gauge* loop_lag_ms_ = nullptr;
+  obs::Gauge* connections_ = nullptr;
+  obs::Gauge* queued_bytes_ = nullptr;
 };
 
 }  // namespace
@@ -269,6 +365,14 @@ int serve_cloud(core::DdnnModel& model, const ServeOptions& opts) {
   const std::size_t n_dev = static_cast<std::size_t>(cfg.num_devices);
   const std::size_t n_groups = cfg.edge_groups.size();
 
+  obs::SpanTracer* tr = opts.tracer;
+  const double epoch = wall_s();
+  if (tr != nullptr) {
+    tr->set_process(2, "cloud");
+    tr->set_meta("epoch_s", epoch);
+    tr->set_track_name(0, "cloud");
+  }
+
   return server.run([&](ServedConn& sc, const Frame& frame) {
     if (frame.kind == FrameKind::kHello) {
       server.answer_hello(sc, frame, signature);
@@ -283,6 +387,20 @@ int serve_cloud(core::DdnnModel& model, const ServeOptions& opts) {
     PayloadReader r(frame.payload.data(), frame.payload.size(), "classify");
     const std::int64_t sample = r.i64();
     const auto mode = static_cast<ClassifyMode>(r.u8());
+    TraceContext ctx;
+    ctx.trace_id = r.u64();
+    ctx.parent_span = r.u64();
+
+    // Spans mirror the simulator oracle's cloud-tier shape:
+    // edge_section_at_cloud per dark group (outage route) then
+    // cloud_classify, all attributed to this process under the driver's
+    // trace context.
+    auto span = [&](const char* name, double start, double dur) -> obs::Span& {
+      return tr->add(name, "compute", 0, start - epoch, dur)
+          .with("sample_index", sample)
+          .with("trace_id", static_cast<std::int64_t>(ctx.trace_id))
+          .with("parent_span", static_cast<std::int64_t>(ctx.parent_span));
+    };
 
     DecisionPayload d;
     d.sample = sample;
@@ -296,10 +414,16 @@ int serve_cloud(core::DdnnModel& model, const ServeOptions& opts) {
       const bool any = std::any_of(feats.begin(), feats.end(),
                                    [](const auto& m) { return m.has_value(); });
       if (any) {
+        const double t0 = wall_s();
         const ExitDecision dec = decide_exit(cloud.process(feats, 1));
         d.exit_taken = cfg.num_exits() - 1;
         d.prediction = dec.prediction;
         d.entropy = dec.entropy;
+        if (tr != nullptr) {
+          span("cloud_classify", t0, wall_s() - t0)
+              .with("raw_offload", false)
+              .with("entropy", dec.entropy);
+        }
       }
     } else if (mode == ClassifyMode::kEdgeAtCloud) {
       // Edge outage route: device features arrived directly; this process
@@ -308,27 +432,45 @@ int serve_cloud(core::DdnnModel& model, const ServeOptions& opts) {
       auto feats = server.take_sample(sc, sample, n_dev);
       std::vector<std::optional<Message>> branches(n_groups);
       for (std::size_t g = 0; g < n_groups; ++g) {
+        const double tg = wall_s();
         branches[g] = edge_section_at_cloud(model, g, feats);
+        if (tr != nullptr) {
+          span("edge_section_at_cloud", tg, wall_s() - tg)
+              .with("group", static_cast<std::int64_t>(g))
+              .with("delivered", branches[g].has_value());
+        }
       }
       const bool any =
           std::any_of(branches.begin(), branches.end(),
                       [](const auto& m) { return m.has_value(); });
       if (any) {
+        const double t0 = wall_s();
         const ExitDecision dec = decide_exit(cloud.process(branches, 1));
         d.exit_taken = cfg.num_exits() - 1;
         d.prediction = dec.prediction;
         d.entropy = dec.entropy;
+        if (tr != nullptr) {
+          span("cloud_classify", t0, wall_s() - t0)
+              .with("raw_offload", false)
+              .with("entropy", dec.entropy);
+        }
       }
     } else if (mode == ClassifyMode::kRawOffload) {
       auto raws = server.take_sample(sc, sample, n_dev);
       const bool any = std::any_of(raws.begin(), raws.end(),
                                    [](const auto& m) { return m.has_value(); });
       if (any) {
+        const double t0 = wall_s();
         const ExitDecision dec =
             decide_exit(cloud_forward_from_raw_views(model, raws));
         d.exit_taken = cfg.num_exits() - 1;
         d.prediction = dec.prediction;
         d.entropy = dec.entropy;
+        if (tr != nullptr) {
+          span("cloud_classify", t0, wall_s() - t0)
+              .with("raw_offload", true)
+              .with("entropy", dec.entropy);
+        }
       }
     }
     sc.conn->queue(decision_frame(d));
@@ -350,10 +492,20 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
   const double threshold =
       opts.thresholds.at(static_cast<std::size_t>(edge_exit_index));
 
+  obs::SpanTracer* tr = opts.tracer;
+  const double epoch = wall_s();
+  if (tr != nullptr) {
+    tr->set_process(1, "edge");
+    tr->set_meta("epoch_s", epoch);
+    tr->set_track_name(0, "edge0");
+    tr->set_track_name(1, "edge-coord");
+  }
+
   // Upstream leg: this process is itself a SocketTransport client of the
   // cloud. The Link mirrors the simulator's edge->cloud backhaul so the
   // delivered-byte accounting reported in Decision.upstream_bytes matches.
   SocketTransport uplink(opts.reliability);
+  uplink.bind_metrics(opts.metrics);  // eager link.* columns pre-traffic
   Link edge_cloud_link("edge0->cloud", RuntimeConfig{}.edge_link);
   if (!opts.blackhole) {
     DDNN_CHECK(!opts.cloud_addr.empty(), "edge role needs --cloud host:port");
@@ -362,8 +514,9 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
                "cannot reach the cloud at " << opts.cloud_addr);
     uplink.attach(edge_cloud_link.name(), cloud_conn);
     uplink.attach("cloud-ctl", cloud_conn);
-    DDNN_CHECK(uplink.post("cloud-ctl", hello_frame("edge", signature)),
-               "cloud handshake send failed");
+    DDNN_CHECK(
+        uplink.post("cloud-ctl", hello_frame("edge", signature, wall_s())),
+        "cloud handshake send failed");
     const auto reply =
         uplink.await("cloud-ctl", FrameKind::kHello, opts.connect_timeout_s);
     DDNN_CHECK(reply.has_value(), "cloud handshake timed out");
@@ -384,6 +537,17 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
     PayloadReader r(frame.payload.data(), frame.payload.size(), "classify");
     const std::int64_t sample = r.i64();
     r.u8();  // mode: an edge only serves the normal route
+    TraceContext ctx;
+    ctx.trace_id = r.u64();
+    ctx.parent_span = r.u64();
+
+    auto span = [&](const char* name, const char* cat, int track,
+                    double start, double dur) -> obs::Span& {
+      return tr->add(name, cat, track, start - epoch, dur)
+          .with("sample_index", sample)
+          .with("trace_id", static_cast<std::int64_t>(ctx.trace_id))
+          .with("parent_span", static_cast<std::int64_t>(ctx.parent_span));
+    };
 
     DecisionPayload d;
     d.sample = sample;
@@ -401,14 +565,31 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
 
     // Trunk + fused edge exit, exactly the simulator's stages 3-4. The
     // score message's bytes are charged as upstream traffic: the simulator
-    // sends them to the edge-exit coordinator over a real link.
+    // sends them to the edge-exit coordinator over a real link (here the
+    // coordinator is colocated, so the hop is a zero-duration span with the
+    // same name/bytes the oracle books).
+    const double t_trunk = wall_s();
     Message scores = edge.process(members, 1);
     d.upstream_bytes += scores.payload_bytes();
+    if (tr != nullptr) {
+      span("edge_trunk", "compute", 0, t_trunk, wall_s() - t_trunk)
+          .with("group", 0);
+      span("send:edge_scores", "net", 0, wall_s(), 0.0)
+          .with("link", "edge0->coord")
+          .with("bytes", scores.payload_bytes())
+          .with("attempts", 1)
+          .with("delivered", true);
+    }
+    const double t_fuse = wall_s();
     std::vector<core::Variable> logits;
     logits.emplace_back(decode_class_scores(scores, cfg.num_classes));
     const Tensor fused =
         model.edge_exit_aggregate(logits, {true}).value();
     const ExitDecision dec = decide_exit(fused);
+    if (tr != nullptr) {
+      span("edge_exit_fuse", "compute", 1, t_fuse, wall_s() - t_fuse)
+          .with("entropy", dec.entropy);
+    }
     if (core::should_exit(dec.entropy, threshold)) {
       d.exit_taken = edge_exit_index;
       d.prediction = dec.prediction;
@@ -420,10 +601,20 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
     // Stage 5: escalate this edge's features to the cloud and relay its
     // Decision, adding the bytes spent on the way up.
     const Message features = edge.feature_message();
-    const SendResult sent = uplink.send(edge_cloud_link, features, sample);
+    const double t_send = wall_s();
+    std::vector<SocketTransport::BatchItem> batch;
+    batch.push_back({&edge_cloud_link, &features, sample, 0, ctx});
+    const SendResult sent = uplink.send_batch(batch)[0];
+    if (tr != nullptr) {
+      span("send:edge_features", "net", 0, t_send, sent.latency_s)
+          .with("link", edge_cloud_link.name())
+          .with("bytes", sent.delivered ? features.payload_bytes() : 0)
+          .with("attempts", sent.attempts)
+          .with("delivered", sent.delivered);
+    }
     if (sent.delivered &&
-        uplink.post("cloud-ctl", classify_frame(sample,
-                                                ClassifyMode::kNormal))) {
+        uplink.post("cloud-ctl",
+                    classify_frame(sample, ClassifyMode::kNormal, ctx))) {
       d.upstream_bytes += features.payload_bytes();
       const double deadline = wall_s() + opts.decision_timeout_s;
       while (wall_s() < deadline) {
@@ -455,8 +646,10 @@ int serve_edge(core::DdnnModel& model, const ServeOptions& opts) {
 namespace {
 
 /// Driver-side registry handles (mirrors HierarchyRuntime::bind_metrics so
-/// `ddnn report` reads the served path with the same names, including the
-/// per-destination link.* reliability breakdown).
+/// `ddnn report` and scripts/check_trace.py read the served path with the
+/// same names). Only the colocated gateway links are booked here; socket
+/// links are booked — and registered eagerly — by
+/// SocketTransport::bind_metrics.
 struct DriverMetrics {
   obs::MetricsRegistry* registry = nullptr;
   obs::Counter* samples = nullptr;
@@ -467,7 +660,9 @@ struct DriverMetrics {
   obs::Counter* timeouts = nullptr;
   obs::Counter* degraded = nullptr;
   obs::Counter* dead = nullptr;
+  obs::Gauge* total_latency_s = nullptr;
   obs::Gauge* arena_bytes = nullptr;
+  std::vector<obs::Counter*> exits;
   struct LinkCounters {
     obs::Counter* attempts = nullptr;
     obs::Counter* retries = nullptr;
@@ -476,7 +671,9 @@ struct DriverMetrics {
   };
   std::map<const Link*, LinkCounters> links;
 
-  void bind(obs::MetricsRegistry* reg, const std::vector<Link*>& all_links) {
+  void bind(obs::MetricsRegistry* reg,
+            const std::vector<std::string>& exit_names,
+            const std::vector<Link*>& local_links) {
     registry = reg;
     if (reg == nullptr) return;
     samples = &reg->counter("runtime.samples");
@@ -487,8 +684,12 @@ struct DriverMetrics {
     timeouts = &reg->counter("runtime.timeouts");
     degraded = &reg->counter("runtime.degraded");
     dead = &reg->counter("runtime.dead");
+    for (const auto& name : exit_names) {
+      exits.push_back(&reg->counter("runtime.exit." + name));
+    }
+    total_latency_s = &reg->gauge("runtime.total_latency_s");
     arena_bytes = &reg->gauge("serve.arena_bytes");
-    for (const Link* link : all_links) {
+    for (const Link* link : local_links) {
       LinkCounters c;
       c.attempts = &reg->counter("link." + link->name() + ".attempts");
       c.retries = &reg->counter("link." + link->name() + ".retries");
@@ -539,10 +740,46 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
   std::optional<GatewayNode> gateway;
   if (cfg.has_local_exit) gateway.emplace(model);
 
+  // Registry layout: runtime.* and the colocated gateway links first, then
+  // the socket links in attach order — eagerly, before any traffic, so the
+  // metrics columns are identical whether or not a link ever carried a
+  // frame (a degraded run exports the same schema as a healthy one).
+  DriveResult result;
+  result.metrics.exit_counts.assign(
+      static_cast<std::size_t>(cfg.num_exits()), 0);
+  result.metrics.device_bytes.assign(n_dev, 0);
+  DriverMetrics dm;
+  {
+    std::vector<Link*> local;
+    for (auto& l : gw_links) local.push_back(&l);
+    dm.bind(opts.metrics, model.exit_names(), local);
+  }
+
+  // Tracer attribution: this process is pid 0 ("driver"), the reference
+  // clock of the merged timeline. Spans are recorded relative to `epoch`;
+  // trace-merge reads epoch_s plus the handshake-measured per-peer offsets
+  // from the file's metadata to place every role on this clock.
+  obs::SpanTracer* tr = opts.tracer;
+  const double epoch = wall_s();
+  if (tr != nullptr) {
+    tr->set_process(0, "driver");
+    tr->set_meta("epoch_s", epoch);
+    tr->set_track_name(0, "samples");
+    for (std::size_t b = 0; b < n_dev; ++b) {
+      tr->set_track_name(static_cast<int>(1 + b),
+                         "device" + std::to_string(b));
+    }
+    if (cfg.has_local_exit) {
+      tr->set_track_name(static_cast<int>(1 + n_dev), "gateway");
+    }
+  }
+  const int gateway_track = static_cast<int>(1 + n_dev);
+
   // Wire up the transport: every cloud-bound channel shares one socket,
   // every edge-bound channel shares another.
   SocketTransport transport(opts.reliability);
   transport.set_fail_fast(opts.fail_fast);
+  transport.bind_metrics(opts.metrics);
   auto cloud_conn = connect_to(opts.cloud_addr, opts.connect_timeout_s);
   DDNN_CHECK(cloud_conn != nullptr,
              "cannot reach the cloud at " << opts.cloud_addr);
@@ -551,12 +788,24 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
   if (!cfg.has_edge()) {
     for (auto& l : up_links) transport.attach(l.name(), cloud_conn);
   }
-  DDNN_CHECK(transport.post("cloud-ctl", hello_frame("driver", signature)),
-             "cloud handshake send failed");
-  DDNN_CHECK(transport.await("cloud-ctl", FrameKind::kHello,
-                             opts.connect_timeout_s)
-                 .has_value(),
-             "cloud handshake timed out");
+  const double cloud_t0 = wall_s();
+  DDNN_CHECK(
+      transport.post("cloud-ctl", hello_frame("driver", signature, cloud_t0)),
+      "cloud handshake send failed");
+  {
+    const auto reply = transport.await("cloud-ctl", FrameKind::kHello,
+                                       opts.connect_timeout_s);
+    DDNN_CHECK(reply.has_value(), "cloud handshake timed out");
+    const double cloud_t3 = wall_s();
+    PayloadReader hr(reply->payload.data(), reply->payload.size(), "hello");
+    hr.str();  // role
+    hr.str();  // signature
+    const double cloud_t1 = hr.f64();
+    if (tr != nullptr) {
+      // NTP-style: what to add to a cloud clock reading to land on ours.
+      tr->set_meta("offset_cloud_s", 0.5 * (cloud_t0 + cloud_t3) - cloud_t1);
+    }
+  }
 
   bool edge_up = false;
   if (cfg.has_edge()) {
@@ -566,11 +815,25 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
       for (auto& l : up_links) transport.attach(l.name(), edge_conn);
       // A silent edge (down, blackholed) fails the handshake and the run
       // degrades from sample 0 — the served twin of a whole-run outage.
-      edge_up = transport.post("edge-ctl", hello_frame("driver", signature)) &&
-                transport
-                    .await("edge-ctl", FrameKind::kHello,
-                           opts.decision_timeout_s)
-                    .has_value();
+      const double edge_t0 = wall_s();
+      if (transport.post("edge-ctl",
+                         hello_frame("driver", signature, edge_t0))) {
+        const auto reply = transport.await("edge-ctl", FrameKind::kHello,
+                                           opts.decision_timeout_s);
+        if (reply.has_value()) {
+          edge_up = true;
+          const double edge_t3 = wall_s();
+          PayloadReader hr(reply->payload.data(), reply->payload.size(),
+                           "hello");
+          hr.str();  // role
+          hr.str();  // signature
+          const double edge_t1 = hr.f64();
+          if (tr != nullptr) {
+            tr->set_meta("offset_edge_s",
+                         0.5 * (edge_t0 + edge_t3) - edge_t1);
+          }
+        }
+      }
     }
     if (!edge_up) {
       std::fprintf(stderr,
@@ -579,25 +842,19 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
     }
   }
 
-  DriveResult result;
-  result.metrics.exit_counts.assign(
-      static_cast<std::size_t>(cfg.num_exits()), 0);
-  result.metrics.device_bytes.assign(n_dev, 0);
-  DriverMetrics dm;
-  {
-    std::vector<Link*> all;
-    for (auto& l : gw_links) all.push_back(&l);
-    for (auto& l : up_links) all.push_back(&l);
-    for (auto& l : fb_links) all.push_back(&l);
-    dm.bind(opts.metrics, all);
-  }
-  obs::SpanTracer* tr = opts.tracer;
-  if (tr != nullptr) {
-    tr->set_track_name(0, "samples");
-    tr->set_track_name(1, "driver-net");
-  }
+  // Per-sample distributed trace ids: a run nonce folded with the sample
+  // index, masked to 48 bits so JSON double parsing round-trips them.
+  const std::uint64_t run_nonce = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto trace_id_of = [run_nonce](std::int64_t sidx) {
+    const std::uint64_t mixed =
+        (run_nonce ^ (0x9E3779B97F4A7C15ull *
+                      (static_cast<std::uint64_t>(sidx) + 1ull)));
+    return mixed & ((1ull << 48) - 1ull);
+  };
+
   const int cloud_exit = cfg.num_exits() - 1;
-  const double run_start = wall_s();
+  const double run_start = epoch;
   const std::int64_t limit =
       opts.max_samples < 0
           ? static_cast<std::int64_t>(samples.size())
@@ -625,6 +882,13 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
     const double t0 = wall_s();
     InferenceTrace trace;
 
+    // The distributed trace identity every hop of this sample carries: the
+    // remote tiers stamp their spans with (trace_id, parent_span) so the
+    // merged timeline can regroup the cross-process tree per sample.
+    TraceContext ctx;
+    ctx.trace_id = trace_id_of(sidx);
+    ctx.parent_span = (static_cast<std::uint64_t>(sidx) << 8) | 1ull;
+
     // Book the finished trace (same shape as the simulator's commit).
     auto commit = [&](int exit_taken, std::int64_t prediction,
                       double entropy) {
@@ -649,9 +913,13 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
             .with("prediction", prediction)
             .with("label", sample.label)
             .with("entropy", entropy)
+            .with("latency_s", trace.latency_s)
             .with("bytes", trace.bytes_sent)
+            .with("retries", trace.retries)
             .with("degraded", trace.degraded)
-            .with("dead", trace.dead);
+            .with("dead", trace.dead)
+            .with("trace_id", static_cast<std::int64_t>(ctx.trace_id))
+            .with("span_id", static_cast<std::int64_t>(ctx.parent_span));
       }
       if (dm.registry != nullptr) {
         dm.samples->add(1);
@@ -659,10 +927,23 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
         if (trace.prediction == sample.label) dm.correct->add(1);
         if (trace.degraded) dm.degraded->add(1);
         if (trace.dead) dm.dead->add(1);
+        if (exit_taken >= 0) {
+          dm.exits[static_cast<std::size_t>(exit_taken)]->add(1);
+        }
+        dm.total_latency_s->set(m.total_latency_s);
         dm.arena_bytes->set(
             static_cast<double>(infer::thread_arena_bytes()));
       }
       result.traces.push_back(trace);
+    };
+
+    // Every child span carries the sample identity + trace context.
+    auto child = [&](const char* name, const char* cat, int track,
+                     double start, double dur) -> obs::Span& {
+      return tr->add(name, cat, track, start - run_start, dur)
+          .with("sample_index", sidx)
+          .with("trace_id", static_cast<std::int64_t>(ctx.trace_id))
+          .with("parent_span", static_cast<std::int64_t>(ctx.parent_span));
     };
 
     // A delivered local send (device and gateway are colocated; the frame
@@ -677,11 +958,21 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
         lc.attempts->add(1);
         lc.bytes->add(msg.payload_bytes());
       }
+      if (tr != nullptr) {
+        child(send_span_name(msg.kind), "net", 1 + branch, wall_s(), 0.0)
+            .with("link", link.name())
+            .with("bytes", msg.payload_bytes())
+            .with("attempts", 1)
+            .with("delivered", true);
+      }
     };
 
     // Account one socket SendResult exactly like the simulator's send().
+    // Socket link.* counters are booked inside the transport; only the
+    // runtime aggregates and the span live here.
     auto book_send = [&](Link& link, const Message& msg,
-                         const SendResult& res, int branch) {
+                         const SendResult& res, int branch,
+                         double batch_start) {
       result.metrics.reliability.drops += res.dropped_attempts;
       result.metrics.reliability.retries += res.attempts - 1;
       trace.retries += res.attempts - 1;
@@ -698,16 +989,12 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
         dm.drops->add(res.dropped_attempts);
         dm.retries->add(res.attempts - 1);
         if (!res.delivered) dm.timeouts->add(1);
-        const auto& lc = dm.links.at(&link);
-        lc.attempts->add(res.attempts);
-        lc.retries->add(res.attempts - 1);
-        if (!res.delivered) lc.timeouts->add(1);
-        if (res.delivered) lc.bytes->add(msg.payload_bytes());
       }
       if (tr != nullptr) {
-        tr->add("send", "net", 1, wall_s() - run_start, res.latency_s)
+        child(send_span_name(msg.kind), "net", 1 + branch, batch_start,
+              res.latency_s)
             .with("link", link.name())
-            .with("sample_index", sidx)
+            .with("bytes", res.delivered ? msg.payload_bytes() : 0)
             .with("attempts", res.attempts)
             .with("delivered", res.delivered);
       }
@@ -720,12 +1007,14 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
       std::vector<SocketTransport::BatchItem> batch;
       for (std::size_t b = 0; b < n_dev; ++b) {
         batch.push_back({&links[b], &msgs[b], sidx,
-                         static_cast<std::int32_t>(b)});
+                         static_cast<std::int32_t>(b), ctx});
       }
+      const double batch_start = wall_s();
       const auto results = transport.send_batch(batch);
       int delivered = 0;
       for (std::size_t b = 0; b < n_dev; ++b) {
-        book_send(links[b], msgs[b], results[b], static_cast<int>(b));
+        book_send(links[b], msgs[b], results[b], static_cast<int>(b),
+                  batch_start);
         if (results[b].delivered) ++delivered;
       }
       return delivered;
@@ -733,8 +1022,14 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
 
     // --- Stage 0: every device senses its view and runs its section.
     for (std::size_t b = 0; b < n_dev; ++b) {
+      const double tb = wall_s();
       devices[b].sense(
           sample.views.at(static_cast<std::size_t>(device_map[b])));
+      if (tr != nullptr) {
+        child("device_section", "compute", static_cast<int>(1 + b), tb,
+              wall_s() - tb)
+            .with("branch", static_cast<std::int64_t>(b));
+      }
     }
 
     // --- Stage 1: local exit at the colocated gateway.
@@ -746,7 +1041,14 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
         local_send(gw_links[b], msg, static_cast<int>(b));
         scores[b] = std::move(msg);
       }
+      const double t_fuse = wall_s();
       const ExitDecision d = decide_exit(gateway->aggregate(scores));
+      if (tr != nullptr) {
+        child("gateway_fuse", "compute", gateway_track, t_fuse,
+              wall_s() - t_fuse)
+            .with("delivered", static_cast<std::int64_t>(n_dev))
+            .with("entropy", d.entropy);
+      }
       if (core::should_exit(d.entropy, opts.thresholds[0])) {
         commit(0, d.prediction, d.entropy);
         continue;
@@ -766,7 +1068,7 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
     if (cfg.has_edge() && edge_up) {
       if (send_all(up_links, feats) > 0 &&
           transport.post("edge-ctl",
-                         classify_frame(sidx, ClassifyMode::kNormal))) {
+                         classify_frame(sidx, ClassifyMode::kNormal, ctx))) {
         if (const auto d = await_decision("edge-ctl", sidx)) {
           if (d->exit_taken >= 0) {
             trace.bytes_sent += d->upstream_bytes;
@@ -794,7 +1096,8 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
       trace.degraded = true;
       if (send_all(fb_links, feats) > 0 &&
           transport.post("cloud-ctl",
-                         classify_frame(sidx, ClassifyMode::kEdgeAtCloud))) {
+                         classify_frame(sidx, ClassifyMode::kEdgeAtCloud,
+                                        ctx))) {
         if (const auto d = await_decision("cloud-ctl", sidx)) {
           if (d->exit_taken >= 0) {
             commit(d->exit_taken, d->prediction, d->entropy);
@@ -806,7 +1109,7 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
     if (!decided && !cfg.has_edge()) {
       if (send_all(up_links, feats) > 0 &&
           transport.post("cloud-ctl",
-                         classify_frame(sidx, ClassifyMode::kNormal))) {
+                         classify_frame(sidx, ClassifyMode::kNormal, ctx))) {
         if (const auto d = await_decision("cloud-ctl", sidx)) {
           if (d->exit_taken >= 0) {
             trace.degraded = trace.degraded || d->degraded;
@@ -827,7 +1130,8 @@ DriveResult drive_hierarchy(core::DdnnModel& model,
       std::vector<Link>& to_cloud = cfg.has_edge() ? fb_links : up_links;
       if (send_all(to_cloud, raws) > 0 &&
           transport.post("cloud-ctl",
-                         classify_frame(sidx, ClassifyMode::kRawOffload))) {
+                         classify_frame(sidx, ClassifyMode::kRawOffload,
+                                        ctx))) {
         if (const auto d = await_decision("cloud-ctl", sidx)) {
           if (d->exit_taken >= 0) {
             commit(cloud_exit, d->prediction, d->entropy);

@@ -15,6 +15,7 @@
 #include <set>
 #include <thread>
 
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace ddnn::dist {
@@ -75,6 +76,7 @@ bool known_frame_kind(std::uint8_t raw) {
     case FrameKind::kClassify:
     case FrameKind::kDecision:
     case FrameKind::kBye:
+    case FrameKind::kStats:
     case FrameKind::kClassScores:
     case FrameKind::kBinaryFeatureMap:
     case FrameKind::kRawImage:
@@ -113,6 +115,7 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kClassify: return "classify";
     case FrameKind::kDecision: return "decision";
     case FrameKind::kBye: return "bye";
+    case FrameKind::kStats: return "stats";
     case FrameKind::kClassScores: return "class-scores";
     case FrameKind::kBinaryFeatureMap: return "binary-features";
     case FrameKind::kRawImage: return "raw-image";
@@ -178,6 +181,7 @@ std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
 /// magic/CRC fields themselves fails the check.
 std::uint32_t frame_crc(const std::uint8_t* header_4_20,
                         const std::uint8_t* payload, std::size_t n) {
+  DDNN_PROF_SCOPE("transport.crc32");
   std::uint32_t crc = crc32_update(0xFFFFFFFFu, header_4_20, 16);
   return crc32_update(crc, payload, n) ^ 0xFFFFFFFFu;
 }
@@ -185,10 +189,12 @@ std::uint32_t frame_crc(const std::uint8_t* header_4_20,
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  DDNN_PROF_SCOPE("transport.crc32");
   return crc32_update(0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  DDNN_PROF_SCOPE("transport.frame_encode");
   DDNN_CHECK(frame.payload.size() <= kMaxFramePayload,
              "frame payload " << frame.payload.size() << " B exceeds cap "
                               << kMaxFramePayload);
@@ -225,6 +231,7 @@ std::size_t frame_size_from_header(const std::uint8_t* header) {
 }
 
 Frame decode_frame(const std::uint8_t* data, std::size_t n) {
+  DDNN_PROF_SCOPE("transport.frame_decode");
   DDNN_CHECK(n >= kFrameHeaderBytes,
              "truncated frame: " << n << " B is smaller than the "
                                  << kFrameHeaderBytes << " B header");
@@ -258,6 +265,7 @@ void PayloadWriter::i32(std::int32_t v) {
 void PayloadWriter::i64(std::int64_t v) {
   put_u64(buf_, static_cast<std::uint64_t>(v));
 }
+void PayloadWriter::u64(std::uint64_t v) { put_u64(buf_, v); }
 void PayloadWriter::f64(double v) {
   std::uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
@@ -298,6 +306,12 @@ std::int64_t PayloadReader::i64() {
   pos_ += 8;
   return static_cast<std::int64_t>(v);
 }
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
 double PayloadReader::f64() {
   need(8);
   const std::uint64_t bits = get_u64(data_ + pos_);
@@ -322,12 +336,14 @@ std::vector<std::uint8_t> PayloadReader::rest() {
 }
 
 Frame make_message_frame(const Message& msg, std::int64_t sample,
-                         std::int32_t branch) {
+                         std::int32_t branch, const TraceContext& trace) {
   Frame frame;
   frame.kind = frame_kind_of(msg.kind);
   PayloadWriter w;
   w.i64(sample);
   w.i32(branch);
+  w.u64(trace.trace_id);
+  w.u64(trace.parent_span);
   w.bytes(msg.payload.data(), msg.payload.size());
   frame.payload = w.take();
   return frame;
@@ -341,6 +357,8 @@ Message frame_message(const Frame& frame, MessageMeta* meta) {
   MessageMeta m;
   m.sample = r.i64();
   m.branch = r.i32();
+  m.trace.trace_id = r.u64();
+  m.trace.parent_span = r.u64();
   if (meta != nullptr) *meta = m;
   Message msg;
   msg.kind = message_kind_of(frame.kind);
@@ -373,6 +391,7 @@ void FrameConn::queue(const Frame& frame) {
 }
 
 bool FrameConn::flush(double timeout_s) {
+  DDNN_PROF_SCOPE("transport.flush");
   const double deadline = now_s() + timeout_s;
   while (out_pos_ < out_.size()) {
     DDNN_CHECK(fd_ >= 0, "flush on closed connection");
@@ -406,6 +425,7 @@ bool FrameConn::write_frame(const Frame& frame, double timeout_s) {
 }
 
 bool FrameConn::fill_from_socket(double timeout_s) {
+  DDNN_PROF_SCOPE("transport.poll");
   if (fd_ < 0) return false;
   std::uint8_t chunk[64 * 1024];
   ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -552,9 +572,22 @@ SocketTransport::SocketTransport(ReliabilityConfig config)
   config_.validate();
 }
 
+namespace {
+
+/// Control channels ("cloud-ctl", "edge-ctl") carry handshake/decision
+/// frames, not Link traffic — they get no link.* columns.
+bool is_control_channel(const std::string& name) {
+  return name.size() >= 4 && name.compare(name.size() - 4, 4, "-ctl") == 0;
+}
+
+}  // namespace
+
 void SocketTransport::attach(const std::string& channel,
                              std::shared_ptr<FrameConn> conn) {
-  channels_[channel] = Channel{std::move(conn), false};
+  Channel& ch = channels_[channel];
+  ch.conn = std::move(conn);
+  ch.down = false;
+  register_channel_metrics(channel, ch);
 }
 
 void SocketTransport::detach(const std::string& channel) {
@@ -588,6 +621,39 @@ const SocketTransport::Channel* SocketTransport::find(
   return it == channels_.end() ? nullptr : &it->second;
 }
 
+void SocketTransport::bind_metrics(obs::MetricsRegistry* reg) {
+  metrics_ = reg;
+  if (reg == nullptr) {
+    breaker_trips_ = nullptr;
+    channels_down_ = nullptr;
+    for (auto& [name, ch] : channels_) ch.metrics = ChannelMetrics{};
+    return;
+  }
+  breaker_trips_ = &reg->counter("transport.breaker_trips");
+  channels_down_ = &reg->gauge("transport.channels_down");
+  for (auto& [name, ch] : channels_) register_channel_metrics(name, ch);
+}
+
+void SocketTransport::register_channel_metrics(const std::string& name,
+                                               Channel& ch) {
+  if (metrics_ == nullptr || is_control_channel(name)) return;
+  const std::string base = "link." + name + ".";
+  ch.metrics.attempts = &metrics_->counter(base + "attempts");
+  ch.metrics.retries = &metrics_->counter(base + "retries");
+  ch.metrics.timeouts = &metrics_->counter(base + "timeouts");
+  ch.metrics.bytes = &metrics_->counter(base + "bytes");
+}
+
+void SocketTransport::mark_down(Channel& ch) {
+  if (ch.down) return;
+  ch.down = true;
+  if (metrics_ == nullptr) return;
+  std::int64_t down = 0;
+  for (const auto& [name, c] : channels_) down += c.down ? 1 : 0;
+  breaker_trips_->add(1);
+  channels_down_->set(static_cast<double>(down));
+}
+
 bool SocketTransport::await_ack(FrameConn& conn, std::uint64_t seq,
                                 double timeout_s) {
   const double deadline = now_s() + timeout_s;
@@ -609,7 +675,7 @@ bool SocketTransport::await_ack(FrameConn& conn, std::uint64_t seq,
 SendResult SocketTransport::send(Link& link, const Message& msg,
                                  std::int64_t sample_index) {
   std::vector<BatchItem> one(1);
-  one[0] = BatchItem{&link, &msg, sample_index, 0};
+  one[0] = BatchItem{&link, &msg, sample_index, 0, TraceContext{}};
   return send_batch(one)[0];
 }
 
@@ -630,9 +696,14 @@ std::vector<SendResult> SocketTransport::send_batch(
     if (!usable) {
       item.link->record_drop(*item.msg);
       results[i] = SendResult{false, 1, 1, 0.0};
+      if (ch != nullptr && ch->metrics.attempts != nullptr) {
+        ch->metrics.attempts->add(1);
+        ch->metrics.timeouts->add(1);
+      }
       continue;
     }
-    frames[i] = make_message_frame(*item.msg, item.sample, item.branch);
+    frames[i] =
+        make_message_frame(*item.msg, item.sample, item.branch, item.trace);
     frames[i].seq = next_seq_++;
     ch->conn->queue(frames[i]);
     routed[i] = ch;
@@ -676,10 +747,20 @@ std::vector<SendResult> SocketTransport::send_batch(
     } else {
       item.link->record_drop(*item.msg);
       res.dropped_attempts += 1;
-      ch->down = true;
+      mark_down(*ch);
     }
     res.delivered = delivered;
     res.latency_s = now_s() - start;
+    if (ch->metrics.attempts != nullptr) {
+      ch->metrics.attempts->add(res.attempts);
+      ch->metrics.retries->add(res.attempts - 1);
+      if (delivered) {
+        ch->metrics.bytes->add(
+            static_cast<std::int64_t>(item.msg->payload_bytes()));
+      } else {
+        ch->metrics.timeouts->add(1);
+      }
+    }
     results[i] = res;
   }
   return results;
@@ -696,7 +777,7 @@ bool SocketTransport::post(const std::string& channel, const Frame& frame) {
   try {
     return ch->conn->write_frame(out, config_.timeout_s);
   } catch (const ddnn::Error&) {
-    ch->down = true;
+    mark_down(*ch);
     return false;
   }
 }
@@ -722,7 +803,7 @@ std::optional<Frame> SocketTransport::await(const std::string& channel,
     try {
       frame = ch->conn->read_frame(remaining);
     } catch (const ddnn::Error&) {
-      ch->down = true;
+      mark_down(*ch);
       return std::nullopt;
     }
     if (!frame.has_value()) continue;

@@ -40,6 +40,7 @@
 #include "dist/fault.hpp"
 #include "dist/link.hpp"
 #include "dist/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddnn::dist {
 
@@ -93,7 +94,11 @@ class SimTransport : public Transport {
 
 /// "DDNN" little-endian.
 inline constexpr std::uint32_t kFrameMagic = 0x4E4E4444u;
-inline constexpr std::uint8_t kFrameVersion = 1;
+/// v2: data-frame metadata carries a trace context (trace id + parent span)
+/// after [sample][branch]; Hello and Classify payloads grew timestamp /
+/// trace fields. The header layout is unchanged; the version equality check
+/// keeps mismatched builds from talking past each other.
+inline constexpr std::uint8_t kFrameVersion = 2;
 /// magic(4) version(1) kind(1) reserved(2) seq(8) length(4) crc32(4); the
 /// CRC covers header bytes [4, 20) plus the payload, so corruption anywhere
 /// but the magic/CRC fields themselves fails the checksum (and those two
@@ -110,9 +115,11 @@ enum class FrameKind : std::uint8_t {
   kClassify = 3,  ///< "decide this sample": [i64 sample][u8 mode]
   kDecision = 4,  ///< exit decision for a sample (see DecisionPayload)
   kBye = 5,       ///< orderly shutdown
+  kStats = 6,     ///< live telemetry poll; reply payload = metrics JSON
 
   // Data plane: a Message plus routing metadata, payload =
-  // [i64 sample][i32 branch] ++ Message::payload.
+  // [i64 sample][i32 branch][u64 trace_id][u64 parent_span]
+  // ++ Message::payload.
   kClassScores = 16,
   kBinaryFeatureMap = 17,
   kRawImage = 18,
@@ -153,6 +160,7 @@ class PayloadWriter {
   void u8(std::uint8_t v);
   void i32(std::int32_t v);
   void i64(std::int64_t v);
+  void u64(std::uint64_t v);
   void f64(double v);
   void bytes(const std::uint8_t* data, std::size_t n);
   void str(const std::string& s);  ///< u32 length prefix + bytes
@@ -168,6 +176,7 @@ class PayloadReader {
   std::uint8_t u8();
   std::int32_t i32();
   std::int64_t i64();
+  std::uint64_t u64();
   double f64();
   std::string str();
   /// Everything not yet consumed.
@@ -182,12 +191,24 @@ class PayloadReader {
   const char* what_;
 };
 
+/// Cross-process trace identity carried by every data and Classify frame:
+/// which distributed trace a hop belongs to (`trace_id`, one per sample run)
+/// and which driver span caused it (`parent_span`). Zero means "untraced".
+/// Ids are kept within 48 bits so JSON consumers that parse numbers as
+/// doubles (Perfetto, python json) round-trip them exactly.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
 /// Wrap a Message (+ routing metadata) into a data frame / unwrap it back.
 Frame make_message_frame(const Message& msg, std::int64_t sample,
-                         std::int32_t branch);
+                         std::int32_t branch,
+                         const TraceContext& trace = TraceContext{});
 struct MessageMeta {
   std::int64_t sample = 0;
   std::int32_t branch = 0;
+  TraceContext trace;
 };
 Message frame_message(const Frame& frame, MessageMeta* meta);
 
@@ -278,6 +299,16 @@ class SocketTransport : public Transport {
   void set_fail_fast(bool on) { fail_fast_ = on; }
   bool channel_down(const std::string& channel) const;
 
+  /// Register per-channel `link.<name>.*` counters (attempts/retries/
+  /// timeouts/bytes) plus breaker health (`transport.breaker_trips`,
+  /// `transport.channels_down`) in `reg`. Registration is eager: existing
+  /// channels get their columns immediately and every later attach()
+  /// registers before the first send, so metrics/series exports have
+  /// identical columns whether or not a link ever carried traffic. Control
+  /// channels (names ending in "-ctl") carry no Link traffic and get no
+  /// link columns. Pass nullptr to stop booking.
+  void bind_metrics(obs::MetricsRegistry* reg);
+
   /// One frame: queue + flush + await ACK, retrying per ReliabilityConfig
   /// (each retry re-sends the frame after jitter-free backoff sleep).
   SendResult send(Link& link, const Message& msg,
@@ -291,6 +322,7 @@ class SocketTransport : public Transport {
     const Message* msg = nullptr;
     std::int64_t sample = 0;
     std::int32_t branch = 0;
+    TraceContext trace;
   };
   std::vector<SendResult> send_batch(const std::vector<BatchItem>& items);
 
@@ -306,21 +338,35 @@ class SocketTransport : public Transport {
   const ReliabilityConfig& reliability() const { return config_; }
 
  private:
+  struct ChannelMetrics {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
   struct Channel {
     std::shared_ptr<FrameConn> conn;
     bool down = false;
+    ChannelMetrics metrics;
   };
   Channel* find(const std::string& channel);
   const Channel* find(const std::string& channel) const;
   /// Read frames until an ACK for `seq` arrives or the deadline passes;
   /// non-ACK frames are stashed into the connection's inbox.
   bool await_ack(FrameConn& conn, std::uint64_t seq, double timeout_s);
+  void register_channel_metrics(const std::string& name, Channel& ch);
+  /// One-way breaker transition; books transport.breaker_trips and the
+  /// transport.channels_down gauge exactly once per channel.
+  void mark_down(Channel& ch);
 
   ReliabilityConfig config_;
   bool fail_fast_ = false;
   std::uint64_t next_seq_ = 1;
   std::map<std::string, Channel> channels_;
   std::map<const FrameConn*, std::deque<Frame>> inbox_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* breaker_trips_ = nullptr;
+  obs::Gauge* channels_down_ = nullptr;
 };
 
 }  // namespace ddnn::dist

@@ -1,53 +1,14 @@
 #include "obs/trace.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
+// Formatting (json_escape / json_us / json_double) lives in obs/json.hpp,
+// shared with trace-merge so a merged file renders spans byte-identically.
 namespace ddnn::obs {
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Microsecond timestamps with fixed sub-microsecond precision: the same
-/// double always renders to the same bytes.
-std::string fmt_us(double seconds) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
-  return buf;
-}
-
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-}  // namespace
 
 Span& Span::with(std::string key, std::int64_t v) {
   TraceArg a;
@@ -99,25 +60,55 @@ void SpanTracer::set_track_name(int track, std::string name) {
   track_names_[track] = std::move(name);
 }
 
+void SpanTracer::set_process(int pid, std::string name) {
+  pid_ = pid;
+  process_name_ = std::move(name);
+}
+
+void SpanTracer::set_meta(const std::string& key, double value) {
+  meta_[key] = value;
+}
+
 std::string SpanTracer::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n";
+  // Distributed-run attribution; absent on legacy single-process traces so
+  // their golden output stays byte-identical.
+  if (!process_name_.empty() || !meta_.empty()) {
+    os << "  \"ddnn\": {\"process\": \"" << json_escape(process_name_)
+       << "\", \"pid\": " << pid_ << ", \"meta\": {";
+    bool first_meta = true;
+    for (const auto& [key, value] : meta_) {
+      if (!first_meta) os << ", ";
+      first_meta = false;
+      os << "\"" << json_escape(key) << "\": " << json_double(value);
+    }
+    os << "}},\n";
+  }
+  os << "  \"traceEvents\": [";
   bool first = true;
   auto sep = [&]() -> std::ostringstream& {
     os << (first ? "\n" : ",\n");
     first = false;
     return os;
   };
+  if (!process_name_.empty()) {
+    sep() << "    {\"ph\": \"M\", \"pid\": " << pid_
+          << ", \"tid\": 0, \"name\": \"process_name\", \"args\": "
+             "{\"name\": \""
+          << json_escape(process_name_) << "\"}}";
+  }
   for (const auto& [track, name] : track_names_) {
-    sep() << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
+    sep() << "    {\"ph\": \"M\", \"pid\": " << pid_ << ", \"tid\": " << track
           << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
           << json_escape(name) << "\"}}";
   }
   for (const auto& s : spans_) {
-    sep() << "    {\"ph\": \"X\", \"pid\": 0, \"tid\": " << s.track
-          << ", \"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
-          << json_escape(s.cat) << "\", \"ts\": " << fmt_us(s.start_s)
-          << ", \"dur\": " << fmt_us(s.dur_s);
+    sep() << "    {\"ph\": \"X\", \"pid\": " << pid_
+          << ", \"tid\": " << s.track << ", \"name\": \""
+          << json_escape(s.name) << "\", \"cat\": \"" << json_escape(s.cat)
+          << "\", \"ts\": " << json_us(s.start_s)
+          << ", \"dur\": " << json_us(s.dur_s);
     if (!s.args.empty()) {
       os << ", \"args\": {";
       for (std::size_t i = 0; i < s.args.size(); ++i) {
@@ -126,7 +117,7 @@ std::string SpanTracer::to_json() const {
         os << "\"" << json_escape(a.key) << "\": ";
         switch (a.kind) {
           case TraceArg::Kind::kInt: os << a.i; break;
-          case TraceArg::Kind::kDouble: os << fmt_double(a.d); break;
+          case TraceArg::Kind::kDouble: os << json_double(a.d); break;
           case TraceArg::Kind::kString:
             os << "\"" << json_escape(a.s) << "\"";
             break;

@@ -61,6 +61,19 @@ class SpanTracer {
   /// Label a track (emitted as a thread_name metadata event).
   void set_track_name(int track, std::string name);
 
+  /// Attribute this tracer to one process of a distributed run: every event
+  /// is emitted with `pid` and a process_name metadata event. Unset (the
+  /// default) keeps the legacy single-process output byte-identical.
+  void set_process(int pid, std::string name);
+  int pid() const { return pid_; }
+  const std::string& process_name() const { return process_name_; }
+
+  /// Attach run-level metadata (clock epoch, per-peer clock offsets, ...)
+  /// exported as a top-level "ddnn" object. `ddnn trace-merge` consumes it
+  /// to align per-process clocks. Only emitted when nonempty.
+  void set_meta(const std::string& key, double value);
+  const std::map<std::string, double>& meta() const { return meta_; }
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::map<int, std::string>& track_names() const { return track_names_; }
 
@@ -74,6 +87,9 @@ class SpanTracer {
  private:
   std::vector<Span> spans_;
   std::map<int, std::string> track_names_;  // ordered -> deterministic emit
+  int pid_ = 0;
+  std::string process_name_;
+  std::map<std::string, double> meta_;  // ordered -> deterministic emit
 };
 
 }  // namespace ddnn::obs

@@ -1,0 +1,49 @@
+// Stitch per-process trace files from a served hierarchy run into one
+// Perfetto-loadable timeline.
+//
+// Every role of `ddnn serve` writes its own trace_event file (SpanTracer
+// with process attribution), each stamped over its own wall clock. The
+// driver measures a per-peer clock offset during the Hello handshake
+// (NTP-style: offset = (t0 + t3) / 2 - t1) and records it, together with
+// each process's trace epoch, in the file's top-level "ddnn" metadata
+// block. The merge:
+//
+//   1. parses every input (first input = reference clock, normally the
+//      driver, whose metadata holds "offset_<process>_s" entries);
+//   2. shifts process P's spans by (epoch_P + offset_P) - epoch_ref, which
+//      places them on the reference timeline;
+//   3. applies one global shift so the earliest span starts at ts 0
+//      (trace_event timestamps should not be negative);
+//   4. re-emits process_name/thread_name metadata plus every span with
+//      pid = input index, in input order — byte-identical across reruns.
+//
+// Spans keep their original args (sample_index, trace_id, parent_span, ...)
+// so scripts/check_trace.py can regroup the merged tree per sample and
+// compare it against the simulator oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ddnn::obs {
+
+struct TraceMergeResult {
+  int processes = 0;
+  std::size_t spans = 0;
+  /// Largest |clock offset| applied to any non-reference process (seconds).
+  double max_abs_offset_s = 0.0;
+  /// Global shift applied so the earliest merged span starts at ts 0.
+  double shift_s = 0.0;
+};
+
+/// Merge per-process trace JSON into one document (returned as a string so
+/// tests can diff in memory). Inputs missing a "ddnn" block merge as
+/// offset-0 processes named "p<index>".
+std::string merge_traces_json(const std::vector<std::string>& input_paths,
+                              TraceMergeResult* stats);
+
+/// merge_traces_json + write to `out_path`.
+TraceMergeResult merge_traces(const std::vector<std::string>& input_paths,
+                              const std::string& out_path);
+
+}  // namespace ddnn::obs

@@ -13,6 +13,8 @@
 #include "dist/link.hpp"
 #include "dist/message.hpp"
 #include "dist/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 namespace ddnn::dist {
@@ -33,8 +35,9 @@ Message sample_message(MessageKind kind, std::size_t n) {
 TEST(FrameCodec, RoundTripEveryKind) {
   for (const FrameKind kind :
        {FrameKind::kHello, FrameKind::kAck, FrameKind::kClassify,
-        FrameKind::kDecision, FrameKind::kBye, FrameKind::kClassScores,
-        FrameKind::kBinaryFeatureMap, FrameKind::kRawImage}) {
+        FrameKind::kDecision, FrameKind::kBye, FrameKind::kStats,
+        FrameKind::kClassScores, FrameKind::kBinaryFeatureMap,
+        FrameKind::kRawImage}) {
     Frame frame;
     frame.kind = kind;
     frame.seq = 0x0123456789ABCDEFull;
@@ -120,6 +123,49 @@ TEST(FrameCodec, MessageFrameRoundTripEveryMessageKind) {
     EXPECT_EQ(back.payload, msg.payload);
     EXPECT_EQ(meta.sample, 123);
     EXPECT_EQ(meta.branch, 4);
+  }
+}
+
+TEST(FrameCodec, MessageFrameCarriesTraceContext) {
+  const Message msg = sample_message(MessageKind::kBinaryFeatureMap, 48);
+  TraceContext ctx;
+  ctx.trace_id = 0x0000ABCDEF123456ull;  // 48-bit (JSON double safe)
+  ctx.parent_span = (std::uint64_t{17} << 8) | 1u;
+  const Frame frame = make_message_frame(msg, /*sample=*/17, /*branch=*/2,
+                                         ctx);
+  MessageMeta meta;
+  const Message back = frame_message(frame, &meta);
+  EXPECT_EQ(back.payload, msg.payload);
+  EXPECT_EQ(meta.sample, 17);
+  EXPECT_EQ(meta.branch, 2);
+  EXPECT_EQ(meta.trace.trace_id, ctx.trace_id);
+  EXPECT_EQ(meta.trace.parent_span, ctx.parent_span);
+}
+
+TEST(FrameCodec, DefaultTraceContextIsZero) {
+  // Callers that predate distributed tracing (tests, examples) still build
+  // valid frames; the meta decodes to the zero context.
+  const Message msg = sample_message(MessageKind::kClassScores, 8);
+  const Frame frame = make_message_frame(msg, 3, 1);
+  MessageMeta meta;
+  (void)frame_message(frame, &meta);
+  EXPECT_EQ(meta.trace.trace_id, 0u);
+  EXPECT_EQ(meta.trace.parent_span, 0u);
+}
+
+TEST(FrameCodec, MetaTruncationThrowsAtEveryLength) {
+  // The extended v2 meta header (sample, branch, trace id, parent span) must
+  // fail loudly when a frame's payload is cut anywhere inside it.
+  const Message msg = sample_message(MessageKind::kRawImage, 0);
+  TraceContext ctx;
+  ctx.trace_id = 1;
+  ctx.parent_span = 2;
+  const Frame full = make_message_frame(msg, 9, 0, ctx);
+  for (std::size_t n = 0; n < full.payload.size(); ++n) {
+    Frame cut = full;
+    cut.payload.resize(n);
+    MessageMeta meta;
+    EXPECT_THROW((void)frame_message(cut, &meta), Error) << n;
   }
 }
 
@@ -317,7 +363,8 @@ TEST(TransportConformance, SocketBatchKeepsPerItemOrder) {
   std::vector<SocketTransport::BatchItem> batch;
   for (std::size_t i = 0; i < msgs.size(); ++i) {
     batch.push_back({&link, &msgs[i], /*sample=*/7,
-                     /*branch=*/static_cast<std::int32_t>(i)});
+                     /*branch=*/static_cast<std::int32_t>(i),
+                     TraceContext{}});
   }
   const auto results = transport.send_batch(batch);
   ASSERT_EQ(results.size(), msgs.size());
@@ -386,6 +433,90 @@ TEST(TransportConformance, SocketFailFastCircuitBreaker) {
   const double elapsed = static_cast<double>(clock()) / CLOCKS_PER_SEC - t0;
   EXPECT_FALSE(res.delivered);
   EXPECT_LT(elapsed, 0.2);  // no timeout ladder after the breaker trips
+}
+
+// --------------------------------------------------- transport telemetry
+
+TEST(TransportTelemetry, EagerLinkColumnsOnAttach) {
+  // Every data channel registers its link.* counters at attach time, before
+  // any traffic — so a degraded run exports the same metric columns as a
+  // healthy one. Control channels ("-ctl") carry no byte accounting.
+  AckPeer peer;
+  obs::MetricsRegistry reg;
+  SocketTransport transport(fast_reliability());
+  transport.bind_metrics(&reg);
+  const auto conn =
+      connect_to("127.0.0.1:" + std::to_string(peer.port()), 5.0);
+  transport.attach("cloud-ctl", conn);
+  transport.attach("device0->cloud", conn);
+  transport.attach("device1->cloud", conn);
+  const auto names = reg.names();
+  const std::vector<std::string> expected = {
+      "transport.breaker_trips",      "transport.channels_down",
+      "link.device0->cloud.attempts", "link.device0->cloud.retries",
+      "link.device0->cloud.timeouts", "link.device0->cloud.bytes",
+      "link.device1->cloud.attempts", "link.device1->cloud.retries",
+      "link.device1->cloud.timeouts", "link.device1->cloud.bytes"};
+  EXPECT_EQ(names, expected);  // attach order; no cloud-ctl columns
+  EXPECT_EQ(reg.counter("link.device0->cloud.attempts").value(), 0);
+}
+
+TEST(TransportTelemetry, SendBooksLinkCounters) {
+  AckPeer peer;
+  obs::MetricsRegistry reg;
+  SocketTransport transport(fast_reliability());
+  transport.bind_metrics(&reg);
+  Link link("device0->edge");
+  transport.attach(link.name(),
+                   connect_to("127.0.0.1:" + std::to_string(peer.port()), 5.0));
+  const Message msg = sample_message(MessageKind::kBinaryFeatureMap, 100);
+  ASSERT_TRUE(transport.send(link, msg, 0).delivered);
+  EXPECT_EQ(reg.counter("link.device0->edge.attempts").value(), 1);
+  EXPECT_EQ(reg.counter("link.device0->edge.retries").value(), 0);
+  EXPECT_EQ(reg.counter("link.device0->edge.timeouts").value(), 0);
+  EXPECT_EQ(reg.counter("link.device0->edge.bytes").value(), 100);
+}
+
+TEST(TransportTelemetry, BreakerTripBooksGauges) {
+  AckPeer peer(/*acks=*/false);
+  obs::MetricsRegistry reg;
+  SocketTransport transport(fast_reliability());
+  transport.set_fail_fast(true);
+  transport.bind_metrics(&reg);
+  Link link("device0->edge");
+  transport.attach(link.name(),
+                   connect_to("127.0.0.1:" + std::to_string(peer.port()), 5.0));
+  const Message msg = sample_message(MessageKind::kClassScores, 12);
+  EXPECT_FALSE(transport.send(link, msg, 0).delivered);
+  EXPECT_TRUE(transport.channel_down(link.name()));
+  EXPECT_EQ(reg.counter("transport.breaker_trips").value(), 1);
+  EXPECT_EQ(reg.gauge("transport.channels_down").value(), 1.0);
+  EXPECT_EQ(reg.counter("link.device0->edge.timeouts").value(), 1);
+  EXPECT_EQ(reg.counter("link.device0->edge.bytes").value(), 0);
+  // A second failed send on the tripped channel is not a second trip.
+  EXPECT_FALSE(transport.send(link, msg, 1).delivered);
+  EXPECT_EQ(reg.counter("transport.breaker_trips").value(), 1);
+}
+
+TEST(TransportTelemetry, HotPathProfileHooks) {
+  // The frame codec and socket pump are instrumented; with profiling armed
+  // a delivered send records encode/decode/CRC/flush/poll scopes.
+  AckPeer peer;
+  SocketTransport transport(fast_reliability());
+  Link link("device0->edge");
+  transport.attach(link.name(),
+                   connect_to("127.0.0.1:" + std::to_string(peer.port()), 5.0));
+  obs::profile_reset();
+  obs::set_profiling_enabled(true);
+  const Message msg = sample_message(MessageKind::kBinaryFeatureMap, 64);
+  const SendResult res = transport.send(link, msg, 0);
+  obs::set_profiling_enabled(false);
+  ASSERT_TRUE(res.delivered);
+  EXPECT_GT(obs::profile_calls("transport.frame_encode"), 0);
+  EXPECT_GT(obs::profile_calls("transport.frame_decode"), 0);  // the ACK
+  EXPECT_GT(obs::profile_calls("transport.crc32"), 0);
+  EXPECT_GT(obs::profile_calls("transport.flush"), 0);
+  EXPECT_GT(obs::profile_calls("transport.poll"), 0);
 }
 
 // Conformance: a multi-megabyte message survives arbitrary read/write

@@ -14,9 +14,11 @@
 // The architecture is reconstructed from the flags, so eval/simulate must be
 // invoked with the same --preset/--filters/--devices/--agg used at training
 // time (a mismatch fails loudly at weight-load time).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/inference.hpp"
 #include "core/metrics.hpp"
@@ -28,12 +30,15 @@
 #include "infer/engine.hpp"
 #include "infer/planner.hpp"
 #include "nn/serialize.hpp"
+#include "dist/transport.hpp"
+#include "obs/json.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/tracemerge.hpp"
 #include "util/args.hpp"
 #include "util/results.hpp"
 #include "util/table.hpp"
@@ -683,10 +688,13 @@ int cmd_serve(int argc, const char* const* argv) {
                   "checks against `ddnn simulate --decisions-out`",
                   "")
       .add_option("trace-out",
-                  "device role: write wall-clock spans as Chrome trace JSON",
+                  "write this role's wall-clock spans as Chrome trace JSON "
+                  "(merge the per-role files with `ddnn trace-merge`)",
                   "")
       .add_option("metrics-out",
-                  "device role: write the metrics registry as JSON", "");
+                  "write this role's metrics registry as JSON (serving "
+                  "roles also answer live Stats polls — see `ddnn top`)",
+                  "");
   add_engine_option(args);
   add_mem_budget_option(args);
   add_profile_flag(args);
@@ -721,15 +729,29 @@ int cmd_serve(int argc, const char* const* argv) {
   opts.blackhole = args.has_flag("blackhole");
   opts.decisions_out = args.get("decisions-out");
 
-  if (role == "cloud") return dist::serve_cloud(model, opts);
-  if (role == "edge") return dist::serve_edge(model, opts);
+  obs::SpanTracer tracer;
+  if (!args.get("trace-out").empty()) opts.tracer = &tracer;
+  if (!args.get("metrics-out").empty()) opts.metrics = &obs::global_metrics();
+
+  if (role == "cloud" || role == "edge") {
+    const int rc = role == "cloud" ? dist::serve_cloud(model, opts)
+                                   : dist::serve_edge(model, opts);
+    if (!args.get("trace-out").empty()) {
+      tracer.write_json(args.get("trace-out"));
+      std::printf("wrote %zu spans to %s\n", tracer.spans().size(),
+                  args.get("trace-out").c_str());
+    }
+    if (!args.get("metrics-out").empty()) {
+      obs::global_metrics().write_json(args.get("metrics-out"));
+      std::printf("wrote metrics to %s\n", args.get("metrics-out").c_str());
+    }
+    report_profile();
+    return rc;
+  }
 
   // Device role: the driver. Same dataset, thresholds and summary lines as
   // `ddnn simulate`, so runs are directly comparable.
   const auto dataset = dataset_from(args);
-  obs::SpanTracer tracer;
-  if (!args.get("trace-out").empty()) opts.tracer = &tracer;
-  if (!args.get("metrics-out").empty()) opts.metrics = &obs::global_metrics();
 
   const auto result = dist::drive_hierarchy(model, dataset.test(),
                                             device_map_from(cfg), opts);
@@ -790,6 +812,146 @@ int cmd_serve(int argc, const char* const* argv) {
                  static_cast<double>(metrics.reliability.dead_samples));
   finish_ledger(rec);
   report_profile();
+  return 0;
+}
+
+int cmd_trace_merge(int argc, const char* const* argv) {
+  ArgParser args(
+      "ddnn trace-merge",
+      "Stitch the per-role trace files of a served run (driver first — it "
+      "holds the handshake clock offsets) into one Perfetto-loadable "
+      "timeline.\n\n  ddnn trace-merge driver.json edge.json cloud.json "
+      "--out merged.json");
+  args.add_option("out", "merged trace output path", "merged_trace.json");
+  if (!args.parse(argc, argv)) return 0;
+  DDNN_CHECK(!args.positionals().empty(),
+             "ddnn trace-merge needs at least one input trace file");
+
+  const auto stats = obs::merge_traces(args.positionals(), args.get("out"));
+  std::printf("merged %zu spans from %d process(es) into %s\n", stats.spans,
+              stats.processes, args.get("out").c_str());
+  std::printf("max |clock offset| %.3f ms, global shift %.3f ms\n",
+              1e3 * stats.max_abs_offset_s, 1e3 * stats.shift_s);
+
+  obs::LedgerRecord rec;
+  rec.command = "trace-merge";
+  rec.add_info("out", args.get("out"));
+  for (std::size_t i = 0; i < args.positionals().size(); ++i) {
+    rec.add_info("input" + std::to_string(i), args.positionals()[i]);
+  }
+  rec.add_metric("merge.processes", static_cast<double>(stats.processes));
+  rec.add_metric("merge.spans", static_cast<double>(stats.spans));
+  rec.add_metric("merge.max_abs_offset_ms", 1e3 * stats.max_abs_offset_s);
+  rec.add_metric("merge.shift_ms", 1e3 * stats.shift_s);
+  finish_ledger(rec);
+  return 0;
+}
+
+/// One Stats request/reply round against a serving role; returns the raw
+/// metrics-registry JSON exactly as the server rendered it.
+std::string poll_stats(dist::FrameConn& conn, std::uint64_t seq,
+                       double timeout_s) {
+  dist::Frame req;
+  req.kind = dist::FrameKind::kStats;
+  req.seq = seq;
+  DDNN_CHECK(conn.write_frame(req, timeout_s), "stats request send timed out");
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto reply = conn.read_frame(0.05);
+    if (!reply.has_value()) {
+      DDNN_CHECK(!conn.closed(), "server closed the stats connection");
+      continue;
+    }
+    if (reply->kind != dist::FrameKind::kStats || reply->seq != seq) {
+      continue;  // unrelated traffic on a shared connection
+    }
+    dist::PayloadReader r(reply->payload.data(), reply->payload.size(),
+                          "stats");
+    return r.str();
+  }
+  DDNN_CHECK(false, "stats poll timed out after " << timeout_s << " s");
+  return "";
+}
+
+/// Render one metrics snapshot as the familiar Metric/Type/Value table.
+void print_stats(const std::string& json, int poll, double age_s) {
+  const obs::JsonValue doc = obs::parse_json(json);
+  const obs::JsonValue* metrics = doc.find("metrics");
+  DDNN_CHECK(metrics != nullptr && metrics->is_array(),
+             "stats reply is not a metrics registry snapshot");
+  Table table({"Metric", "Type", "Value"});
+  for (const obs::JsonValue& m : metrics->items) {
+    const std::string type = m.at("type").s;
+    std::string value;
+    if (type == "histogram") {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "n=%lld p50=%g p99=%g",
+                    static_cast<long long>(m.at("count").i),
+                    m.at("p50").number(), m.at("p99").number());
+      value = buf;
+    } else {
+      const obs::JsonValue& v = m.at("value");
+      value = v.kind == obs::JsonValue::Kind::kInt
+                  ? std::to_string(v.i)
+                  : Table::num(v.number(), 3);
+    }
+    table.add_row({m.at("name").s, type, value});
+  }
+  std::printf("poll %d (t=%.1f s, %zu metrics)\n%s", poll, age_s,
+              metrics->items.size(), table.to_string().c_str());
+  std::fflush(stdout);
+}
+
+int cmd_top(int argc, const char* const* argv) {
+  ArgParser args(
+      "ddnn top",
+      "Live telemetry: poll a serving role's Stats channel and render its "
+      "metrics registry. The poll is read-only on the server (it cannot "
+      "perturb what it measures), so a final snapshot is byte-identical to "
+      "the role's --metrics-out file.");
+  args.add_option("target", "host:port of a `ddnn serve` role", "")
+      .add_option("interval-ms", "poll period in milliseconds", "500")
+      .add_option("timeout", "seconds to wait for connect and each reply",
+                  "5")
+      .add_flag("once", "poll once, print, exit")
+      .add_option("json-out",
+                  "write the final snapshot's raw metrics JSON here", "")
+      .add_option("stop-file",
+                  "take one last snapshot and exit once this file exists "
+                  "(lets scripts sequence `top` against a served run)",
+                  "");
+  if (!args.parse(argc, argv)) return 0;
+  DDNN_CHECK(!args.get("target").empty(), "ddnn top needs --target host:port");
+
+  const double timeout_s = args.get_double_greater_than("timeout", 0.0);
+  const double interval_s =
+      1e-3 * args.get_double_greater_than("interval-ms", 0.0);
+  const auto conn = dist::connect_to(args.get("target"), timeout_s);
+  DDNN_CHECK(conn != nullptr, "cannot reach " << args.get("target"));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t seq = 0;
+  std::string last;
+  while (true) {
+    const bool stop = !args.get("stop-file").empty() &&
+                      std::ifstream(args.get("stop-file")).good();
+    last = poll_stats(*conn, ++seq, timeout_s);
+    print_stats(last, static_cast<int>(seq),
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+    if (args.has_flag("once") || stop) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+  if (!args.get("json-out").empty()) {
+    std::ofstream out(args.get("json-out"), std::ios::binary);
+    DDNN_CHECK(out.good(), "cannot open '" << args.get("json-out")
+                                           << "' for writing");
+    out << last;
+    std::printf("wrote final snapshot to %s\n", args.get("json-out").c_str());
+  }
   return 0;
 }
 
@@ -855,8 +1017,9 @@ int cmd_dataset(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ddnn <train|eval|simulate|serve|dataset|report> [options]\n"
-      "run `ddnn <command> --help` for command options\n";
+      "usage: ddnn "
+      "<train|eval|simulate|serve|trace-merge|top|dataset|report> "
+      "[options]\nrun `ddnn <command> --help` for command options\n";
   if (argc < 2) {
     std::printf("%s", usage.c_str());
     return 1;
@@ -867,6 +1030,8 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (command == "trace-merge") return cmd_trace_merge(argc - 1, argv + 1);
+    if (command == "top") return cmd_top(argc - 1, argv + 1);
     if (command == "dataset") return cmd_dataset(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::printf("unknown command '%s'\n%s", command.c_str(), usage.c_str());
