@@ -25,6 +25,8 @@
 #include "dist/queueing.hpp"
 #include "dist/runtime.hpp"
 #include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "util/env.hpp"
 #include "util/results.hpp"
@@ -93,6 +95,8 @@ int main() {
                "p50 (ms)", "p95 (ms)", "Edge util (%)", "Cloud util (%)"});
   dist::FleetStats nearest_stats;
   obs::WindowedSeries series(5.0, "t");
+  obs::MetricsRegistry registry;
+  obs::SloEngine slo;
   for (const auto policy :
        {dist::EdgePolicy::kNearest, dist::EdgePolicy::kLeastLoaded,
         dist::EdgePolicy::kRoundRobin}) {
@@ -100,7 +104,8 @@ int main() {
     run_cfg.policy = policy;
     const bool keep = policy == dist::EdgePolicy::kNearest;
     const auto stats =
-        dist::simulate_fleet(traces, run_cfg, stream, keep ? &series : nullptr);
+        dist::simulate_fleet(traces, run_cfg, stream, keep ? &series : nullptr,
+                             keep ? &registry : nullptr, keep ? &slo : nullptr);
     if (keep) nearest_stats = stats;
     table.add_row({to_string(policy), std::to_string(stats.completed),
                    std::to_string(stats.shed), std::to_string(stats.dead),
@@ -115,6 +120,30 @@ int main() {
 
   std::printf("\nper-station load (nearest policy):\n%s",
               nearest_stats.station_table().to_string().c_str());
+
+  // Latency tail from the HDR histogram: percentiles carry a <=1/128
+  // (~0.78%) relative bucket error bound, the max is exact, and every line
+  // names the trace exemplar (arrival index + distributed trace id) that
+  // landed in the reported bucket.
+  const auto exemplar_str = [](const obs::HdrExemplar& ex) {
+    if (!ex.valid()) return std::string("-");
+    return "#" + std::to_string(ex.sample) + " trace " +
+           std::to_string(ex.trace_id);
+  };
+  std::printf(
+      "\nlatency tail (nearest policy, HDR buckets, rel. err <= %.2f%%):\n",
+      100.0 * obs::HdrHistogram::relative_error_bound());
+  Table tail({"Quantile", "Latency (ms)", "Exemplar"});
+  tail.add_row({"p99", Table::num(1e3 * nearest_stats.p99_latency_s, 3),
+                exemplar_str(nearest_stats.p99_exemplar)});
+  tail.add_row({"p99.9", Table::num(1e3 * nearest_stats.p999_latency_s, 3),
+                exemplar_str(nearest_stats.p999_exemplar)});
+  tail.add_row({"max (exact)", Table::num(1e3 * nearest_stats.max_latency_s, 3),
+                exemplar_str(nearest_stats.max_exemplar)});
+  std::printf("%s", tail.to_string().c_str());
+
+  std::printf("\nSLO health (nearest policy):\n%s",
+              slo.to_table().to_string().c_str());
 
   const std::string dir = results_dir();
   if (!dir.empty()) {
@@ -147,10 +176,44 @@ int main() {
                       1e3 * nearest_stats.p95_latency_s);
     record.add_metric("fleet.max_latency_ms",
                       1e3 * nearest_stats.max_latency_s);
+    record.add_metric("fleet.p99_latency_ms",
+                      1e3 * nearest_stats.p99_latency_s);
+    record.add_metric("fleet.p999_latency_ms",
+                      1e3 * nearest_stats.p999_latency_s);
+    // Exemplar sample indices: deterministic, so the baseline pins them —
+    // a drifting exemplar means the tail itself moved.
+    record.add_metric("fleet.p99_sample",
+                      static_cast<double>(nearest_stats.p99_exemplar.sample));
+    record.add_metric("fleet.p999_sample",
+                      static_cast<double>(nearest_stats.p999_exemplar.sample));
     record.add_metric("fleet.edge_util_mean",
                       nearest_stats.mean_edge_utilization());
     record.add_metric("fleet.cloud_util", nearest_stats.cloud.utilization);
+    for (const auto& status : slo.evaluate()) {
+      // fleet.latency -> fleet.slo.latency.*
+      const std::string base = "fleet.slo." + status.name.substr(6);
+      record.add_metric(base + ".ratio", status.ratio);
+      record.add_metric(base + ".fast_burn", status.fast_burn);
+      record.add_metric(base + ".slow_burn", status.slow_burn);
+      record.add_metric(base + ".state",
+                        static_cast<double>(static_cast<int>(status.state)));
+    }
+    for (std::size_t g = 0; g < nearest_stats.edges.size(); ++g) {
+      const std::string base = "fleet.station.edge" + std::to_string(g);
+      record.add_metric(base + ".served",
+                        static_cast<double>(nearest_stats.edges[g].served));
+      record.add_metric(base + ".utilization",
+                        nearest_stats.edges[g].utilization);
+    }
+    record.add_metric("fleet.station.cloud.served",
+                      static_cast<double>(nearest_stats.cloud.served));
+    record.add_metric("fleet.station.cloud.utilization",
+                      nearest_stats.cloud.utilization);
     obs::append_record(record);
+
+    // Full registry snapshot (HDR buckets, exemplar trace ids, per-station
+    // counters) for offline drill-down next to the series CSV.
+    registry.write_json(dir + "/example_fleet_sim_metrics.json");
   }
 
   std::printf(

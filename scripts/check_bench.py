@@ -27,9 +27,13 @@ Positional command arguments restrict the run to those baselines (and then
 a missing record IS a failure: you asked for it, it must be there).
 
 --update rewrites each matched baseline's values from the newest record,
-keeping the tolerance bands. Exit status: 0 = all checked metrics in band,
-1 = at least one regression (named metric, expected, observed, delta),
-2 = usage / IO error.
+keeping the tolerance bands, and PRUNES baselined metrics the record no
+longer emits (a renamed or deleted metric would otherwise fail every
+future run against a value nothing produces). Pass --keep-stale to keep
+such entries untouched — e.g. when updating from a run that legitimately
+skipped an optional subsystem. Exit status: 0 = all checked metrics in
+band, 1 = at least one regression (named metric, expected, observed,
+delta), 2 = usage / IO error.
 
 Ledger lines are written by obs::append_record (one atomic append per run,
 no wall-clock fields), so "newest" is simply the last line per command.
@@ -121,6 +125,7 @@ def main():
     ledger_path = "results/ledger.jsonl"
     baselines_dir = "bench/baselines"
     update = False
+    keep_stale = False
     only = []
     i = 0
     while i < len(argv):
@@ -133,6 +138,8 @@ def main():
             baselines_dir = argv[i] if i < len(argv) else die("--baselines needs a path")
         elif arg == "--update":
             update = True
+        elif arg == "--keep-stale":
+            keep_stale = True
         elif arg.startswith("-"):
             print(__doc__)
             sys.exit(2)
@@ -163,9 +170,16 @@ def main():
                 skipped += 1
             continue
         if update:
+            recorded = record.get("metrics", {})
+            stale = [n for n in base["metrics"] if n not in recorded]
+            if stale and not keep_stale:
+                for name in stale:
+                    del base["metrics"][name]
+                    print(f"check_bench: pruned stale metric {name!r} "
+                          f"from {path}")
             for name, band in base["metrics"].items():
-                if name in record.get("metrics", {}):
-                    band["value"] = record["metrics"][name]
+                if name in recorded:
+                    band["value"] = recorded[name]
             with open(path, "w", encoding="utf-8") as f:
                 json.dump(base, f, indent=2, sort_keys=True)
                 f.write("\n")

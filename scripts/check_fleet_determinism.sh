@@ -30,7 +30,8 @@ for threads in 1 4; do
     "${bin}" > "${scratch}/stdout_r${threads}.txt"
 done
 
-for f in example_fleet_sim_series.csv example_fleet_sim_policies.csv; do
+for f in example_fleet_sim_series.csv example_fleet_sim_policies.csv \
+         example_fleet_sim_metrics.json; do
   cmp "${scratch}/r1/${f}" "${scratch}/r4/${f}"
   echo "byte-identical: ${f}"
 done

@@ -39,6 +39,16 @@ export must sum over all windows to that counter's final value — exact
 integer equality, no tolerance. The series is recorded at each sample's
 simulated start time by the same single-threaded loop that bumps the
 counters, so the window deltas must partition the totals.
+
+Tail reconciliation (same flag): every histogram/hdr series column family
+(<name>.n / <name>.max) whose base name resolves to a histogram or hdr
+metric in the export must agree with it exactly — the .n cells sum to the
+metric's total count, and the largest .max cell over the non-empty windows
+equals the metric's exact max (the extrema keep raw values, so a fixed-bin
+histogram can no longer silently under-report its tail through clamped
+edge bins). Base names resolve directly or through SERIES_ALIASES (the
+runtime series column "runtime.latency_ms" exports the registry histogram
+"runtime.sample_latency_ms").
 """
 import csv
 import json
@@ -244,9 +254,17 @@ def check_metrics(samples, metrics):
                  f"{m['value']}")
 
 
+# Series column families whose registry metric is registered under a
+# different name. The runtime series predates the registry histogram and
+# kept its shorter column name for dashboard stability.
+SERIES_ALIASES = {"runtime.latency_ms": "runtime.sample_latency_ms"}
+
+
 def check_series(series_path, metrics):
     counters = {m["name"]: m["value"] for m in metrics.get("metrics", [])
                 if m.get("type") == "counter"}
+    tails = {m["name"]: m for m in metrics.get("metrics", [])
+             if m.get("type") in ("histogram", "hdr")}
     try:
         with open(series_path, "r", encoding="utf-8", newline="") as f:
             rows = list(csv.reader(f))
@@ -269,6 +287,38 @@ def check_series(series_path, metrics):
             fail(f"series column {name!r} sums to {total} across "
                  f"{len(rows) - 1} windows but the metrics export says "
                  f"{counters[name]}")
+        checked += 1
+    # Tail reconciliation: a histogram/hdr column family (<base>.n,
+    # <base>.max) must partition its registry metric — window counts sum to
+    # the total and the window maxima peak at the exact recorded max.
+    for col, name in enumerate(header):
+        if not name.endswith(".n"):
+            continue
+        base = name[:-len(".n")]
+        metric = tails.get(SERIES_ALIASES.get(base, base))
+        if metric is None or f"{base}.max" not in header:
+            continue
+        max_col = header.index(f"{base}.max")
+        total_n = 0
+        window_max = None
+        for r, row in enumerate(rows[1:], start=2):
+            try:
+                n = int(row[col])
+                mx = float(row[max_col])
+            except (IndexError, ValueError):
+                fail(f"{series_path}:{r}: column family {base!r} is not "
+                     "numeric")
+            total_n += n
+            if n > 0 and (window_max is None or mx > window_max):
+                window_max = mx
+        if total_n != metric["count"]:
+            fail(f"series column {name!r} sums to {total_n} windows-worth "
+                 f"of samples but metric {metric['name']!r} counted "
+                 f"{metric['count']}")
+        if total_n > 0 and window_max != metric["max"]:
+            fail(f"series column {base + '.max'!r} peaks at {window_max!r} "
+                 f"but metric {metric['name']!r} reports exact max "
+                 f"{metric['max']!r}")
         checked += 1
     # A vacuous pass (no shared columns) means someone renamed the columns;
     # that is a bug in its own right.

@@ -152,6 +152,8 @@ struct Job {
   double entry_t = 0.0;     // network-entry time (open-loop arrival)
   bool needs_cloud = false; // continues edge -> cloud after edge service
   bool local = false;       // device-tier exit, never touches a station
+  std::int64_t index = 0;   // arrival index — the exemplar sample index
+  std::uint64_t trace_id = 0;  // replayed trace's distributed trace id
 };
 
 /// Heap events, processed in (t, seq) order. seq is the schedule sequence
@@ -192,15 +194,33 @@ struct FleetSeries {
   int dead = -1;
   int shed = -1;
   int latency_ms = -1;
+  int hdr_latency_ms = -1;
   int queue_depth = -1;
+  std::vector<int> station_queue;  // per-station queue gauge, cloud last
 };
+
+/// Deterministic stand-in trace id for pools that predate trace ids: the
+/// same splitmix-style mix drive_hierarchy seeds span ids with, keyed by
+/// the arrival index — never by wall clock, so exports stay byte-identical.
+std::uint64_t minted_trace_id(std::int64_t index) {
+  return (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(index + 1)) &
+         ((1ull << 48) - 1);
+}
+
+/// Station metric name: fleet.station.edge<g> / fleet.station.cloud.
+std::string station_prefix(int station, int cloud_idx) {
+  return station == cloud_idx ? "fleet.station.cloud"
+                              : "fleet.station.edge" + std::to_string(station);
+}
 
 }  // namespace
 
 FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
                           const FleetConfig& config,
                           std::int64_t stream_length,
-                          obs::WindowedSeries* series) {
+                          obs::WindowedSeries* series,
+                          obs::MetricsRegistry* registry,
+                          obs::SloEngine* slo) {
   DDNN_CHECK(!traces.empty(), "fleet simulation needs at least one trace");
   DDNN_CHECK(stream_length > 0, "non-positive stream length");
   DDNN_CHECK(config.num_devices > 0, "fleet needs at least one device");
@@ -223,6 +243,12 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
     }
   }
 
+  // Latency tail buckets: millisecond values at microsecond resolution up
+  // to an hour — a few thousand log buckets, <= 1/128 relative error.
+  constexpr double kHdrUnitMs = 1e-3;
+  constexpr double kHdrMaxMs = 3.6e6;
+  const int cloud_idx = config.num_edges;
+
   FleetSeries fs;
   if (series != nullptr) {
     DDNN_CHECK(series->column_count() == 0,
@@ -237,17 +263,49 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
     fs.shed = series->add_counter("fleet.shed");
     series->add_rate("fleet.throughput_hz", fs.completed);
     fs.latency_ms = series->add_histogram("fleet.latency_ms");
+    fs.hdr_latency_ms =
+        series->add_hdr("fleet.hdr_latency_ms", kHdrUnitMs, kHdrMaxMs);
     fs.queue_depth = series->add_gauge("fleet.queue_depth");
+    for (int g = 0; g <= config.num_edges; ++g) {
+      fs.station_queue.push_back(
+          series->add_gauge(station_prefix(g, cloud_idx) + ".queue"));
+    }
   }
   const auto tick = [&fs](int col, double t, double v) {
     if (fs.series != nullptr) fs.series->record(col, t, v);
   };
 
+  // The tail histogram always runs (FleetStats reports p99/p99.9 and their
+  // exemplars even without a registry); a bound registry shares it so the
+  // same buckets land in the metrics export.
+  obs::HdrHistogram local_hdr(kHdrUnitMs, kHdrMaxMs);
+  obs::HdrHistogram& hdr =
+      registry != nullptr
+          ? registry->hdr_histogram("fleet.hdr_latency_ms", kHdrUnitMs,
+                                    kHdrMaxMs)
+          : local_hdr;
+
+  int slo_latency = -1;
+  int slo_availability = -1;
+  if (slo != nullptr) {
+    slo_latency = slo->add_objective(
+        {.name = "fleet.latency",
+         .tier = "fleet",
+         .target = config.slo_latency_target,
+         .fast_window = config.slo_fast_window_s,
+         .slow_window = config.slo_slow_window_s});
+    slo_availability = slo->add_objective(
+        {.name = "fleet.availability",
+         .tier = "fleet",
+         .target = config.slo_availability_target,
+         .fast_window = config.slo_fast_window_s,
+         .slow_window = config.slo_slow_window_s});
+  }
+
   FleetStats stats;
   stats.edges.resize(static_cast<std::size_t>(config.num_edges));
 
   // Stations 0..M-1 are edges, station M is the cloud.
-  const int cloud_idx = config.num_edges;
   std::vector<Station> stations(static_cast<std::size_t>(config.num_edges) +
                                 1);
   for (int g = 0; g < config.num_edges; ++g) {
@@ -355,13 +413,18 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
             traces[static_cast<std::size_t>(ev.index) % traces.size()];
         if (trace.exit_taken < 0) {
           // Dead trace: no tier classified it — it must never occupy a
-          // queueing server or contribute a latency sample.
+          // queueing server or contribute a latency sample. It does count
+          // against availability: the fleet failed to classify it.
           ++stats.dead;
           tick(fs.dead, now, 1.0);
+          if (slo != nullptr) slo->record(slo_availability, now, false);
           break;
         }
         Job job;
         job.entry_t = now;
+        job.index = ev.index;
+        job.trace_id = trace.trace_id != 0 ? trace.trace_id
+                                           : minted_trace_id(ev.index);
         if (trace.exit_taken == 0) {
           job.local = true;
           push({.t = now + trace.latency_s, .kind = Event::Kind::kDone,
@@ -411,6 +474,7 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
           ++st.stats.shed;
           ++stats.shed;
           tick(fs.shed, now, 1.0);
+          if (slo != nullptr) slo->record(slo_availability, now, false);
           break;
         }
         st.queue.push_back(ev.job);
@@ -419,11 +483,21 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
             st.stats.peak_queue, static_cast<std::int64_t>(st.queue.size()));
         dispatch(ev.station, now);
         tick(fs.queue_depth, now, static_cast<double>(queued_total));
+        if (!fs.station_queue.empty()) {
+          tick(fs.station_queue[static_cast<std::size_t>(ev.station)], now,
+               static_cast<double>(st.queue.size()));
+        }
         break;
       }
       case Event::Kind::kServerFree: {
         dispatch(ev.station, now);
         tick(fs.queue_depth, now, static_cast<double>(queued_total));
+        if (!fs.station_queue.empty()) {
+          tick(fs.station_queue[static_cast<std::size_t>(ev.station)], now,
+               static_cast<double>(
+                   stations[static_cast<std::size_t>(ev.station)]
+                       .queue.size()));
+        }
         break;
       }
       case Event::Kind::kDone: {
@@ -438,7 +512,17 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
           ++stats.escalated;
           tick(fs.escalated, now, 1.0);
         }
-        tick(fs.latency_ms, now, 1e3 * latency);
+        const double latency_ms = 1e3 * latency;
+        tick(fs.latency_ms, now, latency_ms);
+        hdr.record(latency_ms, ev.job.trace_id, ev.job.index);
+        if (fs.series != nullptr) {
+          fs.series->record(fs.hdr_latency_ms, now, latency_ms,
+                            ev.job.trace_id, ev.job.index);
+        }
+        if (slo != nullptr) {
+          slo->record(slo_latency, now, latency_ms <= config.slo_latency_ms);
+          slo->record(slo_availability, now, true);
+        }
         break;
       }
     }
@@ -446,6 +530,13 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
 
   fill_latency_stats(latencies, stats.mean_latency_s, stats.p50_latency_s,
                      stats.p95_latency_s, stats.max_latency_s);
+  if (hdr.count() > 0) {
+    stats.p99_latency_s = 1e-3 * hdr.percentile(0.99);
+    stats.p999_latency_s = 1e-3 * hdr.percentile(0.999);
+    stats.p99_exemplar = hdr.exemplar_at(0.99);
+    stats.p999_exemplar = hdr.exemplar_at(0.999);
+    stats.max_exemplar = hdr.max_exemplar();
+  }
   stats.horizon_s = horizon;
   stats.throughput_hz =
       horizon > 0.0 ? static_cast<double>(stats.completed) / horizon : 0.0;
@@ -459,6 +550,15 @@ FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
       stats.cloud = out;
     } else {
       stats.edges[static_cast<std::size_t>(g)] = out;
+    }
+    if (registry != nullptr) {
+      const std::string prefix = station_prefix(g, cloud_idx);
+      registry->counter(prefix + ".served").add(out.served);
+      registry->counter(prefix + ".batches").add(out.batches);
+      registry->counter(prefix + ".shed").add(out.shed);
+      registry->gauge(prefix + ".peak_queue")
+          .set(static_cast<double>(out.peak_queue));
+      registry->gauge(prefix + ".utilization").set(out.utilization);
     }
   }
   return stats;

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "dist/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -145,6 +147,16 @@ struct FleetConfig {
 
   EdgePolicy policy = EdgePolicy::kNearest;
   std::uint64_t seed = 1;
+
+  /// SLO configuration consumed when an obs::SloEngine is bound: a
+  /// completion is "good" for the latency objective when its end-to-end
+  /// latency is at or under `slo_latency_ms`; shed and dead samples are
+  /// "bad" for the availability objective. Windows are simulated seconds.
+  double slo_latency_ms = 100.0;
+  double slo_latency_target = 0.99;
+  double slo_availability_target = 0.999;
+  double slo_fast_window_s = 60.0;
+  double slo_slow_window_s = 600.0;
 };
 
 /// Per-station (edge or cloud) accounting.
@@ -170,6 +182,17 @@ struct FleetStats {
   double p50_latency_s = 0.0;
   double p95_latency_s = 0.0;
   double max_latency_s = 0.0;
+  /// Tail percentiles from the log-bucketed latency histogram (obs/hdr.hpp,
+  /// relative bucket error <= 1/128); max_latency_s above stays exact.
+  double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
+  /// Trace exemplars of the p99 / p99.9 / max latency buckets: the sample
+  /// index is the open-loop arrival index, the trace id the replayed
+  /// InferenceTrace's distributed trace id (0 when the trace pool predates
+  /// trace ids — then a seed-derived id stands in).
+  obs::HdrExemplar p99_exemplar;
+  obs::HdrExemplar p999_exemplar;
+  obs::HdrExemplar max_exemplar;
   std::vector<StationStats> edges;
   StationStats cloud;
 
@@ -183,12 +206,23 @@ struct FleetStats {
 /// replaying `traces` cyclically. When `series` is given it must be freshly
 /// constructed (no columns yet); the simulator registers fleet.* columns —
 /// arrivals/completed/local/escalated/dead/shed counters, a
-/// fleet.throughput_hz rate, a fleet.latency_ms histogram and a
-/// fleet.queue_depth gauge — and records every event at its simulated time,
-/// so exports are byte-identical across reruns and DDNN_THREADS settings.
+/// fleet.throughput_hz rate, a fleet.latency_ms histogram, a
+/// fleet.hdr_latency_ms tail column (.n/.p99/.p999/.max), per-station
+/// queue gauges and a fleet.queue_depth gauge — and records every event at
+/// its simulated time, so exports are byte-identical across reruns and
+/// DDNN_THREADS settings.
+///
+/// When `registry` is given the simulator additionally publishes a
+/// fleet.hdr_latency_ms HDR histogram (with trace exemplars) and
+/// fleet.station.* counters/gauges (served/batches/shed/peak_queue/
+/// utilization per station). When `slo` is given it registers (get-or-
+/// create) the fleet.latency and fleet.availability objectives from the
+/// config's slo_* fields and feeds them on the simulated clock.
 FleetStats simulate_fleet(const std::vector<InferenceTrace>& traces,
                           const FleetConfig& config,
                           std::int64_t stream_length,
-                          obs::WindowedSeries* series = nullptr);
+                          obs::WindowedSeries* series = nullptr,
+                          obs::MetricsRegistry* registry = nullptr,
+                          obs::SloEngine* slo = nullptr);
 
 }  // namespace ddnn::dist

@@ -146,6 +146,10 @@ void HierarchyRuntime::bind_metrics(obs::MetricsRegistry* registry) {
   bound_.total_latency_s = &registry->gauge("runtime.total_latency_s");
   bound_.latency_ms =
       &registry->histogram("runtime.sample_latency_ms", 0.0, 1000.0, 100);
+  // Tail companion to the fixed-bin histogram: microsecond resolution up to
+  // an hour of latency, with per-bucket trace exemplars.
+  bound_.hdr_latency_ms =
+      &registry->hdr_histogram("runtime.hdr_latency_ms", 1e-3, 3.6e6);
   bound_.sample_bytes =
       &registry->histogram("runtime.sample_bytes", 0.0, 1048576.0, 64);
   // Per-destination reliability breakdown. The link.<name>.bytes counters
@@ -193,6 +197,8 @@ void HierarchyRuntime::bind_series(obs::WindowedSeries* series) {
   }
   series->add_ratio("runtime.accuracy", series_.correct, series_.samples);
   series_.latency_ms = series->add_histogram("runtime.latency_ms");
+  series_.hdr_latency_ms =
+      series->add_hdr("runtime.hdr_latency_ms", 1e-3, 3.6e6);
   auto add_links = [&](const std::vector<Link>& links) {
     for (const auto& link : links) {
       series_.link_bytes[&link] =
@@ -320,6 +326,12 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
   const std::int64_t sidx = sample_index_++;
   const FaultInjector* inj = fault_injector();
   InferenceTrace trace;
+  // 48-bit trace id minted from the sample index alone (splitmix-style
+  // multiply) — never the wall clock, so any export carrying it stays
+  // byte-identical across reruns.
+  trace.trace_id =
+      (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(sidx + 1)) &
+      ((1ull << 48) - 1);
   int exit_index = 0;
   const int cloud_exit = cfg.num_exits() - 1;
 
@@ -371,6 +383,8 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
       }
       bound_.total_latency_s->set(metrics_.total_latency_s);
       bound_.latency_ms->record(trace.latency_s * 1e3);
+      bound_.hdr_latency_ms->record(trace.latency_s * 1e3, trace.trace_id,
+                                    sidx);
       bound_.sample_bytes->record(static_cast<double>(trace.bytes_sent));
     }
     if (series_.series) {
@@ -392,6 +406,8 @@ InferenceTrace HierarchyRuntime::classify(const data::MvmcSample& sample) {
                   1.0);
       }
       ws.record(series_.latency_ms, base, trace.latency_s * 1e3);
+      ws.record(series_.hdr_latency_ms, base, trace.latency_s * 1e3,
+                trace.trace_id, sidx);
     }
     return trace;
   };

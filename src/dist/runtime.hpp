@@ -74,6 +74,10 @@ struct InferenceTrace {
   bool degraded = false;         // took a graceful-degradation route
   bool dead = false;             // nothing reached any classifier
   int retries = 0;               // re-transmissions spent on this sample
+  /// Deterministic 48-bit distributed trace id, minted from the run seed
+  /// and sample index (never the wall clock) — the key histogram exemplars
+  /// carry so a p99.9 bucket resolves to this sample's span tree.
+  std::uint64_t trace_id = 0;
 };
 
 /// argmax + normalized entropy of a [1, C] score vector — the decision rule
@@ -270,6 +274,7 @@ class HierarchyRuntime {
     std::vector<obs::Counter*> exits;  // parallel to exit_names()
     obs::Gauge* total_latency_s = nullptr;
     obs::Histogram* latency_ms = nullptr;
+    obs::HdrHistogram* hdr_latency_ms = nullptr;
     obs::Histogram* sample_bytes = nullptr;
     /// Per-destination reliability counters (link.<name>.attempts/retries/
     /// timeouts/bytes), so `ddnn report` can break retries down by link on
@@ -298,6 +303,7 @@ class HierarchyRuntime {
     int dead = -1;
     std::vector<int> exits;       // parallel to exit_names()
     int latency_ms = -1;          // histogram
+    int hdr_latency_ms = -1;      // hdr tail column (.n/.p99/.p999/.max)
     std::map<const Link*, int> link_bytes;
   };
   BoundSeries series_;

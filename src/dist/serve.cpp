@@ -13,6 +13,7 @@
 
 #include "core/inference.hpp"
 #include "dist/node.hpp"
+#include "obs/slo.hpp"
 #include "infer/workspace.hpp"
 #include "util/error.hpp"
 
@@ -112,8 +113,12 @@ struct ServedConn {
   /// serve.connections gauge. Stats pollers observe the event loop and must
   /// not perturb what they measure.
   bool saw_data = false;
-  /// Out-queue depth gauge (serve.conn<N>.queued_bytes), N = accept order.
+  /// Out-queue depth gauge (serve.conn<N>.queued_bytes), N = connection
+  /// slot. Slots are pooled: a disconnecting peer returns its slot (gauge
+  /// zeroed), and the next accept reuses the lowest free one — reconnecting
+  /// peers do not mint unbounded registry entries.
   obs::Gauge* queued = nullptr;
+  int slot = -1;
 };
 
 /// Shared edge/cloud skeleton: listen (writing the bound port to the port
@@ -166,12 +171,12 @@ class FrameServer {
       const double handle_start = wall_s();
       bool activity = false;
       if (auto conn = listener_.accept(0.0)) {
-        ServedConn sc{std::move(conn), {}, false, nullptr};
+        ServedConn sc;
+        sc.conn = std::move(conn);
         if (opts_.metrics != nullptr) {
-          sc.queued = &opts_.metrics->gauge(
-              "serve.conn" + std::to_string(accepted_) + ".queued_bytes");
+          sc.slot = claim_slot();
+          sc.queued = slot_gauges_[static_cast<std::size_t>(sc.slot)];
         }
-        ++accepted_;
         conns_.push_back(std::move(sc));
         saw_conn = true;
         activity = true;
@@ -193,6 +198,10 @@ class FrameServer {
           if (opts_.blackhole) continue;  // read everything, answer nothing
           if (frame.kind == FrameKind::kStats) {
             answer_stats(sc, frame);
+            continue;
+          }
+          if (frame.kind == FrameKind::kHealth) {
+            answer_health(sc, frame);
             continue;
           }
           sc.saw_data = true;
@@ -220,6 +229,7 @@ class FrameServer {
                                   [&](const ServedConn& sc) {
                                     if (!sc.conn->closed()) return false;
                                     data_peer_left |= sc.saw_data;
+                                    release_slot(sc);
                                     return true;
                                   }),
                    conns_.end());
@@ -281,6 +291,27 @@ class FrameServer {
     sc.conn->queue(reply);
   }
 
+  /// SLO health poll: reply with the snapshot health document derived from
+  /// the frozen registry (obs::health_from_metrics) — serve roles have no
+  /// deterministic simulated clock, so health here is a registry snapshot,
+  /// not a burn-rate window. Side-effect-free like answer_stats: once the
+  /// driver finishes and the registry freezes, repeated polls return
+  /// byte-identical payloads.
+  void answer_health(ServedConn& sc, const Frame& frame) {
+    Frame reply;
+    reply.kind = FrameKind::kHealth;
+    reply.seq = frame.seq;
+    PayloadWriter w;
+    if (opts_.metrics != nullptr) {
+      w.str(obs::health_from_metrics(opts_.metrics->to_json(),
+                                     obs::SnapshotSloConfig{}));
+    } else {
+      w.str(std::string("{\n  \"signals\": [],\n  \"overall\": \"ok\"\n}\n"));
+    }
+    reply.payload = w.take();
+    sc.conn->queue(reply);
+  }
+
   /// Collect sample `s`'s pending messages into a branch-indexed vector and
   /// drop the stash (plus anything older — those samples were abandoned).
   std::vector<std::optional<Message>> take_sample(ServedConn& sc,
@@ -300,6 +331,32 @@ class FrameServer {
   }
 
  private:
+  /// Lowest free connection-slot gauge, minting serve.conn<slot>.queued_bytes
+  /// only the first time a slot index is ever used — the registry holds at
+  /// most peak-concurrent-connections slot gauges, however many times peers
+  /// reconnect.
+  int claim_slot() {
+    for (std::size_t s = 0; s < slot_free_.size(); ++s) {
+      if (slot_free_[s]) {
+        slot_free_[s] = false;
+        return static_cast<int>(s);
+      }
+    }
+    const int slot = static_cast<int>(slot_gauges_.size());
+    slot_gauges_.push_back(&opts_.metrics->gauge(
+        "serve.conn" + std::to_string(slot) + ".queued_bytes"));
+    slot_free_.push_back(false);
+    return slot;
+  }
+
+  /// Retire a departed connection's slot: zero the gauge (the queue is
+  /// gone) and return the slot to the pool.
+  void release_slot(const ServedConn& sc) {
+    if (sc.slot < 0) return;
+    sc.queued->set(0.0);
+    slot_free_[static_cast<std::size_t>(sc.slot)] = true;
+  }
+
   void update_gauges(double handle_start) {
     loop_lag_ms_->set((wall_s() - handle_start) * 1e3);
     std::int64_t open_data = 0;
@@ -318,7 +375,9 @@ class FrameServer {
   const ServeOptions& opts_;
   Listener listener_;
   std::vector<ServedConn> conns_;
-  int accepted_ = 0;
+  /// Connection-slot gauge pool: index = slot, minted lazily by claim_slot.
+  std::vector<obs::Gauge*> slot_gauges_;
+  std::vector<bool> slot_free_;
   obs::Counter* frames_in_ = nullptr;
   obs::Counter* bytes_in_ = nullptr;
   obs::Gauge* loop_lag_ms_ = nullptr;

@@ -77,6 +77,7 @@ bool known_frame_kind(std::uint8_t raw) {
     case FrameKind::kDecision:
     case FrameKind::kBye:
     case FrameKind::kStats:
+    case FrameKind::kHealth:
     case FrameKind::kClassScores:
     case FrameKind::kBinaryFeatureMap:
     case FrameKind::kRawImage:
@@ -116,6 +117,7 @@ const char* to_string(FrameKind kind) {
     case FrameKind::kDecision: return "decision";
     case FrameKind::kBye: return "bye";
     case FrameKind::kStats: return "stats";
+    case FrameKind::kHealth: return "health";
     case FrameKind::kClassScores: return "class-scores";
     case FrameKind::kBinaryFeatureMap: return "binary-features";
     case FrameKind::kRawImage: return "raw-image";

@@ -116,6 +116,7 @@ enum class FrameKind : std::uint8_t {
   kDecision = 4,  ///< exit decision for a sample (see DecisionPayload)
   kBye = 5,       ///< orderly shutdown
   kStats = 6,     ///< live telemetry poll; reply payload = metrics JSON
+  kHealth = 7,    ///< SLO health poll; reply payload = health JSON
 
   // Data plane: a Message plus routing metadata, payload =
   // [i64 sample][i32 branch][u64 trace_id][u64 parent_span]

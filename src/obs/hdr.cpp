@@ -1,0 +1,253 @@
+#include "obs/hdr.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ddnn::obs {
+
+int HdrHistogram::bucket_for_unit(std::int64_t u) {
+  if (u < 0) u = 0;
+  if (u < kSubBuckets) return static_cast<int>(u);
+  // Shift u down until it sits in [kSubBuckets, 2*kSubBuckets): k doublings
+  // past the linear range, each power of two split into kSubBuckets slots.
+  const int k =
+      std::bit_width(static_cast<std::uint64_t>(u)) - (std::bit_width(static_cast<std::uint64_t>(kSubBuckets)) - 1) - 1;
+  return kSubBuckets * k + static_cast<int>(u >> k);
+}
+
+std::int64_t HdrHistogram::bucket_upper_unit(int b) {
+  if (b < kSubBuckets) return b;
+  const int k = b / kSubBuckets - 1;
+  const std::int64_t m = b % kSubBuckets + kSubBuckets;
+  return ((m + 1) << k) - 1;
+}
+
+HdrHistogram::HdrHistogram(double unit, double max_value)
+    : unit_(unit), max_value_(max_value) {
+  DDNN_CHECK(unit > 0.0, "hdr histogram unit " << unit << " must be positive");
+  DDNN_CHECK(max_value > unit,
+             "hdr histogram range must exceed one unit (unit="
+                 << unit << ", max=" << max_value << ")");
+  max_unit_ = static_cast<std::int64_t>(max_value / unit);
+  buckets_ = bucket_for_unit(max_unit_) + 1;
+  shards_ = std::vector<std::atomic<Shard*>>(
+      static_cast<std::size_t>(kMetricShards));
+  for (auto& s : shards_) s.store(nullptr, std::memory_order_relaxed);
+}
+
+HdrHistogram::Shard& HdrHistogram::shard_for_thread() {
+  auto& slot = shards_[static_cast<std::size_t>(thread_shard())];
+  Shard* s = slot.load(std::memory_order_acquire);
+  if (s != nullptr) return *s;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  s = slot.load(std::memory_order_acquire);
+  if (s != nullptr) return *s;
+  auto fresh = std::make_unique<Shard>();
+  fresh->counts =
+      std::vector<std::atomic<std::int64_t>>(static_cast<std::size_t>(buckets_));
+  fresh->exemplars = std::vector<Exemplar>(static_cast<std::size_t>(buckets_));
+  for (auto& c : fresh->counts) c.store(0, std::memory_order_relaxed);
+  fresh->mn.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  fresh->mx.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  s = fresh.get();
+  owned_.push_back(std::move(fresh));
+  slot.store(s, std::memory_order_release);
+  return *s;
+}
+
+namespace {
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HdrHistogram::record(double v, std::uint64_t trace_id,
+                          std::int64_t sample_index) {
+  Shard& s = shard_for_thread();
+  auto u = static_cast<std::int64_t>(std::max(v, 0.0) / unit_);
+  if (u > max_unit_) {
+    u = max_unit_;
+    s.over.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto b = static_cast<std::size_t>(bucket_for_unit(u));
+  s.counts[b].fetch_add(1, std::memory_order_relaxed);
+  atomic_min(s.mn, v);
+  atomic_max(s.mx, v);
+  s.n.fetch_add(1, std::memory_order_relaxed);
+  if (sample_index >= 0) {
+    // Smallest-sample-index-wins: commutative, so shard merge order and
+    // recording interleaving cannot change which exemplar survives. The
+    // trace id follows a won CAS; concurrent recorders of the *same* sample
+    // index do not occur (sample indices are unique per run).
+    Exemplar& e = s.exemplars[b];
+    std::int64_t cur = e.sample.load(std::memory_order_relaxed);
+    while (cur < 0 || sample_index < cur) {
+      if (e.sample.compare_exchange_weak(cur, sample_index,
+                                         std::memory_order_relaxed)) {
+        e.trace.store(trace_id, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+std::int64_t HdrHistogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& slot : shards_) {
+    if (const Shard* s = slot.load(std::memory_order_acquire)) {
+      total += s->n.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t HdrHistogram::overflow() const {
+  std::int64_t total = 0;
+  for (const auto& slot : shards_) {
+    if (const Shard* s = slot.load(std::memory_order_acquire)) {
+      total += s->over.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double HdrHistogram::min() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& slot : shards_) {
+    if (const Shard* s = slot.load(std::memory_order_acquire)) {
+      m = std::min(m, s->mn.load(std::memory_order_relaxed));
+    }
+  }
+  return std::isinf(m) ? 0.0 : m;
+}
+
+double HdrHistogram::max() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (const auto& slot : shards_) {
+    if (const Shard* s = slot.load(std::memory_order_acquire)) {
+      m = std::max(m, s->mx.load(std::memory_order_relaxed));
+    }
+  }
+  return std::isinf(m) ? 0.0 : m;
+}
+
+std::int64_t HdrHistogram::merged_count(int b) const {
+  std::int64_t total = 0;
+  for (const auto& slot : shards_) {
+    if (const Shard* s = slot.load(std::memory_order_acquire)) {
+      total += s->counts[static_cast<std::size_t>(b)].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+HdrExemplar HdrHistogram::merged_exemplar(int b) const {
+  HdrExemplar best;
+  for (const auto& slot : shards_) {
+    const Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    const Exemplar& e = s->exemplars[static_cast<std::size_t>(b)];
+    const std::int64_t sample = e.sample.load(std::memory_order_relaxed);
+    if (sample >= 0 && (!best.valid() || sample < best.sample)) {
+      best.sample = sample;
+      best.trace_id = e.trace.load(std::memory_order_relaxed);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Rank walk shared by percentile() and exemplar_at(): the bucket index
+/// holding the nearest-rank sample, or -1 when empty.
+int rank_bucket(const std::vector<std::int64_t>& counts, double q) {
+  std::int64_t n = 0;
+  for (const std::int64_t c : counts) n += c;
+  if (n == 0) return -1;
+  const std::int64_t rank = nearest_rank(q, n);
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cum += counts[b];
+    if (cum >= rank) return static_cast<int>(b);
+  }
+  return static_cast<int>(counts.size()) - 1;
+}
+
+}  // namespace
+
+double HdrHistogram::percentile(double q) const {
+  DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(buckets_));
+  for (int b = 0; b < buckets_; ++b) {
+    counts[static_cast<std::size_t>(b)] = merged_count(b);
+  }
+  const int b = rank_bucket(counts, q);
+  if (b < 0) return 0.0;
+  // Upper edge of the bucket (the supremum of values it can hold), clamped
+  // to the exact recorded max so the top bucket reports a real value.
+  const double edge = static_cast<double>(bucket_upper_unit(b) + 1) * unit_;
+  return std::min(edge, max());
+}
+
+HdrExemplar HdrHistogram::exemplar_at(double q) const {
+  DDNN_CHECK(q > 0.0 && q <= 1.0, "percentile rank " << q << " not in (0, 1]");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(buckets_));
+  for (int b = 0; b < buckets_; ++b) {
+    counts[static_cast<std::size_t>(b)] = merged_count(b);
+  }
+  const int b = rank_bucket(counts, q);
+  return b < 0 ? HdrExemplar{} : merged_exemplar(b);
+}
+
+int HdrHistogram::top_occupied_bucket() const {
+  for (int b = buckets_ - 1; b >= 0; --b) {
+    if (merged_count(b) > 0) return b;
+  }
+  return -1;
+}
+
+HdrExemplar HdrHistogram::max_exemplar() const {
+  const int b = top_occupied_bucket();
+  return b < 0 ? HdrExemplar{} : merged_exemplar(b);
+}
+
+void HdrHistogram::reset() {
+  for (auto& slot : shards_) {
+    Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    for (auto& e : s->exemplars) {
+      e.sample.store(-1, std::memory_order_relaxed);
+      e.trace.store(0, std::memory_order_relaxed);
+    }
+    s->mn.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s->mx.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s->n.store(0, std::memory_order_relaxed);
+    s->over.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ddnn::obs

@@ -1,0 +1,126 @@
+// HdrHistogram: log-bucketed value-range histogram with bounded relative
+// error, exact extrema, and per-bucket trace exemplars.
+//
+// Values are quantized to integer units (u = floor(v / unit)) and binned
+// into a log-linear layout: the first 128 buckets are exact (one unit
+// each), after which every power of two is split into 128 sub-buckets. A
+// bucket therefore never spans more than 1/128 (~0.78%) of the values it
+// holds, so any percentile read from a bucket's upper edge is within 1% of
+// the true sample percentile — across the whole range up to `max_value`
+// (hours of latency at millisecond units) with a few thousand buckets, not
+// the millions a fixed-bin histogram would need.
+//
+// Determinism contract (docs/ARCHITECTURE.md "Observability"): recording is
+// sharded per thread exactly like obs::Counter/Histogram; bucket counts sum
+// associatively, extrema are commutative max/min, and the per-bucket
+// exemplar is merged by *smallest sample index* — an order-independent rule,
+// so reads never depend on DDNN_THREADS or recording interleaving. The
+// exact recorded max is tracked alongside the buckets, so `max()` (and any
+// percentile that resolves to the top occupied bucket) reports a real
+// recorded value, never a bucket edge.
+//
+// Trace exemplars: record(v, trace_id, sample_index) retains, per bucket,
+// the (trace_id, sample_index) pair with the smallest sample index — the
+// first sample to land there under any serial recording order. Reading a
+// percentile can then name the concrete sample (and its span tree in the
+// trace export) that produced it: "p99.9 = 412 ms, e.g. sample 31415".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ddnn::obs {
+
+/// One retained sample reference: `sample` is the sample index (-1 = none),
+/// `trace_id` a 48-bit distributed trace id (round-trips through JSON
+/// doubles).
+struct HdrExemplar {
+  std::int64_t sample = -1;
+  std::uint64_t trace_id = 0;
+  bool valid() const { return sample >= 0; }
+};
+
+class HdrHistogram {
+ public:
+  /// Sub-buckets per power of two: bounds the relative bucket error at
+  /// 1/128 (~0.78%), under the documented 1% budget.
+  static constexpr int kSubBuckets = 128;
+
+  /// `unit`: value per integer count (the resolution floor, e.g. 1e-3 for
+  /// microsecond-resolution millisecond values). `max_value`: largest value
+  /// the buckets cover; larger recordings clamp into the top bucket (and
+  /// are counted in overflow()) but still update the exact max.
+  HdrHistogram(double unit, double max_value);
+
+  void record(double v) { record(v, 0, -1); }
+  /// Record with a trace exemplar. Exemplars follow the smallest-sample-
+  /// index rule, so pass the deterministic per-run sample index.
+  void record(double v, std::uint64_t trace_id, std::int64_t sample_index);
+
+  std::int64_t count() const;
+  std::int64_t overflow() const;  ///< recordings clamped into the top bucket
+  double min() const;             ///< exact smallest recorded value (0 empty)
+  double max() const;             ///< exact largest recorded value (0 empty)
+
+  /// Nearest-rank percentile at bucket granularity: the upper edge of the
+  /// bucket holding the rank-q sample, clamped to the exact recorded max.
+  /// Relative error vs the true sample percentile is <= 1/kSubBuckets.
+  /// q in (0, 1]; returns 0 when empty.
+  double percentile(double q) const;
+
+  /// Exemplar of the bucket percentile(q) resolves to (invalid when empty
+  /// or when no exemplar was ever recorded there).
+  HdrExemplar exemplar_at(double q) const;
+  /// Exemplar of the top occupied bucket — the recorded max's bucket.
+  HdrExemplar max_exemplar() const;
+
+  double unit() const { return unit_; }
+  double max_value() const { return max_value_; }
+  int buckets() const { return buckets_; }
+  /// Documented bound on the relative bucket error of percentile().
+  static constexpr double relative_error_bound() {
+    return 1.0 / kSubBuckets;
+  }
+
+  /// Bucket layout math, shared with tests: bucket index of an integer
+  /// unit count, and a bucket's inclusive upper edge in units.
+  static int bucket_for_unit(std::int64_t u);
+  static std::int64_t bucket_upper_unit(int b);
+
+  void reset();
+
+ private:
+  struct Exemplar {
+    std::atomic<std::int64_t> sample{-1};
+    std::atomic<std::uint64_t> trace{0};
+  };
+  struct Shard {
+    std::vector<std::atomic<std::int64_t>> counts;
+    std::vector<Exemplar> exemplars;
+    std::atomic<double> mn;
+    std::atomic<double> mx;
+    std::atomic<std::int64_t> n{0};
+    std::atomic<std::int64_t> over{0};
+  };
+
+  Shard& shard_for_thread();
+  std::int64_t merged_count(int b) const;
+  HdrExemplar merged_exemplar(int b) const;
+  int top_occupied_bucket() const;  // -1 when empty
+
+  double unit_;
+  double max_value_;
+  std::int64_t max_unit_;
+  int buckets_;
+  /// Shards allocate lazily on first record from a shard slot, so a
+  /// single-writer histogram (the common case: simulator event loops)
+  /// costs one shard, not kMetricShards.
+  std::vector<std::atomic<Shard*>> shards_;
+  std::vector<std::unique_ptr<Shard>> owned_;
+  std::mutex alloc_mu_;
+};
+
+}  // namespace ddnn::obs

@@ -93,6 +93,8 @@ int Histogram::bin_index(double v) const {
 void Histogram::record(double v) {
   Shard& s = *shards_[static_cast<std::size_t>(thread_shard())];
   const auto b = static_cast<std::size_t>(bin_index(v));
+  if (v < lo_) s.under.fetch_add(1, std::memory_order_relaxed);
+  if (v >= hi_) s.over.fetch_add(1, std::memory_order_relaxed);
   s.counts[b].fetch_add(1, std::memory_order_relaxed);
   atomic_max(s.bin_max[b], v);
   atomic_min(s.mn, v);
@@ -103,6 +105,22 @@ void Histogram::record(double v) {
 std::int64_t Histogram::count() const {
   std::int64_t total = 0;
   for (const auto& s : shards_) total += s->n.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Histogram::underflow() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->under.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::int64_t Histogram::overflow() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->over.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
@@ -167,6 +185,8 @@ void Histogram::reset() {
     s->mx.store(-std::numeric_limits<double>::infinity(),
                 std::memory_order_relaxed);
     s->n.store(0, std::memory_order_relaxed);
+    s->under.store(0, std::memory_order_relaxed);
+    s->over.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -209,12 +229,20 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return *e.histogram;
 }
 
+HdrHistogram& MetricsRegistry::hdr_histogram(const std::string& name,
+                                             double unit, double max_value) {
+  Entry& e = find_or_create(name, Kind::kHdrHistogram);
+  if (!e.hdr) e.hdr = std::make_unique<HdrHistogram>(unit, max_value);
+  return *e.hdr;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& e : entries_) {
     if (e->counter) e->counter->reset();
     if (e->gauge) e->gauge->reset();
     if (e->histogram) e->histogram->reset();
+    if (e->hdr) e->hdr->reset();
   }
 }
 
@@ -258,6 +286,8 @@ std::string MetricsRegistry::to_json() const {
         } else {
           os << ", \"p50\": 0, \"p90\": 0, \"p99\": 0";
         }
+        os << ", \"underflow\": " << h.underflow()
+           << ", \"overflow\": " << h.overflow();
         os << ", \"bins\": [";
         const auto counts = h.bin_counts();
         for (std::size_t b = 0; b < counts.size(); ++b) {
@@ -265,6 +295,32 @@ std::string MetricsRegistry::to_json() const {
           os << counts[b];
         }
         os << "]";
+        break;
+      }
+      case Kind::kHdrHistogram: {
+        const HdrHistogram& h = *e.hdr;
+        os << "\"type\": \"hdr\", \"count\": " << h.count()
+           << ", \"overflow\": " << h.overflow()
+           << ", \"rel_err\": " << fmt_double(HdrHistogram::relative_error_bound())
+           << ", \"min\": " << fmt_double(h.min())
+           << ", \"max\": " << fmt_double(h.max());
+        if (h.count() > 0) {
+          os << ", \"p50\": " << fmt_double(h.percentile(0.50))
+             << ", \"p90\": " << fmt_double(h.percentile(0.90))
+             << ", \"p99\": " << fmt_double(h.percentile(0.99))
+             << ", \"p999\": " << fmt_double(h.percentile(0.999));
+        } else {
+          os << ", \"p50\": 0, \"p90\": 0, \"p99\": 0, \"p999\": 0";
+        }
+        const HdrExemplar p99 = h.exemplar_at(0.99);
+        const HdrExemplar p999 = h.exemplar_at(0.999);
+        const HdrExemplar mx = h.max_exemplar();
+        os << ", \"p99_sample\": " << p99.sample
+           << ", \"p99_trace_id\": " << p99.trace_id
+           << ", \"p999_sample\": " << p999.sample
+           << ", \"p999_trace_id\": " << p999.trace_id
+           << ", \"max_sample\": " << mx.sample
+           << ", \"max_trace_id\": " << mx.trace_id;
         break;
       }
     }
@@ -303,6 +359,21 @@ Table MetricsRegistry::to_table() const {
             << " max=" << Table::num(h.max(), 3);
         }
         table.add_row({e->name, "histogram", v.str()});
+        break;
+      }
+      case Kind::kHdrHistogram: {
+        const HdrHistogram& h = *e->hdr;
+        std::ostringstream v;
+        v << "n=" << h.count();
+        if (h.count() > 0) {
+          v << " p50=" << Table::num(h.percentile(0.50), 3)
+            << " p99=" << Table::num(h.percentile(0.99), 3)
+            << " p99.9=" << Table::num(h.percentile(0.999), 3)
+            << " max=" << Table::num(h.max(), 3);
+          const HdrExemplar ex = h.exemplar_at(0.999);
+          if (ex.valid()) v << " ex=#" << ex.sample;
+        }
+        table.add_row({e->name, "hdr", v.str()});
         break;
       }
     }

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/hdr.hpp"
 #include "util/table.hpp"
 
 namespace ddnn::obs {
@@ -76,6 +77,12 @@ class Histogram {
   std::int64_t count() const;
   double min() const;  ///< smallest recorded value (0 when empty)
   double max() const;  ///< largest recorded value (0 when empty)
+  /// Recordings below lo / at-or-above hi. They are clamped into the edge
+  /// bins for the counts, so binned percentiles saturate there — but min()/
+  /// max() stay exact, and these counters make the clamping visible in the
+  /// export instead of silently misreporting the tail.
+  std::int64_t underflow() const;
+  std::int64_t overflow() const;
 
   /// Nearest-rank percentile at bin granularity: with n samples and rank
   /// r = max(1, ceil(q * n)), returns the largest recorded value in the bin
@@ -107,6 +114,8 @@ class Histogram {
     std::atomic<double> mn;
     std::atomic<double> mx;
     std::atomic<std::int64_t> n{0};
+    std::atomic<std::int64_t> under{0};
+    std::atomic<std::int64_t> over{0};
   };
   std::vector<std::unique_ptr<Shard>> shards_;
 };
@@ -125,6 +134,10 @@ class MetricsRegistry {
   /// Re-requesting an existing histogram ignores lo/hi/bins.
   Histogram& histogram(const std::string& name, double lo, double hi,
                        int bins);
+  /// Log-bucketed histogram with trace exemplars (obs/hdr.hpp).
+  /// Re-requesting an existing one ignores unit/max_value.
+  HdrHistogram& hdr_histogram(const std::string& name, double unit,
+                              double max_value);
 
   /// Zero every metric; registrations (and registration order) survive.
   void reset();
@@ -143,13 +156,14 @@ class MetricsRegistry {
   Table to_table() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kHdrHistogram };
   struct Entry {
     std::string name;
     Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<HdrHistogram> hdr;
   };
 
   Entry& find_or_create(const std::string& name, Kind kind);

@@ -363,8 +363,11 @@ std::string render_series_csv(const std::string& label, const CsvFile& csv) {
       {"Per-link bytes per window", "link.", ".bytes"},
       {"Fleet throughput (Hz)", "fleet.throughput_hz", ""},
       {"Fleet latency percentiles (ms)", "fleet.latency_ms.p", ""},
+      {"Fleet HDR latency tail (ms)", "fleet.hdr_latency_ms.p", ""},
+      {"Runtime HDR latency tail (ms)", "runtime.hdr_latency_ms.p", ""},
       {"Fleet outcomes per window", "fleet.completed", ""},
       {"Fleet queue depth", "fleet.queue_depth", ""},
+      {"Per-station queue depth", "fleet.station.", ".queue"},
       {"Training loss", "train.loss", ""},
       {"Per-exit accuracy by epoch", "train.exit_acc.", ""},
       {"Exit fractions by epoch", "train.exit_frac.", ""},
@@ -619,6 +622,58 @@ std::string render_report_html(const ReportOptions& options) {
         if (key.rfind("runtime.mem_peak.", 0) != 0) continue;
         os << "<tr><td>" << html_escape(key.substr(17)) << "</td><td>"
            << fmt_short(value) << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+  }
+
+  // ------------------------------------------------------------ SLO health
+  // Burn-rate SLO status (fleet.slo.*) of the newest run that recorded it:
+  // per-objective good-event ratio, fast/slow burn rates and the resulting
+  // health state from the multi-window alert rule (see obs/slo.hpp).
+  {
+    const LedgerRecord* newest = nullptr;
+    for (const auto& rec : ledger) {
+      for (const auto& [key, value] : rec.metrics) {
+        if (key.rfind("fleet.slo.", 0) == 0) {
+          newest = &rec;
+          break;
+        }
+      }
+    }
+    if (newest != nullptr) {
+      // Collect per-objective rows: fleet.slo.<objective>.<field>.
+      std::map<std::string, std::map<std::string, double>> objectives;
+      for (const auto& [key, value] : newest->metrics) {
+        if (key.rfind("fleet.slo.", 0) != 0) continue;
+        const std::string rest = key.substr(10);
+        const auto dot = rest.rfind('.');
+        if (dot == std::string::npos) continue;
+        objectives[rest.substr(0, dot)][rest.substr(dot + 1)] = value;
+      }
+      const auto state_name = [](double s) {
+        if (s >= 2.0) return "critical";
+        if (s >= 1.0) return "warn";
+        return "ok";
+      };
+      os << "<h2>SLO &amp; health</h2>\n"
+         << "<p class=\"note\">burn-rate SLO status (latest <code>"
+         << html_escape(newest->command)
+         << "</code> run): burn &gt;= 1 spends error budget faster than "
+            "the objective allows; an alert needs both the fast and the "
+            "slow window burning</p>\n"
+         << "<table>\n<tr><th>objective</th><th>good ratio</th>"
+            "<th>fast burn</th><th>slow burn</th><th>state</th></tr>\n";
+      for (const auto& [name, fields] : objectives) {
+        const auto field = [&](const char* k, double fallback) {
+          const auto it = fields.find(k);
+          return it == fields.end() ? fallback : it->second;
+        };
+        os << "<tr><td>" << html_escape(name) << "</td><td>"
+           << fmt_short(field("ratio", 0.0)) << "</td><td>"
+           << fmt_short(field("fast_burn", 0.0)) << "</td><td>"
+           << fmt_short(field("slow_burn", 0.0)) << "</td><td>"
+           << state_name(field("state", 0.0)) << "</td></tr>\n";
       }
       os << "</table>\n";
     }

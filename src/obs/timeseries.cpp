@@ -87,6 +87,14 @@ int WindowedSeries::add_rate(const std::string& name, int counter) {
   return col;
 }
 
+int WindowedSeries::add_hdr(const std::string& name, double unit,
+                            double max_value) {
+  const int col = add_column(name, Kind::kHdr);
+  columns_[static_cast<std::size_t>(col)].hdr =
+      std::make_unique<HdrHistogram>(unit, max_value);
+  return col;
+}
+
 void WindowedSeries::flush_window() {
   for (auto& c : columns_) {
     switch (c.kind) {
@@ -105,6 +113,14 @@ void WindowedSeries::flush_window() {
       case Kind::kRate:
         c.flushed.push_back(0.0);  // derived at export
         break;
+      case Kind::kHdr: {
+        const double n = static_cast<double>(c.hdr->count());
+        c.flushed_hdr.push_back(
+            {n, n > 0 ? c.hdr->percentile(0.99) : 0.0,
+             n > 0 ? c.hdr->percentile(0.999) : 0.0, c.hdr->max()});
+        c.hdr->reset();
+        break;
+      }
     }
   }
   ++flushed_windows_;
@@ -113,6 +129,12 @@ void WindowedSeries::flush_window() {
 }
 
 void WindowedSeries::record(int col, double t, double value) {
+  record(col, t, value, 0, -1);
+}
+
+void WindowedSeries::record(int col, double t, double value,
+                            std::uint64_t trace_id,
+                            std::int64_t sample_index) {
   DDNN_CHECK(col >= 0 && col < static_cast<int>(columns_.size()),
              "record into unknown series column " << col);
   DDNN_CHECK(t >= 0.0, "series clock " << t << " is negative");
@@ -125,6 +147,10 @@ void WindowedSeries::record(int col, double t, double value) {
   Column& c = columns_[static_cast<std::size_t>(col)];
   switch (c.kind) {
     case Kind::kCounter:
+      DDNN_CHECK(value >= 0.0,
+                 "counter column '" << c.name << "' recorded negative delta "
+                                    << value
+                                    << " (counter resets must not wrap)");
       c.sum += value;
       break;
     case Kind::kGauge:
@@ -133,6 +159,9 @@ void WindowedSeries::record(int col, double t, double value) {
       break;
     case Kind::kHistogram:
       c.values.push_back(value);
+      break;
+    case Kind::kHdr:
+      c.hdr->record(value, trace_id, sample_index);
       break;
     case Kind::kRatio:
     case Kind::kRate:
@@ -155,6 +184,11 @@ std::vector<std::string> WindowedSeries::header() const {
       out.push_back(c.name + ".n");
       out.push_back(c.name + ".p50");
       out.push_back(c.name + ".p95");
+      out.push_back(c.name + ".max");
+    } else if (c.kind == Kind::kHdr) {
+      out.push_back(c.name + ".n");
+      out.push_back(c.name + ".p99");
+      out.push_back(c.name + ".p999");
       out.push_back(c.name + ".max");
     } else {
       out.push_back(c.name);
@@ -198,6 +232,19 @@ void WindowedSeries::append_cells(std::vector<double>& out, const Column& c,
       const Column& num = columns_[static_cast<std::size_t>(c.num)];
       const double n = live ? num.sum : num.flushed[w];
       out.push_back(n / width_);
+      break;
+    }
+    case Kind::kHdr: {
+      if (live) {
+        const double n = static_cast<double>(c.hdr->count());
+        out.push_back(n);
+        out.push_back(n > 0 ? c.hdr->percentile(0.99) : 0.0);
+        out.push_back(n > 0 ? c.hdr->percentile(0.999) : 0.0);
+        out.push_back(c.hdr->max());
+      } else {
+        const auto& s = c.flushed_hdr[w];
+        out.insert(out.end(), {s[0], s[1], s[2], s[3]});
+      }
       break;
     }
   }

@@ -12,7 +12,11 @@
 //   * ratio     — derived at export: counter delta / counter delta of the
 //                 same window (0 when the denominator is 0);
 //   * rate      — derived at export: counter delta / window width, i.e. the
-//                 column in clock units per second (a throughput curve).
+//                 column in clock units per second (a throughput curve);
+//   * hdr       — per-window log-bucketed histogram (obs/hdr.hpp), exported
+//                 as <name>.n / .p99 / .p999 / .max: tail percentiles with
+//                 bounded (≤1/128) relative bucket error and the exact
+//                 window max, without retaining the window's raw values.
 //
 // Determinism contract (docs/ARCHITECTURE.md "Observability"): recording is
 // single-writer — the runtime's classify() loop and the trainer's epoch
@@ -28,9 +32,13 @@
 // outage window shows up as a flat-lined row, not a gap in the axis.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/hdr.hpp"
 
 namespace ddnn::obs {
 
@@ -53,11 +61,19 @@ class WindowedSeries {
   /// counter's rate in events per clock unit. `counter` must name a
   /// counter column.
   int add_rate(const std::string& name, int counter);
+  /// Log-bucketed tail column (obs/hdr.hpp layout): exports .n/.p99/.p999/
+  /// .max per window. `unit`/`max_value` as in HdrHistogram.
+  int add_hdr(const std::string& name, double unit, double max_value);
 
   /// Record `value` into column `col` at clock `t`. `t` must be >= 0 and
   /// must not precede the current window (the clocks we key on are
-  /// monotone).
+  /// monotone). Counter columns reject negative values: a counter reset
+  /// must not wrap a window delta negative.
   void record(int col, double t, double value);
+  /// Record into an hdr column with a trace exemplar (first-per-window by
+  /// smallest sample index). Other column kinds ignore the exemplar.
+  void record(int col, double t, double value, std::uint64_t trace_id,
+              std::int64_t sample_index);
 
   double width() const { return width_; }
   const std::string& axis() const { return axis_; }
@@ -80,7 +96,7 @@ class WindowedSeries {
   void write(const std::string& path) const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kRatio, kRate };
+  enum class Kind { kCounter, kGauge, kHistogram, kRatio, kRate, kHdr };
   struct Column {
     std::string name;
     Kind kind;
@@ -91,11 +107,14 @@ class WindowedSeries {
     double last = 0.0;           // gauge (carried across windows)
     bool has_last = false;       // gauge ever set
     std::vector<double> values;  // histogram, this window only
+    std::unique_ptr<HdrHistogram> hdr;  // hdr, reset at each window flush
     // Flushed per-window aggregates, parallel to rows_ windows. Counters
     // store the window delta, gauges the carried last value, histograms
-    // their per-window raw values (kept for the percentile columns).
+    // their per-window raw values (kept for the percentile columns), hdr
+    // columns their {n, p99, p999, max} summary.
     std::vector<double> flushed;
     std::vector<std::vector<double>> flushed_values;
+    std::vector<std::array<double, 4>> flushed_hdr;
   };
 
   int add_column(const std::string& name, Kind kind);

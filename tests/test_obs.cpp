@@ -18,8 +18,10 @@
 #include "data/mvmc.hpp"
 #include "dist/queueing.hpp"
 #include "dist/runtime.hpp"
+#include "obs/hdr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
@@ -410,7 +412,234 @@ TEST(Profile, TrainerPhasesAndMetricsSink) {
   profile_reset();
 }
 
+// -------------------------------------------------------------- HDR buckets
+
+TEST(HdrHistogram, BucketLayoutRoundTripsAndBoundsRelativeError) {
+  // Every unit value must land in a bucket whose upper edge is >= the value
+  // and within the documented relative error bound (1/128) above it.
+  for (const std::int64_t u :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{127}, std::int64_t{128},
+        std::int64_t{129}, std::int64_t{255}, std::int64_t{256},
+        std::int64_t{1000}, std::int64_t{65535}, std::int64_t{1 << 20},
+        std::int64_t{(1ll << 40) + 12345}}) {
+    const int b = HdrHistogram::bucket_for_unit(u);
+    const std::int64_t upper = HdrHistogram::bucket_upper_unit(b);
+    EXPECT_GE(upper, u) << u;
+    EXPECT_LE(static_cast<double>(upper - u),
+              std::max(1.0, static_cast<double>(u) *
+                                HdrHistogram::relative_error_bound()))
+        << u;
+    if (b > 0) {
+      // The bucket below must end strictly under u (buckets partition).
+      EXPECT_LT(HdrHistogram::bucket_upper_unit(b - 1), u) << u;
+    }
+  }
+  // Bucket indices are monotone in the value.
+  int prev = -1;
+  for (std::int64_t u = 0; u < 100000; u += 7) {
+    const int b = HdrHistogram::bucket_for_unit(u);
+    EXPECT_GE(b, prev) << u;
+    prev = b;
+  }
+}
+
+TEST(HdrHistogram, PercentilesWithinRelativeErrorBoundAndMaxIsExact) {
+  HdrHistogram h(1e-3, 3.6e6);  // microsecond resolution up to an hour, in ms
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-ish tail: mostly fast, a sprinkle of 100x outliers.
+    const double v = rng.uniform() < 0.99 ? rng.uniform(0.5, 20.0)
+                                          : rng.uniform(100.0, 2000.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.count(), 20000);
+  EXPECT_EQ(h.max(), values.back());  // exact, not a bucket edge
+  EXPECT_EQ(h.min(), values.front());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = dist::percentile_nearest_rank(values, q);
+    const double est = h.percentile(q);
+    EXPECT_GE(est, exact) << q;  // bucket upper edge never understates
+    EXPECT_LE(est,
+              exact * (1.0 + HdrHistogram::relative_error_bound()) + 2e-3)
+        << q;
+  }
+  EXPECT_EQ(h.percentile(1.0), values.back());
+}
+
+TEST(HdrHistogram, OverflowCountsAndKeepsExactMax) {
+  HdrHistogram h(1.0, 1000.0);
+  h.record(5.0);
+  h.record(5000.0);  // beyond max_value: clamped into the top bucket
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.max(), 5000.0);  // extrema keep the raw value
+}
+
+TEST(HdrHistogram, ExemplarSmallestSampleIndexWins) {
+  HdrHistogram h(1.0, 1000.0);
+  // Three samples in the same bucket, recorded out of index order: the
+  // exemplar must deterministically resolve to the smallest sample index
+  // regardless of arrival order (the thread-race tiebreak rule).
+  h.record(500.0, /*trace_id=*/70005, /*sample_index=*/5);
+  h.record(500.0, /*trace_id=*/70002, /*sample_index=*/2);
+  h.record(500.0, /*trace_id=*/70009, /*sample_index=*/9);
+  const HdrExemplar ex = h.exemplar_at(0.99);
+  ASSERT_TRUE(ex.valid());
+  EXPECT_EQ(ex.sample, 2);
+  EXPECT_EQ(ex.trace_id, 70002u);
+  const HdrExemplar mx = h.max_exemplar();
+  ASSERT_TRUE(mx.valid());
+  EXPECT_EQ(mx.sample, 2);
+}
+
+TEST(HdrHistogram, MergesExactlyAcrossPoolWorkers) {
+  // Same multiset recorded concurrently and serially must agree on every
+  // export: counts merge exactly and the exemplar tiebreak is by index.
+  HdrHistogram par(1e-3, 3.6e6);
+  parallel_for(0, 20000, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double v = 0.5 + static_cast<double>(i % 997);
+      par.record(v, static_cast<std::uint64_t>(i + 1), i);
+    }
+  });
+  HdrHistogram ser(1e-3, 3.6e6);
+  for (std::int64_t i = 0; i < 20000; ++i) {
+    const double v = 0.5 + static_cast<double>(i % 997);
+    ser.record(v, static_cast<std::uint64_t>(i + 1), i);
+  }
+  EXPECT_EQ(par.count(), ser.count());
+  EXPECT_EQ(par.max(), ser.max());
+  EXPECT_EQ(par.min(), ser.min());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(par.percentile(q), ser.percentile(q)) << q;
+    EXPECT_EQ(par.exemplar_at(q).sample, ser.exemplar_at(q).sample) << q;
+    EXPECT_EQ(par.exemplar_at(q).trace_id, ser.exemplar_at(q).trace_id) << q;
+  }
+}
+
+TEST(MetricsRegistry, HdrJsonCarriesExemplarsAndIsByteStable) {
+  MetricsRegistry reg;
+  HdrHistogram& h = reg.hdr_histogram("runtime.hdr_latency_ms", 1e-3, 3.6e6);
+  for (int i = 0; i < 100; ++i) {
+    h.record(1.0 + i, static_cast<std::uint64_t>(1000 + i), i);
+  }
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"type\": \"hdr\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_trace_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"rel_err\""), std::string::npos);
+  EXPECT_EQ(json, reg.to_json());  // frozen registry: byte-identical polls
+}
+
+// -------------------------------------------------------------- SLO engine
+
+TEST(SloEngine, BurnRateIsBudgetSpendMultiple) {
+  SloEngine slo;
+  const int id = slo.add_objective(
+      {.name = "t.latency", .tier = "t", .target = 0.5});
+  // Alternate good/bad for 10 simulated minutes: bad fraction 0.5 spends a
+  // 0.5 error budget at exactly 1x in both windows -> warn, not critical.
+  for (int t = 0; t < 600; ++t) slo.record(id, t, t % 2 == 0);
+  const auto statuses = slo.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_NEAR(statuses[0].fast_burn, 1.0, 1e-9);
+  EXPECT_NEAR(statuses[0].slow_burn, 1.0, 1e-9);
+  EXPECT_EQ(statuses[0].state, HealthState::kWarn);
+  EXPECT_EQ(slo.overall(), HealthState::kWarn);
+}
+
+TEST(SloEngine, AlertNeedsBothWindowsBurning) {
+  SloEngine slo;
+  const int id = slo.add_objective(
+      {.name = "t.latency", .tier = "t", .target = 0.5});
+  // 9 good minutes then 1 all-bad minute: the fast window burns at 2x but
+  // the slow window sits at 0.2x -> the multi-window rule keeps it ok.
+  for (int t = 0; t < 540; ++t) slo.record(id, t, true);
+  for (int t = 540; t < 600; ++t) slo.record(id, t, false);
+  auto statuses = slo.evaluate();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_NEAR(statuses[0].fast_burn, 2.0, 1e-9);
+  EXPECT_NEAR(statuses[0].slow_burn, 0.2, 1e-9);
+  EXPECT_EQ(statuses[0].state, HealthState::kOk);
+
+  // Sustained all-bad burns both windows at 2x -> critical.
+  SloEngine bad;
+  const int id2 = bad.add_objective(
+      {.name = "t.latency", .tier = "t", .target = 0.5});
+  for (int t = 0; t < 600; ++t) bad.record(id2, t, false);
+  statuses = bad.evaluate();
+  EXPECT_NEAR(statuses[0].fast_burn, 2.0, 1e-9);
+  EXPECT_NEAR(statuses[0].slow_burn, 2.0, 1e-9);
+  EXPECT_EQ(statuses[0].state, HealthState::kCritical);
+}
+
+TEST(SloEngine, TierHealthIsWorstObjectiveAndJsonIsByteStable) {
+  SloEngine slo;
+  const int ok_id = slo.add_objective(
+      {.name = "edge.latency", .tier = "edge", .target = 0.5});
+  const int bad_id = slo.add_objective(
+      {.name = "edge.availability", .tier = "edge", .target = 0.5});
+  const int cloud_id = slo.add_objective(
+      {.name = "cloud.latency", .tier = "cloud", .target = 0.5});
+  for (int t = 0; t < 600; ++t) {
+    slo.record(ok_id, t, true);
+    slo.record(bad_id, t, false);
+    slo.record(cloud_id, t, true);
+  }
+  const auto tiers = slo.tier_health();
+  ASSERT_EQ(tiers.size(), 2u);
+  EXPECT_EQ(tiers[0].tier, "edge");  // first-seen order
+  EXPECT_EQ(tiers[0].state, HealthState::kCritical);
+  EXPECT_EQ(tiers[1].tier, "cloud");
+  EXPECT_EQ(tiers[1].state, HealthState::kOk);
+  EXPECT_EQ(slo.overall(), HealthState::kCritical);
+  EXPECT_EQ(slo.objective_id("edge.latency"), ok_id);
+  EXPECT_EQ(slo.objective_id("nope"), -1);
+  EXPECT_EQ(slo.to_json(), slo.to_json());
+}
+
+TEST(SloEngine, SnapshotHealthFlagsSlowTailAndDeadSamples) {
+  MetricsRegistry reg;
+  reg.counter("runtime.samples").add(100);
+  reg.counter("runtime.dead").add(10);  // 90% availability vs 99% target
+  HdrHistogram& h = reg.hdr_histogram("runtime.hdr_latency_ms", 1e-3, 3.6e6);
+  for (int i = 0; i < 100; ++i) h.record(1000.0, 1, i);  // p99 >> 250 ms SLO
+  const std::string health = health_from_metrics(reg.to_json(), {});
+  EXPECT_NE(health.find("\"overall\": \"critical\""), std::string::npos);
+  EXPECT_NE(health.find("runtime.hdr_latency_ms"), std::string::npos);
+  // Deterministic given identical metrics JSON.
+  EXPECT_EQ(health, health_from_metrics(reg.to_json(), {}));
+
+  MetricsRegistry healthy;
+  healthy.counter("runtime.samples").add(100);
+  HdrHistogram& h2 =
+      healthy.hdr_histogram("runtime.hdr_latency_ms", 1e-3, 3.6e6);
+  for (int i = 0; i < 100; ++i) h2.record(5.0, 1, i);
+  EXPECT_NE(health_from_metrics(healthy.to_json(), {})
+                .find("\"overall\": \"ok\""),
+            std::string::npos);
+}
+
 // --------------------------------------------------------------- satellites
+
+TEST(Histogram, UnderflowAndOverflowAreCountedNotSilentlyClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.record(5.0);
+  h.record(-3.0);  // clamps into the first bin, but the export says so
+  h.record(1e9);   // clamps into the last bin, but the export says so
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  MetricsRegistry reg;
+  Histogram& rh = reg.histogram("work.value", 0.0, 10.0, 5);
+  rh.record(-3.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"underflow\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\": 0"), std::string::npos);
+}
+
 
 TEST(ConfusionMatrixBounds, ErrorMessagesNameTheOffendingValue) {
   core::ConfusionMatrix cm(3);

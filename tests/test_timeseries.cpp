@@ -110,6 +110,85 @@ TEST(WindowedSeries, RateDividesWindowDeltasByWindowWidth) {
             "2,4,6,1,0.5\n");
 }
 
+TEST(WindowedSeries, RateAtExactWindowBoundaryCreditsTheNewWindow) {
+  // t = k * width sits in window k, not k-1 (floor semantics): an event
+  // recorded exactly on the boundary must not inflate the closed window.
+  WindowedSeries s(2.0);
+  const int done = s.add_counter("done");
+  s.add_rate("throughput", done);
+  s.record(done, 0.0, 2.0);  // leading edge of window 0
+  s.record(done, 2.0, 6.0);  // exact boundary: belongs to window 1
+  s.record(done, 4.0, 1.0);  // exact boundary: belongs to window 2
+  EXPECT_EQ(s.to_csv(),
+            "window,t_start,t_end,done,throughput\n"
+            "0,0,2,2,1\n"
+            "1,2,4,6,3\n"
+            "2,4,6,1,0.5\n");
+}
+
+TEST(WindowedSeries, RateSpanningEmptyLeadingWindowsIsZeroThere) {
+  // The first record can land windows deep: every skipped window must
+  // flush as an explicit zero rate, not be silently absent.
+  WindowedSeries s(1.0);
+  const int done = s.add_counter("done");
+  s.add_rate("throughput", done);
+  s.record(done, 3.5, 4.0);
+  EXPECT_EQ(s.to_csv(),
+            "window,t_start,t_end,done,throughput\n"
+            "0,0,1,0,0\n"
+            "1,1,2,0,0\n"
+            "2,2,3,0,0\n"
+            "3,3,4,4,4\n");
+}
+
+TEST(WindowedSeries, CounterResetMidSeriesIsRejectedNotWrapped) {
+  // A counter that goes backwards (process restart, wrapped delta) must
+  // fail loudly: silently recording a negative delta would corrupt every
+  // derived rate/ratio column downstream.
+  WindowedSeries s(1.0);
+  const int done = s.add_counter("done");
+  s.add_rate("throughput", done);
+  s.record(done, 0.5, 10.0);
+  EXPECT_THROW(s.record(done, 0.6, -10.0), ddnn::Error);
+  try {
+    s.record(done, 0.7, -3.0);
+    FAIL() << "expected ddnn::Error";
+  } catch (const ddnn::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("done"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+  // The rejected records left no trace in the export.
+  EXPECT_EQ(s.to_csv(),
+            "window,t_start,t_end,done,throughput\n"
+            "0,0,1,10,10\n");
+}
+
+TEST(WindowedSeries, HdrColumnExportsTailColumnsPerWindow) {
+  WindowedSeries s(1.0);
+  const int lat = s.add_hdr("lat_ms", 1e-3, 3.6e6);
+  // Window 0: 100 samples at 2 ms, one 50 ms straggler (with an exemplar).
+  for (int i = 0; i < 100; ++i) s.record(lat, 0.5, 2.0);
+  s.record(lat, 0.9, 50.0, /*trace_id=*/777, /*sample_index=*/100);
+  // Window 1: empty. Window 2: one sample.
+  s.record(lat, 2.5, 4.0);
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("lat_ms.n,lat_ms.p99,lat_ms.p999,lat_ms.max"),
+            std::string::npos);
+  // Three data rows: the window-1 row flushed as all zeros (histogram was
+  // reset at the flush), and window 2 only holds its own sample.
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  std::getline(lines, line);
+  EXPECT_EQ(line.substr(0, 8), "0,0,1,10");  // n=101 in window 0
+  std::getline(lines, line);
+  EXPECT_EQ(line, "1,1,2,0,0,0,0");
+  std::getline(lines, line);
+  EXPECT_EQ(line.substr(0, 7), "2,2,3,1");
+  // Exports are deterministic: a second render is byte-identical.
+  EXPECT_EQ(csv, s.to_csv());
+}
+
 TEST(WindowedSeries, RejectsApiMisuse) {
   WindowedSeries s(1.0);
   const int c = s.add_counter("a");

@@ -36,10 +36,12 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/tracemerge.hpp"
 #include "util/args.hpp"
+#include "util/rng.hpp"
 #include "util/results.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -847,32 +849,43 @@ int cmd_trace_merge(int argc, const char* const* argv) {
   return 0;
 }
 
-/// One Stats request/reply round against a serving role; returns the raw
-/// metrics-registry JSON exactly as the server rendered it.
-std::string poll_stats(dist::FrameConn& conn, std::uint64_t seq,
-                       double timeout_s) {
+/// One request/reply round of a poll-style frame (Stats or Health) against
+/// a serving role; returns the raw JSON payload exactly as the server
+/// rendered it.
+std::string poll_frame(dist::FrameConn& conn, dist::FrameKind kind,
+                       std::uint64_t seq, double timeout_s) {
+  const std::string label = dist::to_string(kind);
   dist::Frame req;
-  req.kind = dist::FrameKind::kStats;
+  req.kind = kind;
   req.seq = seq;
-  DDNN_CHECK(conn.write_frame(req, timeout_s), "stats request send timed out");
+  DDNN_CHECK(conn.write_frame(req, timeout_s),
+             label << " request send timed out");
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration<double>(timeout_s);
   while (std::chrono::steady_clock::now() < deadline) {
     const auto reply = conn.read_frame(0.05);
     if (!reply.has_value()) {
-      DDNN_CHECK(!conn.closed(), "server closed the stats connection");
+      DDNN_CHECK(!conn.closed(),
+                 "server closed the " << label << " connection");
       continue;
     }
-    if (reply->kind != dist::FrameKind::kStats || reply->seq != seq) {
+    if (reply->kind != kind || reply->seq != seq) {
       continue;  // unrelated traffic on a shared connection
     }
     dist::PayloadReader r(reply->payload.data(), reply->payload.size(),
-                          "stats");
+                          label.c_str());
     return r.str();
   }
-  DDNN_CHECK(false, "stats poll timed out after " << timeout_s << " s");
+  DDNN_CHECK(false, label << " poll timed out after " << timeout_s << " s");
   return "";
+}
+
+/// One Stats request/reply round against a serving role; returns the raw
+/// metrics-registry JSON exactly as the server rendered it.
+std::string poll_stats(dist::FrameConn& conn, std::uint64_t seq,
+                       double timeout_s) {
+  return poll_frame(conn, dist::FrameKind::kStats, seq, timeout_s);
 }
 
 /// Render one metrics snapshot as the familiar Metric/Type/Value table.
@@ -890,6 +903,13 @@ void print_stats(const std::string& json, int poll, double age_s) {
       std::snprintf(buf, sizeof(buf), "n=%lld p50=%g p99=%g",
                     static_cast<long long>(m.at("count").i),
                     m.at("p50").number(), m.at("p99").number());
+      value = buf;
+    } else if (type == "hdr") {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "n=%lld p99=%g p99.9=%g max=%g",
+                    static_cast<long long>(m.at("count").i),
+                    m.at("p99").number(), m.at("p999").number(),
+                    m.at("max").number());
       value = buf;
     } else {
       const obs::JsonValue& v = m.at("value");
@@ -951,6 +971,130 @@ int cmd_top(int argc, const char* const* argv) {
                                            << "' for writing");
     out << last;
     std::printf("wrote final snapshot to %s\n", args.get("json-out").c_str());
+  }
+  return 0;
+}
+
+int cmd_health(int argc, const char* const* argv) {
+  ArgParser args(
+      "ddnn health",
+      "Deterministic SLO health check. Replays a synthetic outcome pool "
+      "through the fleet queueing network on the simulated clock, runs the "
+      "multi-window burn-rate SLO engine over it and reports per-objective "
+      "and per-tier health — byte-identical across reruns and any "
+      "DDNN_THREADS. With --connect, polls a live `ddnn serve` role's "
+      "Health channel instead (snapshot health computed from its metrics "
+      "registry).");
+  args.add_option("seed", "outcome-pool + arrival-process seed", "42")
+      .add_option("pool", "synthetic outcome-pool size", "1000")
+      .add_option("stream", "open-loop arrivals to replay", "100000")
+      .add_option("arrival-hz",
+                  "whole-fleet Poisson arrival rate (samples/s)", "2000")
+      .add_option("latency-slo-ms",
+                  "latency objective: per-sample threshold (ms)", "100")
+      .add_option("latency-target",
+                  "latency objective: fraction that must meet the "
+                  "threshold",
+                  "0.99")
+      .add_option("availability-target",
+                  "availability objective: fraction that must complete "
+                  "(not shed, not dead)",
+                  "0.999")
+      .add_option("json-out",
+                  "write the SLO engine state as JSON (byte-identical "
+                  "across reruns)",
+                  "")
+      .add_option("connect",
+                  "host:port of a `ddnn serve` role to poll instead of "
+                  "simulating",
+                  "")
+      .add_option("timeout",
+                  "seconds to wait for connect and reply (--connect)", "5");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (!args.get("connect").empty()) {
+    const double timeout_s = args.get_double_greater_than("timeout", 0.0);
+    const auto conn = dist::connect_to(args.get("connect"), timeout_s);
+    DDNN_CHECK(conn != nullptr, "cannot reach " << args.get("connect"));
+    const std::string health =
+        poll_frame(*conn, dist::FrameKind::kHealth, 1, timeout_s);
+    std::printf("%s", health.c_str());
+    if (!args.get("json-out").empty()) {
+      std::ofstream out(args.get("json-out"), std::ios::binary);
+      DDNN_CHECK(out.good(), "cannot open '" << args.get("json-out")
+                                             << "' for writing");
+      out << health;
+      std::printf("wrote health snapshot to %s\n",
+                  args.get("json-out").c_str());
+    }
+    return 0;
+  }
+
+  // Synthetic outcome pool: a fixed local/edge/cloud/dead mix with
+  // seed-derived latencies and trace ids. No training and no dataset — the
+  // health pipeline itself (queueing -> HDR tail -> SLO engine) is what
+  // this command exercises, so it stays fast enough for CI gates.
+  const auto pool = args.get_int_at_least("pool", 1);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  std::vector<dist::InferenceTrace> traces;
+  traces.reserve(static_cast<std::size_t>(pool));
+  for (std::int64_t i = 0; i < pool; ++i) {
+    dist::InferenceTrace t;
+    t.trace_id = (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(i + 1)) &
+                 ((1ull << 48) - 1);
+    const std::int64_t r = i % 100;
+    if (r < 60) {  // local exit: answered on the device
+      t.exit_taken = 0;
+      t.latency_s = 1e-3 * rng.uniform(0.5, 3.0);
+    } else if (r < 85) {  // edge exit: queued + batched at an edge station
+      t.exit_taken = 1;
+      t.latency_s = 1e-3 * rng.uniform(2.0, 12.0);
+    } else if (r < 98) {  // cloud exit: rides the edge->cloud hop
+      t.exit_taken = 2;
+      t.latency_s = 1e-3 * rng.uniform(5.0, 30.0);
+    } else {  // dead: nothing reached a classifier
+      t.exit_taken = -1;
+      t.dead = true;
+    }
+    traces.push_back(t);
+  }
+
+  dist::FleetConfig fleet;
+  fleet.num_devices = 120;
+  fleet.num_edges = 4;
+  fleet.edge_servers = 1;
+  fleet.cloud_servers = 10;
+  fleet.arrival_rate_hz = args.get_double_greater_than("arrival-hz", 0.0);
+  fleet.first_cloud_exit = 2;
+  fleet.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  fleet.slo_latency_ms = args.get_double_greater_than("latency-slo-ms", 0.0);
+  fleet.slo_latency_target = args.get_double("latency-target");
+  fleet.slo_availability_target = args.get_double("availability-target");
+
+  obs::MetricsRegistry registry;
+  obs::SloEngine slo;
+  const auto stats =
+      dist::simulate_fleet(traces, fleet, args.get_int_at_least("stream", 1),
+                           nullptr, &registry, &slo);
+  std::printf(
+      "replayed %lld arrivals over %.1f s: p99 %.2f ms, p99.9 %.2f ms, "
+      "max %.2f ms; shed %lld, dead %lld\n\n",
+      static_cast<long long>(stats.arrivals), stats.horizon_s,
+      1e3 * stats.p99_latency_s, 1e3 * stats.p999_latency_s,
+      1e3 * stats.max_latency_s, static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.dead));
+  std::printf("%s", slo.to_table().to_string().c_str());
+  for (const auto& tier : slo.tier_health()) {
+    std::printf("tier %-8s %s\n", tier.tier.c_str(),
+                obs::to_string(tier.state));
+  }
+  std::printf("overall: %s\n", obs::to_string(slo.overall()));
+  if (!args.get("json-out").empty()) {
+    std::ofstream out(args.get("json-out"), std::ios::binary);
+    DDNN_CHECK(out.good(), "cannot open '" << args.get("json-out")
+                                           << "' for writing");
+    out << slo.to_json();
+    std::printf("wrote SLO state to %s\n", args.get("json-out").c_str());
   }
   return 0;
 }
@@ -1018,7 +1162,7 @@ int cmd_dataset(int argc, const char* const* argv) {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: ddnn "
-      "<train|eval|simulate|serve|trace-merge|top|dataset|report> "
+      "<train|eval|simulate|serve|trace-merge|top|health|dataset|report> "
       "[options]\nrun `ddnn <command> --help` for command options\n";
   if (argc < 2) {
     std::printf("%s", usage.c_str());
@@ -1032,6 +1176,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "trace-merge") return cmd_trace_merge(argc - 1, argv + 1);
     if (command == "top") return cmd_top(argc - 1, argv + 1);
+    if (command == "health") return cmd_health(argc - 1, argv + 1);
     if (command == "dataset") return cmd_dataset(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
     std::printf("unknown command '%s'\n%s", command.c_str(), usage.c_str());
